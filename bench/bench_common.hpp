@@ -1,0 +1,17 @@
+// Shared configuration for the reproduction benches — thin aliases over the
+// canonical paper configurations in the library.
+#pragma once
+
+#include "edgedrift/eval/paper_configs.hpp"
+
+namespace edgedrift::bench {
+
+inline eval::ExperimentConfig nsl_kdd_config(std::size_t window = 100) {
+  return eval::nsl_kdd_paper_config(window);
+}
+
+inline eval::ExperimentConfig cooling_fan_config(std::size_t window = 50) {
+  return eval::cooling_fan_paper_config(window);
+}
+
+}  // namespace edgedrift::bench

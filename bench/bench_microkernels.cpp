@@ -1,0 +1,196 @@
+// Microkernel benchmarks for the numeric substrate: GEMM variants, the
+// OS-ELM sequential step vs the Woodbury block step, detector primitives.
+// These are engineering benches (not a paper table); they justify the
+// kernel choices DESIGN.md documents: rank-1 updates keep the per-sample
+// cost at O(h^2) and batch paths amortize through the blocked GEMM.
+#include <benchmark/benchmark.h>
+
+#include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/linalg/gemm.hpp"
+#include "edgedrift/linalg/solve.hpp"
+#include "edgedrift/linalg/updates.hpp"
+#include "edgedrift/linalg/vector_ops.hpp"
+#include "edgedrift/mcu/static_pipeline.hpp"
+#include "edgedrift/oselm/oselm.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace {
+
+using namespace edgedrift;
+using linalg::Matrix;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const Matrix a = Matrix::random_gaussian(n, n, rng);
+  const Matrix b = Matrix::random_gaussian(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_MatmulAtB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  const Matrix a = Matrix::random_gaussian(n, n, rng);
+  const Matrix b = Matrix::random_gaussian(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::matmul_at_b(a, b));
+  }
+}
+BENCHMARK(BM_MatmulAtB)->Arg(128);
+
+void BM_CholeskySpdInverse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  Matrix a = Matrix::random_gaussian(n, n, rng);
+  Matrix spd = linalg::matmul_at_b(a, a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::spd_inverse(spd));
+  }
+}
+BENCHMARK(BM_CholeskySpdInverse)->Arg(22)->Arg(64);
+
+// The paper's fast path: one rank-1 OS-ELM step (h = 22, d = 511).
+void BM_OsElmSequentialStep(benchmark::State& state) {
+  util::Rng rng(4);
+  auto proj = oselm::make_projection(511, 22, oselm::Activation::kSigmoid,
+                                     rng);
+  oselm::OsElmConfig config;
+  config.output_dim = 511;
+  oselm::OsElm net(proj, config);
+  net.init_sequential();
+  std::vector<double> x(511);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    net.train(x, x);
+  }
+}
+BENCHMARK(BM_OsElmSequentialStep)->Name("oselm rank-1 train (511-22-511)");
+
+// The equivalent batch path: Woodbury block of 32 samples.
+void BM_OsElmBlockStep(benchmark::State& state) {
+  util::Rng rng(5);
+  auto proj = oselm::make_projection(511, 22, oselm::Activation::kSigmoid,
+                                     rng);
+  oselm::OsElmConfig config;
+  config.output_dim = 511;
+  oselm::OsElm net(proj, config);
+  net.init_sequential();
+  const Matrix x = Matrix::random_uniform(32, 511, rng, 0.0, 1.0);
+  for (auto _ : state) {
+    net.train_batch(x, x);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_OsElmBlockStep)->Name("oselm woodbury train, 32-batch");
+
+void BM_OsElmPredict(benchmark::State& state) {
+  util::Rng rng(6);
+  auto proj = oselm::make_projection(511, 22, oselm::Activation::kSigmoid,
+                                     rng);
+  oselm::OsElmConfig config;
+  config.output_dim = 511;
+  oselm::OsElm net(proj, config);
+  net.init_sequential();
+  std::vector<double> x(511), y(511);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    net.predict(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_OsElmPredict)->Name("oselm predict (511-22-511)");
+
+void BM_L1Distance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<double> a(n), b(n);
+  for (auto& v : a) v = rng.gaussian();
+  for (auto& v : b) v = rng.gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::l1_distance(a, b));
+  }
+}
+BENCHMARK(BM_L1Distance)->Arg(38)->Arg(511);
+
+void BM_RunningMeanUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(8);
+  std::vector<double> mean(n), x(n);
+  for (auto& v : x) v = rng.gaussian();
+  std::size_t count = 1;
+  for (auto _ : state) {
+    linalg::running_mean_update(mean, x, count++);
+    benchmark::DoNotOptimize(mean.data());
+  }
+}
+BENCHMARK(BM_RunningMeanUpdate)->Arg(38)->Arg(511);
+
+// Double-precision Pipeline vs the float32 MCU profile on the same fitted
+// state. On a desktop FPU doubles are native, so the float32 path is about
+// equal wall-clock here; its wins are memory (half the state, the Table 4
+// quantity) and the software-float arithmetic of FPU-less MCUs like the
+// Pico's Cortex-M0+, where every float64 op is roughly 2x a float32 op.
+struct DeviceFixture {
+  core::Pipeline reference;
+  mcu::StaticPipeline<38, 22, 2> device;
+  std::vector<double> sample_d = std::vector<double>(38);
+  std::vector<float> sample_f = std::vector<float>(38);
+
+  DeviceFixture() : reference(make_config()) {
+    util::Rng rng(9);
+    Matrix train(400, 38);
+    std::vector<int> labels(400);
+    for (std::size_t i = 0; i < 400; ++i) {
+      labels[i] = static_cast<int>(i % 2);
+      for (std::size_t j = 0; j < 38; ++j) {
+        train(i, j) = rng.gaussian(labels[i] == 0 ? 0.2 : 1.2, 0.2);
+      }
+    }
+    reference.fit(train, labels);
+    device.load(reference);
+    for (std::size_t j = 0; j < 38; ++j) {
+      sample_d[j] = rng.gaussian(0.2, 0.2);
+      sample_f[j] = static_cast<float>(sample_d[j]);
+    }
+  }
+
+  static core::PipelineConfig make_config() {
+    core::PipelineConfig config;
+    config.num_labels = 2;
+    config.input_dim = 38;
+    config.hidden_dim = 22;
+    return config;
+  }
+};
+
+DeviceFixture& device_fixture() {
+  static DeviceFixture f;
+  return f;
+}
+
+void BM_PipelineProcessDouble(benchmark::State& state) {
+  auto& f = device_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.reference.process(f.sample_d));
+  }
+}
+BENCHMARK(BM_PipelineProcessDouble)
+    ->Name("pipeline process/sample (double, host)");
+
+void BM_PipelineProcessFloat32(benchmark::State& state) {
+  auto& f = device_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.device.process(f.sample_f));
+  }
+}
+BENCHMARK(BM_PipelineProcessFloat32)
+    ->Name("pipeline process/sample (float32, MCU profile)");
+
+}  // namespace
+
+BENCHMARK_MAIN();

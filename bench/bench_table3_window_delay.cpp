@@ -1,0 +1,90 @@
+// Table 3 reproduction: detection delay of the proposed method for window
+// sizes {10, 50, 150} on the cooling-fan streams with sudden, gradual and
+// reoccurring drifts (drift at sample 120 in all three).
+//
+// Paper reference values:
+//                 Sudden  Gradual  Reoccurring
+//   W = 10          53      161       22
+//   W = 50          60      157       62
+//   W = 150        160      257        -
+// ("-" = the transient new concept was not detected — desirable when the
+// reoccurring burst should be ignored.)
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "bench_common.hpp"
+#include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/data/cooling_fan_like.hpp"
+#include "edgedrift/util/rng.hpp"
+#include "edgedrift/util/table.hpp"
+
+using namespace edgedrift;
+
+namespace {
+
+std::optional<std::size_t> first_detection(core::Pipeline& pipeline,
+                                           const data::Dataset& stream,
+                                           std::size_t drift_at) {
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto step = pipeline.process(stream.x.row(i));
+    if (step.drift_detected && i >= drift_at) return i - drift_at;
+  }
+  return std::nullopt;
+}
+
+std::string fmt_delay(const std::optional<std::size_t>& delay) {
+  return delay.has_value() ? std::to_string(*delay) : "-";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: window size vs detection delay (cooling fan) "
+              "===\n\n");
+
+  data::CoolingFanLike generator;
+  util::Rng rng(2023);
+  const data::Dataset train = generator.training(rng);
+  const std::size_t drift_at = generator.config().drift_point;
+
+  util::Table table({"Window size", "Sudden", "Gradual", "Reoccurring",
+                     "Paper (S/G/R)"});
+  const char* paper_rows[] = {"53 / 161 / 22", "60 / 157 / 62",
+                              "160 / 257 / -"};
+
+  const std::size_t windows[] = {10, 50, 150};
+  for (std::size_t wi = 0; wi < 3; ++wi) {
+    const std::size_t w = windows[wi];
+    const auto config = bench::cooling_fan_config(w);
+
+    std::optional<std::size_t> delays[3];
+    int stream_index = 0;
+    for (const auto* kind : {"sudden", "gradual", "reoccurring"}) {
+      util::Rng stream_rng(99 + stream_index);
+      data::Dataset stream;
+      if (std::string(kind) == "sudden") {
+        stream = generator.sudden_stream(stream_rng);
+      } else if (std::string(kind) == "gradual") {
+        stream = generator.gradual_stream(stream_rng);
+      } else {
+        stream = generator.reoccurring_stream(stream_rng);
+      }
+      core::Pipeline pipeline(config.pipeline);
+      pipeline.fit(train.x, train.labels);
+      delays[stream_index] = first_detection(pipeline, stream, drift_at);
+      ++stream_index;
+    }
+
+    table.add_row({"W = " + std::to_string(w), fmt_delay(delays[0]),
+                   fmt_delay(delays[1]), fmt_delay(delays[2]),
+                   paper_rows[wi]});
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Expected shape: delay grows with W for the sudden drift; the\n"
+              "gradual drift needs a window larger than its short-term\n"
+              "mixing to avoid oscillation; the largest window ignores the\n"
+              "transient reoccurring burst entirely.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Detector zoo: every drift detector in the library on the same stream.
+//
+// Runs the proposed centroid detector, QuantTree, SPLL, DDM, ADWIN,
+// Page–Hinkley and the multi-window ensemble against one sudden-drift
+// stream and prints when each fires, what signal it consumes, and how much
+// state it holds. A practical menu for picking a detector.
+//
+//   $ ./example_detector_zoo
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edgedrift/data/nsl_kdd_like.hpp"
+#include "edgedrift/drift/adwin.hpp"
+#include "edgedrift/drift/centroid_detector.hpp"
+#include "edgedrift/drift/ddm.hpp"
+#include "edgedrift/drift/eddm.hpp"
+#include "edgedrift/drift/kswin.hpp"
+#include "edgedrift/drift/multi_window.hpp"
+#include "edgedrift/drift/page_hinkley.hpp"
+#include "edgedrift/drift/quanttree.hpp"
+#include "edgedrift/drift/spll.hpp"
+#include "edgedrift/model/multi_instance.hpp"
+#include "edgedrift/util/rng.hpp"
+#include "edgedrift/util/table.hpp"
+
+using namespace edgedrift;
+
+int main() {
+  // Stream: NSL-KDD-like, short version.
+  data::NslKddLikeConfig data_config;
+  data_config.train_size = 1500;
+  data_config.test_size = 8000;
+  data_config.drift_point = 3000;
+  data::NslKddLike generator(data_config);
+  util::Rng rng(9);
+  const data::Dataset train = generator.training(rng);
+  const data::Dataset stream = generator.test_stream(rng);
+  const std::size_t drift_at = data_config.drift_point;
+
+  // One discriminative model shared by every detector (so error-rate
+  // detectors get a mistake stream and score-based ones get anomaly
+  // scores).
+  util::Rng model_rng(1);
+  auto projection = oselm::make_projection(
+      train.dim(), 22, oselm::Activation::kSigmoid, model_rng);
+  model::MultiInstanceModel model(2, projection, 1e-2);
+  model.init_train(train.x, train.labels);
+
+  // Detector lineup.
+  struct Entry {
+    std::unique_ptr<drift::Detector> detector;
+    const char* signal;
+  };
+  std::vector<Entry> zoo;
+
+  {
+    drift::CentroidDetectorConfig config;
+    config.num_labels = 2;
+    config.dim = train.dim();
+    config.window_size = 100;
+    config.theta_error = 0.0;  // Open gate: pure distance behaviour.
+    config.initial_count = 0;
+    auto det = std::make_unique<drift::CentroidDetector>(config);
+    det->calibrate(train.x, train.labels);
+    zoo.push_back({std::move(det), "features (labels from model)"});
+  }
+  {
+    drift::QuantTreeConfig config;
+    config.num_bins = 32;
+    config.batch_size = 480;
+    config.alpha = 0.001;
+    auto det = std::make_unique<drift::QuantTree>(config);
+    det->fit(train.x);
+    zoo.push_back({std::move(det), "features (batched)"});
+  }
+  {
+    drift::SpllConfig config;
+    config.num_clusters = 2;
+    config.batch_size = 480;
+    auto det = std::make_unique<drift::Spll>(config);
+    det->fit(train.x);
+    zoo.push_back({std::move(det), "features (batched)"});
+  }
+  zoo.push_back({std::make_unique<drift::Ddm>(), "0/1 errors (needs labels)"});
+  zoo.push_back(
+      {std::make_unique<drift::Eddm>(), "error gaps (needs labels)"});
+  zoo.push_back(
+      {std::make_unique<drift::Adwin>(), "0/1 errors (needs labels)"});
+  zoo.push_back(
+      {std::make_unique<drift::Kswin>(), "anomaly scores (windowed)"});
+  {
+    drift::PageHinkleyConfig config;
+    config.lambda = 10.0;
+    config.use_anomaly_score = true;
+    zoo.push_back(
+        {std::make_unique<drift::PageHinkley>(config), "anomaly scores"});
+  }
+  {
+    drift::CentroidDetectorConfig base;
+    base.num_labels = 2;
+    base.dim = train.dim();
+    base.theta_error = 0.0;
+    base.initial_count = 0;
+    const std::vector<std::size_t> windows{50, 100, 200};
+    auto det = std::make_unique<drift::MultiWindowDetector>(
+        base, windows, drift::VotePolicy::kMajority);
+    det->calibrate(train.x, train.labels);
+    zoo.push_back({std::move(det), "features (3-window vote)"});
+  }
+
+  // Feed the stream to every detector.
+  util::Table table({"Detector", "Signal", "First firing", "Delay",
+                     "False alarms", "State (kB)"});
+  for (auto& entry : zoo) {
+    std::ptrdiff_t first_after = -1;
+    std::size_t false_alarms = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const auto pred = model.predict(stream.x.row(i));
+      drift::Observation obs;
+      obs.x = stream.x.row(i);
+      obs.predicted_label = static_cast<int>(pred.label);
+      obs.anomaly_score = pred.score;
+      obs.error = static_cast<int>(pred.label) != stream.labels[i];
+      if (entry.detector->observe(obs).drift) {
+        if (i < drift_at) {
+          ++false_alarms;
+        } else if (first_after < 0) {
+          first_after = static_cast<std::ptrdiff_t>(i);
+        }
+      }
+    }
+    table.add_row(
+        {std::string(entry.detector->name()), entry.signal,
+         first_after < 0 ? "-" : std::to_string(first_after),
+         first_after < 0 ? "-" : std::to_string(first_after -
+                                                static_cast<std::ptrdiff_t>(
+                                                    drift_at)),
+         std::to_string(false_alarms),
+         util::fmt(entry.detector->memory_bytes() / 1024.0, 1)});
+  }
+  std::printf("stream: %zu samples, drift at %zu\n\n%s\n", stream.size(),
+              drift_at, table.str().c_str());
+  std::printf("Notes: error-rate detectors (DDM/ADWIN) need ground-truth\n"
+              "labels, which resource-limited deployments rarely have\n"
+              "(paper Section 2.2.2); the proposed detector and the batch\n"
+              "methods work from features alone.\n");
+  return 0;
+}

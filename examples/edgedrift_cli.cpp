@@ -1,0 +1,214 @@
+// edgedrift command-line runner: any method on any bundled (or CSV) stream.
+//
+//   $ ./example_edgedrift_cli --dataset nslkdd --method proposed --window 100
+//   $ ./example_edgedrift_cli --dataset fan-gradual --method spll
+//   $ ./example_edgedrift_cli --train-csv train.csv --test-csv test.csv
+//         [continued] --method quanttree --drift-at 5000
+//   $ ./example_edgedrift_cli --dataset nslkdd --method proposed
+//         [continued] --series 500 --checkpoint /tmp/model.bin
+//
+// Options:
+//   --dataset nslkdd | fan-sudden | fan-gradual | fan-reoccurring
+//   --train-csv PATH / --test-csv PATH   (labels in the last column)
+//   --method proposed | baseline | quanttree | spll | onlad | multiwindow
+//   --window N      proposed-method window size W        (default 100)
+//   --drift-at N    true drift index for delay reporting  (dataset default)
+//   --seed N        stream RNG seed                       (default 2023)
+//   --series N      print windowed accuracy every N samples
+//   --checkpoint P  save the fitted proposed pipeline to P (method=proposed)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "edgedrift/data/cooling_fan_like.hpp"
+#include "edgedrift/data/csv.hpp"
+#include "edgedrift/data/nsl_kdd_like.hpp"
+#include "edgedrift/eval/experiment.hpp"
+#include "edgedrift/eval/paper_configs.hpp"
+#include "edgedrift/io/checkpoint.hpp"
+#include "edgedrift/util/rng.hpp"
+#include "edgedrift/util/table.hpp"
+
+using namespace edgedrift;
+
+namespace {
+
+struct Options {
+  std::string dataset = "nslkdd";
+  std::string train_csv;
+  std::string test_csv;
+  std::string method = "proposed";
+  std::size_t window = 100;
+  std::optional<std::size_t> drift_at;
+  std::uint64_t seed = 2023;
+  std::size_t series = 0;
+  std::string checkpoint;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dataset nslkdd|fan-sudden|fan-gradual|"
+               "fan-reoccurring]\n"
+               "          [--train-csv PATH --test-csv PATH]\n"
+               "          [--method proposed|baseline|quanttree|spll|onlad|multiwindow]\n"
+               "          [--window N] [--drift-at N] [--seed N]\n"
+               "          [--series N] [--checkpoint PATH]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool parse_options(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--dataset") {
+      opts.dataset = next();
+    } else if (arg == "--train-csv") {
+      opts.train_csv = next();
+    } else if (arg == "--test-csv") {
+      opts.test_csv = next();
+    } else if (arg == "--method") {
+      opts.method = next();
+    } else if (arg == "--window") {
+      opts.window = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--drift-at") {
+      opts.drift_at = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--series") {
+      opts.series = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--checkpoint") {
+      opts.checkpoint = next();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<eval::Method> method_of(const std::string& name) {
+  if (name == "proposed") return eval::Method::kProposed;
+  if (name == "baseline") return eval::Method::kBaseline;
+  if (name == "quanttree") return eval::Method::kQuantTree;
+  if (name == "spll") return eval::Method::kSpll;
+  if (name == "onlad") return eval::Method::kOnlad;
+  if (name == "multiwindow") return eval::Method::kMultiWindow;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_options(argc, argv, opts)) usage(argv[0]);
+  const auto method = method_of(opts.method);
+  if (!method) usage(argv[0]);
+
+  // ------------------------------------------------------------------ data
+  data::Dataset train, test;
+  eval::ExperimentConfig config;
+  if (!opts.train_csv.empty() || !opts.test_csv.empty()) {
+    if (opts.train_csv.empty() || opts.test_csv.empty()) usage(argv[0]);
+    data::CsvOptions csv;
+    csv.label_column = -2;
+    auto loaded_train = data::load_csv(opts.train_csv, csv);
+    auto loaded_test = data::load_csv(opts.test_csv, csv);
+    if (!loaded_train || !loaded_test) return 1;
+    train = std::move(*loaded_train);
+    test = std::move(*loaded_test);
+    int max_label = 0;
+    for (const int l : train.labels) max_label = std::max(max_label, l);
+    config = eval::nsl_kdd_paper_config(opts.window);
+    config.pipeline.num_labels = static_cast<std::size_t>(max_label) + 1;
+    config.pipeline.input_dim = train.dim();
+  } else if (opts.dataset == "nslkdd") {
+    data::NslKddLike generator;
+    util::Rng rng(opts.seed);
+    train = generator.training(rng);
+    test = generator.test_stream(rng);
+    if (!opts.drift_at) opts.drift_at = generator.config().drift_point;
+    config = eval::nsl_kdd_paper_config(opts.window);
+  } else if (opts.dataset.rfind("fan-", 0) == 0) {
+    data::CoolingFanLike generator;
+    util::Rng rng(opts.seed);
+    train = generator.training(rng);
+    util::Rng stream_rng(opts.seed ^ 0x9e37ULL);
+    if (opts.dataset == "fan-sudden") {
+      test = generator.sudden_stream(stream_rng);
+    } else if (opts.dataset == "fan-gradual") {
+      test = generator.gradual_stream(stream_rng);
+    } else if (opts.dataset == "fan-reoccurring") {
+      test = generator.reoccurring_stream(stream_rng);
+    } else {
+      usage(argv[0]);
+    }
+    if (!opts.drift_at) opts.drift_at = generator.config().drift_point;
+    config = eval::cooling_fan_paper_config(opts.window);
+  } else {
+    usage(argv[0]);
+  }
+  config.pipeline.window_size = opts.window;
+  config.seed = opts.seed;
+
+  std::printf("dataset: %s (%zu train / %zu test, %zu features)\n",
+              opts.dataset.c_str(), train.size(), test.size(), train.dim());
+  std::printf("method:  %s\n\n", eval::method_name(*method).c_str());
+
+  // ------------------------------------------------------------------- run
+  const eval::ExperimentResult result =
+      eval::run_experiment(*method, train, test, config);
+
+  util::Table summary({"Metric", "Value"});
+  summary.add_row({"overall accuracy",
+                   util::fmt(result.accuracy.overall() * 100.0, 2) + " %"});
+  summary.add_row({"runtime", util::fmt(result.runtime_seconds * 1e3, 1) +
+                                  " ms"});
+  summary.add_row({"detections", std::to_string(result.detections.count())});
+  if (opts.drift_at) {
+    const auto delay = result.detections.delay(*opts.drift_at);
+    summary.add_row({"detection delay",
+                     delay ? std::to_string(*delay) : std::string("-")});
+    summary.add_row(
+        {"false alarms",
+         std::to_string(result.detections.false_alarms(*opts.drift_at))});
+  }
+  summary.add_row({"detector memory",
+                   util::fmt_kb(result.detector_memory_bytes)});
+  summary.add_row({"model memory", util::fmt_kb(result.model_memory_bytes)});
+  std::printf("%s\n", summary.str().c_str());
+
+  if (opts.series > 0) {
+    std::printf("windowed accuracy (every %zu samples):\n", opts.series);
+    for (const double a : result.accuracy.windowed(opts.series)) {
+      std::printf(" %.3f", a);
+    }
+    std::printf("\n");
+  }
+
+  // ---------------------------------------------------------- checkpointing
+  if (!opts.checkpoint.empty()) {
+    if (*method != eval::Method::kProposed) {
+      std::fprintf(stderr,
+                   "--checkpoint supports only --method proposed\n");
+      return 1;
+    }
+    core::PipelineConfig pipeline_config = config.pipeline;
+    pipeline_config.input_dim = train.dim();
+    core::Pipeline pipeline(pipeline_config);
+    pipeline.fit(train.x, train.labels);
+    if (!io::save_pipeline_file(opts.checkpoint, pipeline)) {
+      std::fprintf(stderr, "failed to write checkpoint %s\n",
+                   opts.checkpoint.c_str());
+      return 1;
+    }
+    std::printf("fitted pipeline checkpoint written to %s\n",
+                opts.checkpoint.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Predictive-maintenance scenario (the paper's cooling-fan evaluation,
+// Section 4.1.2).
+//
+// A vibration sensor on a cooling fan produces 511-bin frequency spectra.
+// The device learns the healthy fan's spectral signature; when a blade is
+// damaged (holes / chipped edge) the spectrum changes and the detector
+// flags the drift. The example runs all three drift schedules the paper
+// constructs — sudden, gradual, reoccurring — and shows how the window
+// size changes what is detected.
+//
+//   $ ./example_fan_monitoring
+#include <cstdio>
+#include <string>
+
+#include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/data/cooling_fan_like.hpp"
+#include "edgedrift/util/rng.hpp"
+#include "edgedrift/util/table.hpp"
+
+using namespace edgedrift;
+
+namespace {
+
+core::PipelineConfig fan_config(std::size_t window) {
+  core::PipelineConfig config;
+  config.num_labels = 1;  // One healthy pattern; anomaly-style monitoring.
+  config.input_dim = data::CoolingFanLike::kDim;
+  config.hidden_dim = 22;  // Paper: 511-22-511.
+  config.window_size = window;
+  config.detector_initial_count = 0;
+  config.reconstruction = {5, 30, 120};
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  data::CoolingFanLike generator;
+  util::Rng rng(3);
+  const data::Dataset train = generator.training(rng);
+  const std::size_t drift_at = generator.config().drift_point;
+
+  std::printf("cooling-fan monitoring: %zu healthy training spectra, "
+              "%zu-bin spectrum, drift at sample %zu\n\n",
+              train.size(), train.dim(), drift_at);
+
+  util::Table table({"Stream", "Window", "First detection", "Comment"});
+  for (const std::size_t window : {10ul, 50ul, 150ul}) {
+    int stream_idx = 0;
+    for (const auto* kind : {"sudden (holes)", "gradual (chipped)",
+                             "reoccurring (chipped burst)"}) {
+      util::Rng stream_rng(50 + stream_idx);
+      data::Dataset stream;
+      if (stream_idx == 0) {
+        stream = generator.sudden_stream(stream_rng);
+      } else if (stream_idx == 1) {
+        stream = generator.gradual_stream(stream_rng);
+      } else {
+        stream = generator.reoccurring_stream(stream_rng);
+      }
+      ++stream_idx;
+
+      core::Pipeline pipeline(fan_config(window));
+      pipeline.fit(train.x, train.labels);
+
+      std::ptrdiff_t first = -1;
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        const auto step = pipeline.process(stream.x.row(i));
+        if (step.drift_detected && first < 0) {
+          first = static_cast<std::ptrdiff_t>(i);
+        }
+      }
+
+      std::string comment;
+      if (first < 0) {
+        comment = std::string(kind).find("reoccurring") != std::string::npos
+                      ? "transient ignored (often desired)"
+                      : "missed";
+      } else if (static_cast<std::size_t>(first) >= drift_at) {
+        comment = "delay " + std::to_string(first - drift_at);
+      } else {
+        comment = "false alarm";
+      }
+      table.add_row({kind, "W=" + std::to_string(window),
+                     first < 0 ? "-" : std::to_string(first), comment});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Pick the window for the failure mode you care about: small\n"
+              "windows catch sudden damage fastest; larger windows ride\n"
+              "through short transients (paper Section 5.2).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microcontroller memory budgeting (the paper's Raspberry Pi Pico
+// deployment, Sections 4.3 and 5.3).
+//
+// The Pico has 264 kB of SRAM. This example audits, byte by byte, what the
+// full proposed system needs for both paper configurations and contrasts
+// it with what the batch baselines would require — demonstrating why only
+// the proposed method deploys.
+//
+//   $ ./example_mcu_budget
+#include <cstdio>
+
+#include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/data/cooling_fan_like.hpp"
+#include "edgedrift/data/nsl_kdd_like.hpp"
+#include "edgedrift/drift/quanttree.hpp"
+#include "edgedrift/drift/spll.hpp"
+#include "edgedrift/eval/memory_audit.hpp"
+#include "edgedrift/mcu/static_pipeline.hpp"
+#include "edgedrift/util/rng.hpp"
+
+using namespace edgedrift;
+
+namespace {
+
+constexpr std::size_t kPicoSram = 264 * 1024;
+
+void audit_pipeline(const char* name, const core::PipelineConfig& config) {
+  core::Pipeline pipeline(config);
+  eval::MemoryAudit audit;
+  audit.add("model (projection + per-label beta/P)",
+            pipeline.model().memory_bytes());
+  audit.add("detector (2 centroid sets + counters)",
+            pipeline.detector().memory_bytes());
+  audit.add("reconstruction bookkeeping",
+            pipeline.reconstructor().memory_bytes());
+  std::printf("--- %s ---\n%s", name, audit.table().c_str());
+  const std::size_t total = pipeline.memory_bytes();
+  std::printf("=> %.1f kB of 264 kB Pico SRAM (%.0f%%) — %s\n\n",
+              total / 1024.0, 100.0 * total / kPicoSram,
+              total < kPicoSram ? "FITS" : "DOES NOT FIT");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Raspberry Pi Pico budget: %zu kB SRAM\n\n", kPicoSram / 1024);
+
+  // NSL-KDD configuration: 38 features, 2 labels, hidden 22.
+  core::PipelineConfig nsl;
+  nsl.num_labels = 2;
+  nsl.input_dim = data::NslKddLike::kDim;
+  nsl.hidden_dim = 22;
+  audit_pipeline("proposed system, NSL-KDD config (38-22-38, C=2)", nsl);
+
+  // Cooling-fan configuration: 511 features, 1 label, hidden 22.
+  core::PipelineConfig fan;
+  fan.num_labels = 1;
+  fan.input_dim = data::CoolingFanLike::kDim;
+  fan.hidden_dim = 22;
+  audit_pipeline("proposed system, cooling-fan config (511-22-511, C=1)",
+                 fan);
+
+  // What the batch baselines would need on top of the model, fan config.
+  data::CoolingFanLike generator;
+  util::Rng rng(1);
+  const data::Dataset train = generator.training(rng);
+
+  drift::QuantTreeConfig qt_config;
+  qt_config.num_bins = 16;
+  qt_config.batch_size = 235;
+  drift::QuantTree qt(qt_config);
+  qt.fit(train.x);
+
+  drift::SpllConfig spll_config;
+  spll_config.num_clusters = 1;
+  spll_config.batch_size = 235;
+  drift::Spll spll(spll_config);
+  spll.fit(train.x);
+
+  std::printf("--- batch baselines (detector state only, fan config) ---\n");
+  std::printf("QuantTree (B=235, K=16): %.1f kB -> %s on the Pico\n",
+              qt.memory_bytes() / 1024.0,
+              qt.memory_bytes() < kPicoSram ? "fits" : "does not fit");
+  std::printf("SPLL      (B=235):       %.1f kB -> %s on the Pico\n",
+              spll.memory_bytes() / 1024.0,
+              spll.memory_bytes() < kPicoSram ? "fits" : "does not fit");
+  std::printf("\nThis is the paper's Section 5.3 conclusion: the batch\n"
+              "detectors cannot run on the Pico at all, while the proposed\n"
+              "fully sequential system fits with room to spare.\n\n");
+
+  // The float32 MCU profile makes the budget a compile-time fact: these
+  // sizes are sizeof() of heap-free, fixed-capacity objects.
+  using NslDevice = mcu::StaticPipeline<38, 22, 2>;
+  using FanDevice = mcu::StaticPipeline<511, 22, 1>;
+  static_assert(NslDevice::state_bytes() < kPicoSram);
+  static_assert(FanDevice::state_bytes() < kPicoSram);
+  std::printf("--- float32 MCU profile (mcu::StaticPipeline, compile-time "
+              "sizeof) ---\n");
+  std::printf("NSL-KDD device object <38,22,2>:  %.1f kB (%.0f%% of Pico "
+              "SRAM)\n",
+              NslDevice::state_bytes() / 1024.0,
+              100.0 * NslDevice::state_bytes() / kPicoSram);
+  std::printf("fan device object     <511,22,1>: %.1f kB (%.0f%% of Pico "
+              "SRAM)\n",
+              FanDevice::state_bytes() / 1024.0,
+              100.0 * FanDevice::state_bytes() / kPicoSram);
+  return 0;
+}

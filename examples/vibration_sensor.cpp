@@ -1,0 +1,85 @@
+// Sensor-to-decision walkthrough: raw accelerometer waveform -> windowed
+// FFT spectrum -> OS-ELM anomaly model -> sequential drift detection ->
+// on-device retraining.
+//
+// This is the full signal chain the paper's cooling-fan deployment implies:
+// the published dataset contains precomputed 511-bin spectra, and this
+// example shows where they come from and that the pipeline behaves
+// identically when fed from a live (simulated) sensor.
+//
+//   $ ./example_vibration_sensor
+#include <cstdio>
+#include <vector>
+
+#include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/dsp/spectrum.hpp"
+#include "edgedrift/util/rng.hpp"
+
+using namespace edgedrift;
+
+int main() {
+  util::Rng rng(11);
+  dsp::SpectrumExtractor extractor;  // 1024-sample Hann frames -> 511 bins.
+  std::printf("sensor: %zu-sample frames at %.0f Hz -> %zu-bin spectra\n",
+              extractor.frame_size(), dsp::FanWaveform::kSampleRate,
+              extractor.output_dim());
+
+  // Phase 1: learn the healthy fan from 200 frames.
+  dsp::FanWaveform healthy(data::FanCondition::kNormal,
+                           data::FanEnvironment::kSilent);
+  std::vector<double> frame(extractor.frame_size());
+  linalg::Matrix train(200, extractor.output_dim());
+  std::vector<int> labels(200, 0);
+  for (std::size_t i = 0; i < train.rows(); ++i) {
+    healthy.synthesize(rng, frame);
+    extractor.extract(frame, train.row(i));
+  }
+
+  core::PipelineConfig config;
+  config.num_labels = 1;
+  config.input_dim = extractor.output_dim();
+  config.hidden_dim = 22;
+  config.window_size = 25;
+  config.detector_initial_count = 0;
+  config.reconstruction = {5, 25, 100};
+  core::Pipeline pipeline(config);
+  pipeline.fit(train, labels);
+  std::printf("trained on %zu healthy frames (theta_error=%.4f, "
+              "theta_drift=%.2f)\n\n",
+              train.rows(), pipeline.theta_error(),
+              pipeline.detector().theta_drift());
+
+  // Phase 2: stream 150 healthy frames, then the blades take damage.
+  dsp::FanWaveform damaged(data::FanCondition::kHoles,
+                           data::FanEnvironment::kSilent);
+  std::vector<double> spectrum(extractor.output_dim());
+  const std::size_t damage_at = 150;
+  for (std::size_t i = 0; i < 500; ++i) {
+    auto& sensor = i < damage_at ? healthy : damaged;
+    sensor.synthesize(rng, frame);
+    extractor.extract(frame, spectrum);
+    const auto step = pipeline.process(spectrum);
+    if (step.drift_detected) {
+      std::printf("frame %zu: DRIFT — abnormal vibration signature "
+                  "(damage began at frame %zu; reaction delay %zu "
+                  "frames)\n",
+                  i, damage_at, i - damage_at);
+      // Drift localization: which frequency bins moved the most. For the
+      // "holes" damage this should point at the blade-pass region
+      // (~350 Hz) and its sidebands (~300/400 Hz).
+      const auto bins = pipeline.detector().top_drifted_dimensions(5);
+      std::printf("  most-displaced frequency bins:");
+      for (const std::size_t b : bins) std::printf(" %zu Hz", b + 1);
+      std::printf("\n");
+    }
+    if (step.reconstruction_finished) {
+      std::printf("frame %zu: model retrained on the new signature; "
+                  "monitoring resumes\n",
+                  i);
+    }
+  }
+  std::printf("\ntotal on-device state: %.1f kB (Raspberry Pi Pico budget: "
+              "264 kB)\n",
+              pipeline.memory_bytes() / 1024.0);
+  return 0;
+}

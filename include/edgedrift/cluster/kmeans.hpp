@@ -1,0 +1,57 @@
+// Batch k-means with k-means++ seeding.
+//
+// Used in two places: (1) the SPLL baseline detector clusters its reference
+// batch with k-means before fitting the semi-parametric Gaussian model;
+// (2) the evaluation harness labels initial training data by clustering when
+// no ground-truth labels are available (paper Section 3.2: "it is assumed
+// that these initial samples can be labeled with a clustering algorithm such
+// as k-means").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "edgedrift/linalg/matrix.hpp"
+
+namespace edgedrift::util {
+class Rng;
+}
+
+namespace edgedrift::cluster {
+
+/// Result of a batch k-means fit.
+struct KMeansResult {
+  linalg::Matrix centroids;         ///< k x d.
+  std::vector<int> assignments;     ///< Per-row cluster index.
+  std::vector<std::size_t> counts;  ///< Samples per cluster.
+  double inertia = 0.0;             ///< Sum of squared distances to centroids.
+  std::size_t iterations = 0;       ///< Lloyd iterations actually run.
+  bool converged = false;           ///< True if assignments stabilized.
+};
+
+/// Options for a k-means fit.
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-7;  ///< Stop when centroid movement^2 < tolerance.
+  bool plus_plus_init = true;
+};
+
+/// k-means++ seeding: picks k rows of X, the first uniformly, each next one
+/// with probability proportional to squared distance from the chosen set.
+linalg::Matrix kmeans_plus_plus_seed(const linalg::Matrix& x, std::size_t k,
+                                     util::Rng& rng);
+
+/// Lloyd's algorithm on the rows of X. Empty clusters are re-seeded with the
+/// point farthest from its centroid.
+KMeansResult kmeans(const linalg::Matrix& x, std::size_t k, util::Rng& rng,
+                    const KMeansOptions& options = {});
+
+/// Assigns each row of X to its nearest centroid (squared L2).
+std::vector<int> assign_to_nearest(const linalg::Matrix& x,
+                                   const linalg::Matrix& centroids);
+
+/// Index of the centroid nearest to a single point.
+std::size_t nearest_centroid(std::span<const double> x,
+                             const linalg::Matrix& centroids);
+
+}  // namespace edgedrift::cluster

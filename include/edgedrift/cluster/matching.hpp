@@ -1,0 +1,19 @@
+// Row matching between two small centroid sets — used to re-align rebuilt
+// label coordinates with the pre-drift label identities after a model
+// reconstruction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "edgedrift/linalg/matrix.hpp"
+
+namespace edgedrift::cluster {
+
+/// Returns perm such that candidates.row(perm[i]) is assigned to
+/// reference.row(i), minimizing the total squared-L2 assignment cost.
+/// Exhaustive (optimal) for up to 8 rows, greedy beyond that.
+std::vector<std::size_t> match_rows(const linalg::Matrix& reference,
+                                    const linalg::Matrix& candidates);
+
+}  // namespace edgedrift::cluster

@@ -1,0 +1,77 @@
+// Sequential (online) k-means — the centroid store shared by the proposed
+// detector and the model-reconstruction phase (paper Algorithms 3 and 4).
+//
+// State is exactly C centroids and C sample counters; each incoming sample
+// updates one centroid by a running mean. This O(C*D) footprint is the
+// memory story of the whole paper.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "edgedrift/linalg/matrix.hpp"
+
+namespace edgedrift::cluster {
+
+/// C centroids updated one sample at a time.
+class SequentialKMeans {
+ public:
+  /// C zero-initialized centroids of dimension D with zero counts.
+  SequentialKMeans(std::size_t num_clusters, std::size_t dim);
+
+  std::size_t num_clusters() const { return centroids_.rows(); }
+  std::size_t dim() const { return centroids_.cols(); }
+
+  /// Copies starting centroids (k x d) with the given per-cluster counts.
+  void set_centroids(const linalg::Matrix& centroids,
+                     std::span<const std::size_t> counts);
+
+  /// Nearest centroid (squared L2) to x — Algorithm 4 line 2.
+  std::size_t nearest(std::span<const double> x) const;
+
+  /// Algorithm 4: assigns x to its nearest centroid, running-mean updates it,
+  /// and returns the chosen cluster index.
+  std::size_t update(std::span<const double> x);
+
+  /// Running-mean update of a specific cluster (Algorithm 1 line 12 uses the
+  /// label predicted by the model rather than the nearest centroid).
+  void update_cluster(std::size_t cluster, std::span<const double> x);
+
+  /// Algorithm 3 (Init_Coord): tries substituting x for each current
+  /// coordinate; keeps the substitution that maximizes the sum of pairwise
+  /// L1 distances between coordinates. Returns the replaced index or -1.
+  int spread_init(std::span<const double> x);
+
+  /// Sum over all pairs of coordinates of their L1 distance (the objective
+  /// maximized by spread_init).
+  double pairwise_l1_spread() const;
+
+  /// Resets all centroids to zero and all counts to zero.
+  void reset();
+
+  /// Reorders clusters so position i holds the previous cluster perm[i].
+  void apply_permutation(std::span<const std::size_t> perm);
+
+  /// Sets every count to `value` (reconstruction re-weights history).
+  void set_counts(std::size_t value);
+
+  std::span<const double> centroid(std::size_t c) const {
+    return centroids_.row(c);
+  }
+  std::span<double> centroid_mutable(std::size_t c) {
+    return centroids_.row(c);
+  }
+  const linalg::Matrix& centroids() const { return centroids_; }
+  std::size_t count(std::size_t c) const { return counts_[c]; }
+  std::span<const std::size_t> counts() const { return counts_; }
+
+  /// Bytes of centroid + counter state.
+  std::size_t memory_bytes() const;
+
+ private:
+  linalg::Matrix centroids_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace edgedrift::cluster

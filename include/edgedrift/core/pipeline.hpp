@@ -1,0 +1,129 @@
+// edgedrift::Pipeline — the public facade tying together the paper's full
+// proposed system: the multi-instance OS-ELM discriminative model
+// (Section 3.1), the sequential centroid drift detector (Algorithm 1) and
+// the streaming model reconstruction (Algorithms 2-4).
+//
+// Typical use:
+//   core::PipelineConfig config;
+//   config.num_labels = 2; config.input_dim = 38; config.hidden_dim = 22;
+//   core::Pipeline pipeline(config);
+//   pipeline.fit(train_x, train_labels);
+//   for (each streamed sample x) {
+//     auto step = pipeline.process(x);
+//     // step.prediction, step.drift_detected, step.reconstructing ...
+//   }
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "edgedrift/drift/centroid_detector.hpp"
+#include "edgedrift/drift/reconstructor.hpp"
+#include "edgedrift/model/multi_instance.hpp"
+#include "edgedrift/oselm/activation.hpp"
+#include "edgedrift/util/stage_timer.hpp"
+
+namespace edgedrift::core {
+
+/// Everything configurable about the proposed system.
+struct PipelineConfig {
+  std::size_t num_labels = 2;
+  std::size_t input_dim = 0;
+  std::size_t hidden_dim = 22;  ///< Paper: 22 for both datasets.
+  oselm::Activation activation = oselm::Activation::kSigmoid;
+  double weight_scale = 1.0;
+  double reg_lambda = 1e-2;
+
+  /// Anomaly gate of Algorithm 1 line 8. <= 0 auto-calibrates from the
+  /// training scores as mean + theta_error_z * stddev.
+  double theta_error = 0.0;
+  double theta_error_z = 3.0;
+
+  /// Eq. 1 tuning parameter for the drift threshold.
+  double z = 1.0;
+
+  /// Detector window / behaviour (num_labels/dim/theta_* filled by fit()).
+  std::size_t window_size = 100;
+  double ewma_decay = 0.0;
+  long detector_initial_count = -1;
+
+  drift::ReconstructorConfig reconstruction;
+
+  std::uint64_t seed = 1;
+};
+
+/// One processed sample.
+struct PipelineStep {
+  model::Prediction prediction;   ///< Label + anomaly score.
+  bool drift_detected = false;    ///< Drift fired on this sample.
+  bool reconstructing = false;    ///< Reconstruction consumed this sample.
+  bool reconstruction_finished = false;  ///< This sample completed it.
+  double statistic = 0.0;         ///< Detector distance when a window closed.
+  bool statistic_valid = false;
+};
+
+/// The proposed detect-and-retrain system behind one object.
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config);
+
+  /// Batch initial training: fits the per-label autoencoders, calibrates the
+  /// trained centroids, theta_drift (Eq. 1) and theta_error.
+  void fit(const linalg::Matrix& x, std::span<const int> labels);
+
+  /// Processes one streamed sample through Algorithm 1's main loop.
+  PipelineStep process(std::span<const double> x);
+
+  bool fitted() const { return fitted_; }
+  bool reconstructing() const { return reconstructor_.active(); }
+
+  const PipelineConfig& config() const { return config_; }
+  const model::MultiInstanceModel& model() const { return *model_; }
+  const drift::CentroidDetector& detector() const { return *detector_; }
+  const drift::Reconstructor& reconstructor() const { return reconstructor_; }
+  double theta_error() const { return theta_error_; }
+
+  // Persistence hooks (see io/checkpoint.hpp): mutable access to the
+  // trained state and a way to mark the pipeline usable after that state
+  // has been restored externally.
+  model::MultiInstanceModel& model_mutable() { return *model_; }
+  drift::CentroidDetector& detector_mutable() { return *detector_; }
+  void finish_restore(double theta_error) {
+    theta_error_ = theta_error;
+    fitted_ = true;
+  }
+
+  /// Bytes of the complete on-device state (model + detector +
+  /// reconstruction bookkeeping) — what must fit the Pico's 264 kB.
+  std::size_t memory_bytes() const;
+
+  /// Attaches a stage timer; subsequent process() calls accumulate the
+  /// Table 6 breakdown stages into it. Pass nullptr to detach.
+  void set_stage_timer(util::StageTimer* timer) { stages_ = timer; }
+
+  /// Stage names used with the stage timer.
+  static constexpr const char* kStagePredict = "label prediction";
+  static constexpr const char* kStageDistance = "distance computation";
+  static constexpr const char* kStageRetrainNearest =
+      "model retraining without label prediction";
+  static constexpr const char* kStageRetrainPredict =
+      "model retraining with label prediction";
+  static constexpr const char* kStageInitCoord =
+      "label coordinates initialization";
+  static constexpr const char* kStageUpdateCoord = "label coordinates update";
+
+ private:
+  void finish_reconstruction();
+
+  PipelineConfig config_;
+  std::unique_ptr<model::MultiInstanceModel> model_;
+  std::unique_ptr<drift::CentroidDetector> detector_;
+  drift::Reconstructor reconstructor_;
+  double theta_error_ = 0.0;
+  bool fitted_ = false;
+  util::StageTimer* stages_ = nullptr;
+};
+
+}  // namespace edgedrift::core

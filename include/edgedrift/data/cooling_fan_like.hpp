@@ -1,0 +1,98 @@
+// Synthetic stand-in for the paper's cooling-fan vibration dataset [16].
+//
+// Substitution note (see DESIGN.md section 3): the original dataset holds
+// 511-bin frequency spectra (1-511 Hz) of cooling fans measured with an
+// industrial accelerometer, for a healthy fan and two damage modes (holes
+// drilled in a blade; a chipped blade edge), in silent and noisy
+// environments. The evaluation depends on (a) the 511-bin dimensionality,
+// (b) distinguishable spectral signatures per condition, and (c) the exact
+// drift schedules (drift at sample 120; gradual mix 120-600; reoccurrence
+// 120-170). This generator synthesizes physically plausible fan spectra —
+// a harmonic series at the rotation frequency, damage-specific sidebands /
+// sub-harmonics / broadband energy, an environment-dependent noise floor —
+// and composes them on the paper's schedules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "edgedrift/data/stream.hpp"
+
+namespace edgedrift::data {
+
+/// Mechanical condition of the simulated fan.
+enum class FanCondition {
+  kNormal,   ///< Healthy blades.
+  kHoles,    ///< Holes drilled in one blade (paper's sudden-drift source).
+  kChipped,  ///< Chipped blade edge (paper's gradual/reoccurring source).
+};
+
+/// Acoustic environment of the measurement.
+enum class FanEnvironment {
+  kSilent,  ///< Quiet room.
+  kNoisy,   ///< Near a ventilation fan: raised floor + hum peaks.
+};
+
+/// Stationary spectrum generator for one (condition, environment) pair.
+class FanSpectrumConcept : public ConceptGenerator {
+ public:
+  static constexpr std::size_t kBins = 511;  ///< 1 Hz .. 511 Hz.
+
+  FanSpectrumConcept(FanCondition condition, FanEnvironment environment,
+                     int label = 0);
+
+  std::size_t dim() const override { return kBins; }
+  std::size_t num_labels() const override { return 1; }
+  int sample(util::Rng& rng, std::span<double> x) const override;
+
+  FanCondition condition() const { return condition_; }
+  FanEnvironment environment() const { return environment_; }
+
+ private:
+  FanCondition condition_;
+  FanEnvironment environment_;
+  int label_;
+};
+
+/// Stream schedules of the paper's Section 4.1.2.
+struct CoolingFanLikeConfig {
+  std::size_t train_size = 200;
+  std::size_t stream_size = 700;      ///< Paper: 700 samples (Table 5).
+  std::size_t drift_point = 120;      ///< All three streams drift here.
+  std::size_t gradual_end = 600;      ///< Gradual mix ends here.
+  std::size_t reoccur_end = 170;      ///< Old concept returns here.
+  FanEnvironment environment = FanEnvironment::kSilent;
+  std::uint64_t seed = 2023;
+};
+
+/// Cooling-fan-like stream factory.
+class CoolingFanLike {
+ public:
+  static constexpr std::size_t kDim = FanSpectrumConcept::kBins;
+
+  explicit CoolingFanLike(CoolingFanLikeConfig config = {});
+
+  const CoolingFanLikeConfig& config() const { return config_; }
+
+  /// Healthy-fan training spectra (label 0 throughout — the fan model is a
+  /// single-pattern anomaly detector, C = 1).
+  Dataset training(util::Rng& rng) const;
+
+  /// Sudden drift: normal -> holes at drift_point.
+  Dataset sudden_stream(util::Rng& rng) const;
+
+  /// Gradual drift: normal -> chipped, mixed over [drift_point, gradual_end).
+  Dataset gradual_stream(util::Rng& rng) const;
+
+  /// Reoccurring drift: chipped on [drift_point, reoccur_end), normal
+  /// elsewhere.
+  Dataset reoccurring_stream(util::Rng& rng) const;
+
+ private:
+  CoolingFanLikeConfig config_;
+  FanSpectrumConcept normal_;
+  FanSpectrumConcept holes_;
+  FanSpectrumConcept chipped_;
+};
+
+}  // namespace edgedrift::data

@@ -1,0 +1,32 @@
+// Minimal CSV I/O so users can run the pipeline on real datasets (e.g. an
+// actual NSL-KDD export or the cooling-fan GitHub traces) instead of the
+// bundled synthetic generators.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "edgedrift/data/stream.hpp"
+
+namespace edgedrift::data {
+
+/// CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = false;
+  /// Column index holding the integer label; -1 = unlabeled (labels set to
+  /// 0). Negative values below -1 index from the end (-2 = last column).
+  int label_column = -1;
+};
+
+/// Loads a numeric CSV into a Dataset. Returns nullopt on I/O or parse
+/// failure (a diagnostic is written to stderr).
+std::optional<Dataset> load_csv(const std::string& path,
+                                const CsvOptions& options = {});
+
+/// Writes a Dataset as CSV (features first, label last). Returns false on
+/// I/O failure.
+bool save_csv(const std::string& path, const Dataset& dataset,
+              char delimiter = ',');
+
+}  // namespace edgedrift::data

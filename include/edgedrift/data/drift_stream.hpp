@@ -1,0 +1,40 @@
+// Drift-type stream composers — the four canonical shapes of the paper's
+// Figure 1: sudden, gradual, incremental, and reoccurring drift.
+#pragma once
+
+#include <cstddef>
+
+#include "edgedrift/data/gaussian_concept.hpp"
+#include "edgedrift/data/stream.hpp"
+
+namespace edgedrift::data {
+
+/// Sudden drift: concept A for [0, drift_at), concept B afterwards.
+Dataset make_sudden_drift(const ConceptGenerator& a, const ConceptGenerator& b,
+                          std::size_t n, std::size_t drift_at,
+                          util::Rng& rng);
+
+/// Gradual drift: pure A before `start`; between `start` and `end` each
+/// sample is drawn from B with probability ramping linearly 0 -> 1; pure B
+/// after `end`. Both distributions appear during the transition — the
+/// defining property of a gradual drift.
+Dataset make_gradual_drift(const ConceptGenerator& a,
+                           const ConceptGenerator& b, std::size_t n,
+                           std::size_t start, std::size_t end,
+                           util::Rng& rng);
+
+/// Incremental drift: the distribution itself interpolates from A to B
+/// between `start` and `end`; no sample is drawn from a pure mixture of the
+/// endpoints during the transition.
+Dataset make_incremental_drift(const GaussianConcept& a,
+                               const GaussianConcept& b, std::size_t n,
+                               std::size_t start, std::size_t end,
+                               util::Rng& rng);
+
+/// Reoccurring drift: A on [0, start), B on [start, end), then A again.
+Dataset make_reoccurring_drift(const ConceptGenerator& a,
+                               const ConceptGenerator& b, std::size_t n,
+                               std::size_t start, std::size_t end,
+                               util::Rng& rng);
+
+}  // namespace edgedrift::data

@@ -1,0 +1,48 @@
+// Feature scaling. The OS-ELM projection uses bounded random weights, so
+// inputs are expected roughly in [0, 1] (min-max) or standardized (z-score);
+// these scalers are fit on the initial training window and applied to the
+// stream — exactly the on-device-compatible preprocessing the paper's
+// setting permits (no global statistics of the unseen stream).
+#pragma once
+
+#include <vector>
+
+#include "edgedrift/data/stream.hpp"
+
+namespace edgedrift::data {
+
+/// Per-dimension min-max scaler mapping the fit range to [0, 1].
+class MinMaxScaler {
+ public:
+  /// Learns per-dimension ranges from the rows of `x`.
+  void fit(const linalg::Matrix& x);
+
+  /// Scales one sample in place (values outside the fit range are clamped
+  /// only if `clamp` was requested).
+  void transform(std::span<double> x) const;
+
+  /// Scales every row of a dataset in place.
+  void transform(Dataset& dataset) const;
+
+  bool fitted() const { return !min_.empty(); }
+  bool clamp = false;
+
+ private:
+  std::vector<double> min_;
+  std::vector<double> inv_range_;
+};
+
+/// Per-dimension standardization to zero mean / unit variance.
+class ZScoreScaler {
+ public:
+  void fit(const linalg::Matrix& x);
+  void transform(std::span<double> x) const;
+  void transform(Dataset& dataset) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace edgedrift::data

@@ -1,0 +1,59 @@
+// Dataset and stream primitives.
+//
+// Experiments in this library are materialized label-annotated datasets
+// (a matrix of rows plus an int label per row) walked in order — matching
+// how the paper replays NSL-KDD and the cooling-fan traces. Concept
+// generators produce stationary labeled distributions; the drift composers
+// in drift_stream.hpp splice generators into the four canonical drift
+// shapes of the paper's Figure 1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "edgedrift/linalg/matrix.hpp"
+
+namespace edgedrift::util {
+class Rng;
+}
+
+namespace edgedrift::data {
+
+/// A labeled dataset; rows of `x` align with `labels`.
+struct Dataset {
+  linalg::Matrix x;
+  std::vector<int> labels;
+
+  std::size_t size() const { return x.rows(); }
+  std::size_t dim() const { return x.cols(); }
+
+  /// Appends all rows of `other` (same dimensionality).
+  void append(const Dataset& other);
+
+  /// Appends a single labeled row.
+  void push_back(std::span<const double> row, int label);
+
+  /// Rows in [begin, end) as a new dataset.
+  Dataset slice(std::size_t begin, std::size_t end) const;
+};
+
+/// A stationary labeled data distribution.
+class ConceptGenerator {
+ public:
+  virtual ~ConceptGenerator() = default;
+
+  /// Feature dimensionality of generated samples.
+  virtual std::size_t dim() const = 0;
+
+  /// Number of distinct labels the concept emits.
+  virtual std::size_t num_labels() const = 0;
+
+  /// Draws one labeled sample into `x` (length dim()); returns the label.
+  virtual int sample(util::Rng& rng, std::span<double> x) const = 0;
+};
+
+/// Draws `n` samples from a concept into a dataset.
+Dataset draw(const ConceptGenerator& source, std::size_t n, util::Rng& rng);
+
+}  // namespace edgedrift::data

@@ -1,0 +1,61 @@
+// ADWIN — ADaptive WINdowing (Bifet & Gavaldà, SDM 2007).
+//
+// Maintains a variable-length window over a univariate signal (here the
+// error indicator or anomaly score) compressed into exponential-histogram
+// buckets. Whenever the means of two adjacent sub-windows differ by more
+// than the Hoeffding-style cut epsilon, the older sub-window is dropped and
+// a drift is reported. Memory is O(M log(n/M)) — far below batch detectors
+// but above the O(C*D) constant of the proposed method when the window must
+// be long.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "edgedrift/drift/detector.hpp"
+
+namespace edgedrift::drift {
+
+/// ADWIN tunables.
+struct AdwinConfig {
+  double delta = 0.002;          ///< Confidence parameter.
+  std::size_t max_buckets = 5;   ///< Buckets per exponential row (M).
+  std::size_t min_window = 10;   ///< No cut below this many samples.
+  std::size_t check_every = 4;   ///< Run the cut scan every k-th insert.
+  bool use_anomaly_score = false;///< Feed scores instead of 0/1 errors.
+};
+
+/// Adaptive-window drift detector over a scalar stream.
+class Adwin : public Detector {
+ public:
+  explicit Adwin(AdwinConfig config = {});
+
+  Detection observe(const Observation& obs) override;
+  void reset() override;
+  std::size_t memory_bytes() const override;
+  std::string_view name() const override { return "adwin"; }
+
+  /// Inserts a raw scalar (exposed for tests and scalar streams).
+  bool insert(double value);
+
+  double mean() const;
+  std::size_t window_length() const { return total_count_; }
+
+ private:
+  struct Bucket {
+    double sum = 0.0;
+    std::size_t count = 0;  ///< Always a power of two: 2^row.
+  };
+
+  void compress();
+  bool detect_cut();
+
+  AdwinConfig config_;
+  // rows_[r] holds buckets of capacity 2^r, newest first within a row.
+  std::vector<std::deque<Bucket>> rows_;
+  double total_sum_ = 0.0;
+  std::size_t total_count_ = 0;
+  std::size_t inserts_since_check_ = 0;
+};
+
+}  // namespace edgedrift::drift

@@ -1,0 +1,47 @@
+// DDM — Drift Detection Method (Gama et al., SBIA 2004).
+//
+// Monitors the discriminative model's error rate p_t with standard deviation
+// s_t = sqrt(p_t (1 - p_t) / t). It remembers the minimum of p + s seen so
+// far and raises a warning when p + s > p_min + 2 s_min and a drift when
+// p + s > p_min + 3 s_min. The paper classifies DDM as an error-rate-based
+// method needing labeled data (Section 2.2.2) — included here as a
+// reference baseline and for the detector-ensemble extension.
+#pragma once
+
+#include <cstddef>
+
+#include "edgedrift/drift/detector.hpp"
+
+namespace edgedrift::drift {
+
+/// DDM tunables.
+struct DdmConfig {
+  double warning_factor = 2.0;  ///< Warning at p_min + factor * s_min.
+  double drift_factor = 3.0;    ///< Drift at p_min + factor * s_min.
+  std::size_t min_samples = 30; ///< No decision before this many samples.
+};
+
+/// Classic error-rate drift detector.
+class Ddm : public Detector {
+ public:
+  explicit Ddm(DdmConfig config = {});
+
+  Detection observe(const Observation& obs) override;
+  void reset() override;
+  std::size_t memory_bytes() const override { return sizeof(*this); }
+  std::string_view name() const override { return "ddm"; }
+
+  double error_rate() const;
+  std::size_t samples() const { return samples_; }
+
+ private:
+  DdmConfig config_;
+  std::size_t samples_ = 0;
+  std::size_t errors_ = 0;
+  double min_p_plus_s_ = 0.0;
+  double min_p_ = 0.0;
+  double min_s_ = 0.0;
+  bool has_min_ = false;
+};
+
+}  // namespace edgedrift::drift

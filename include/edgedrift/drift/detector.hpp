@@ -1,0 +1,60 @@
+// Common interface for concept-drift detectors.
+//
+// The library hosts two detector families, mirroring Section 2.2.2 of the
+// paper: distribution-based detectors (the proposed centroid method,
+// QuantTree, SPLL) consume feature vectors; error-rate-based detectors
+// (DDM, ADWIN, Page–Hinkley) consume the discriminative model's mistake
+// stream. One Observation struct carries both signals so the evaluation
+// harness can drive any detector uniformly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "edgedrift/linalg/matrix.hpp"
+
+namespace edgedrift::drift {
+
+/// One streamed sample as seen by a detector.
+struct Observation {
+  std::span<const double> x;  ///< Feature vector (distribution detectors).
+  int predicted_label = -1;   ///< Discriminative model's prediction.
+  double anomaly_score = 0.0; ///< Reconstruction error of that prediction.
+  bool error = false;         ///< True if the prediction was wrong
+                              ///< (error-rate detectors; needs labels).
+};
+
+/// Outcome of one observe() call.
+struct Detection {
+  bool drift = false;    ///< A concept drift fired on this sample.
+  bool warning = false;  ///< Early-warning level (DDM-style).
+  double statistic = 0.0;       ///< Detector statistic, when emitted.
+  bool statistic_valid = false; ///< Batch detectors only emit at batch ends.
+};
+
+/// Abstract streaming drift detector.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Feeds one sample; returns whether a drift (or warning) fired.
+  virtual Detection observe(const Observation& obs) = 0;
+
+  /// Clears streaming state after the model has been retrained, so detection
+  /// restarts against the post-drift concept.
+  virtual void reset() = 0;
+
+  /// Rebuilds the detector's reference statistics from post-drift data.
+  /// Batch detectors re-fit their histogram/mixture; the default is a no-op
+  /// for detectors whose reference is re-calibrated externally.
+  virtual void rebuild_reference(const linalg::Matrix& x) { (void)x; }
+
+  /// Bytes of detector state — the quantity Table 4 of the paper compares.
+  virtual std::size_t memory_bytes() const = 0;
+
+  /// Stable identifier ("proposed", "quanttree", ...).
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace edgedrift::drift

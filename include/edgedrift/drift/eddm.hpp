@@ -1,0 +1,48 @@
+// EDDM — Early Drift Detection Method (Baena-García et al., 2006).
+//
+// Where DDM watches the error *rate*, EDDM watches the *distance between
+// consecutive errors*: under a stable concept the mean gap between
+// mistakes grows; when a (especially gradual) drift begins, errors bunch
+// up and the gap statistic p' + 2 s' falls relative to its historical
+// maximum. Warning fires when (p' + 2s') / (p'_max + 2s'_max) < beta_w,
+// drift when it falls below beta_d. Extension beyond the paper's baseline
+// set; useful against gradual drifts that DDM reacts to slowly.
+#pragma once
+
+#include <cstddef>
+
+#include "edgedrift/drift/detector.hpp"
+
+namespace edgedrift::drift {
+
+/// EDDM tunables (defaults follow the original paper).
+struct EddmConfig {
+  double warning_ratio = 0.95;  ///< beta_w.
+  double drift_ratio = 0.90;    ///< beta_d.
+  std::size_t min_errors = 30;  ///< No decision before this many errors.
+};
+
+/// Error-distance drift detector.
+class Eddm : public Detector {
+ public:
+  explicit Eddm(EddmConfig config = {});
+
+  Detection observe(const Observation& obs) override;
+  void reset() override;
+  std::size_t memory_bytes() const override { return sizeof(*this); }
+  std::string_view name() const override { return "eddm"; }
+
+  double mean_gap() const { return gap_mean_; }
+  std::size_t errors() const { return errors_; }
+
+ private:
+  EddmConfig config_;
+  std::size_t samples_ = 0;
+  std::size_t errors_ = 0;
+  std::size_t last_error_at_ = 0;
+  double gap_mean_ = 0.0;
+  double gap_m2_ = 0.0;  ///< Welford accumulator.
+  double best_score_ = 0.0;  ///< max of (p' + 2 s').
+};
+
+}  // namespace edgedrift::drift

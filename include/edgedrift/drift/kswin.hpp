@@ -1,0 +1,59 @@
+// KSWIN — Kolmogorov–Smirnov Windowing (Raab et al., 2020).
+//
+// Keeps a sliding window of the last `window_size` scalar observations
+// (here: anomaly scores or any univariate feature). For each new sample,
+// the most recent `stat_size` values are KS-tested against a uniform random
+// subsample of the older part of the window; drift fires when the KS
+// statistic exceeds the alpha-derived critical value.
+//
+// Included as an extension baseline: unlike the proposed method it buffers
+// `window_size` scalars (still far below the batch detectors' B x D
+// buffers), and unlike DDM it needs no labels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "edgedrift/drift/detector.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace edgedrift::drift {
+
+/// KSWIN tunables (defaults follow the original paper / river).
+struct KswinConfig {
+  std::size_t window_size = 100;  ///< Sliding-window length.
+  std::size_t stat_size = 30;     ///< Recent-slice length for the KS test.
+  double alpha = 0.005;           ///< Significance of the KS test.
+  bool use_anomaly_score = true;  ///< Feed scores instead of 0/1 errors.
+  std::uint64_t seed = 3;
+};
+
+/// Sliding-window Kolmogorov–Smirnov drift detector.
+class Kswin : public Detector {
+ public:
+  explicit Kswin(KswinConfig config = {});
+
+  Detection observe(const Observation& obs) override;
+  void reset() override;
+  std::size_t memory_bytes() const override;
+  std::string_view name() const override { return "kswin"; }
+
+  /// Feeds a raw scalar (exposed for tests and scalar streams).
+  bool insert(double value);
+
+  std::size_t window_fill() const { return window_.size(); }
+  double last_ks_statistic() const { return last_stat_; }
+
+ private:
+  static double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+  KswinConfig config_;
+  std::deque<double> window_;
+  util::Rng rng_;
+  double threshold_ = 0.0;
+  double last_stat_ = 0.0;
+};
+
+}  // namespace edgedrift::drift

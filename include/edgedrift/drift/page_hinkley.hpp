@@ -1,0 +1,45 @@
+// Page–Hinkley test: classic sequential change detection over a scalar
+// stream (here the anomaly score or the error indicator). Accumulates the
+// signed deviation from the running mean and fires when the accumulator
+// rises more than `lambda` above its historical minimum. O(1) state — the
+// cheapest detector in the library, used by the ablation benches as a
+// lower-bound baseline.
+#pragma once
+
+#include <cstddef>
+
+#include "edgedrift/drift/detector.hpp"
+
+namespace edgedrift::drift {
+
+/// Page–Hinkley tunables.
+struct PageHinkleyConfig {
+  double delta = 0.005;   ///< Insensitivity margin.
+  double lambda = 50.0;   ///< Detection threshold on m_t - min(m).
+  double alpha = 1.0;     ///< Optional fading of the accumulator (1 = none).
+  std::size_t min_samples = 30;
+  bool use_anomaly_score = true;  ///< Feed scores instead of 0/1 errors.
+};
+
+/// Sequential Page–Hinkley detector.
+class PageHinkley : public Detector {
+ public:
+  explicit PageHinkley(PageHinkleyConfig config = {});
+
+  Detection observe(const Observation& obs) override;
+  void reset() override;
+  std::size_t memory_bytes() const override { return sizeof(*this); }
+  std::string_view name() const override { return "page-hinkley"; }
+
+  /// Feeds a raw scalar (exposed for tests and scalar streams).
+  bool insert(double value);
+
+ private:
+  PageHinkleyConfig config_;
+  std::size_t samples_ = 0;
+  double running_mean_ = 0.0;
+  double cumulative_ = 0.0;
+  double minimum_ = 0.0;
+};
+
+}  // namespace edgedrift::drift

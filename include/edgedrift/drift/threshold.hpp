@@ -1,0 +1,24 @@
+// Threshold calibration (Equation 1 of the paper):
+//   theta_drift = mu + z * sigma
+// over the array of training-sample-to-own-centroid distances, with
+// population (1/N) statistics and z a tuning parameter (z = 1 in the paper).
+#pragma once
+
+#include <span>
+
+#include "edgedrift/linalg/matrix.hpp"
+
+namespace edgedrift::drift {
+
+/// mu + z * sigma of `distances` (population standard deviation).
+double drift_threshold_from_distances(std::span<const double> distances,
+                                      double z);
+
+/// Convenience: computes per-sample L1 distances between each row of X and
+/// the centroid of its (predicted or true) label, then applies Equation 1.
+/// `centroids` is C x D; labels must be in [0, C).
+double calibrate_drift_threshold(const linalg::Matrix& x,
+                                 std::span<const int> labels,
+                                 const linalg::Matrix& centroids, double z);
+
+}  // namespace edgedrift::drift

@@ -1,0 +1,50 @@
+// Radix-2 FFT and spectrum utilities.
+//
+// The paper's cooling-fan dataset consists of 511-bin frequency spectra
+// (1-511 Hz) computed from accelerometer waveforms. This module is the
+// missing front-end: an allocation-conscious iterative radix-2 FFT plus
+// the windowing/magnitude steps that turn a raw vibration frame into the
+// feature vector the pipeline consumes. Everything is plain C++ with
+// precomputable twiddles, deployable on the same MCU class as the rest of
+// the system.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace edgedrift::dsp {
+
+/// True iff n is a power of two (and nonzero).
+constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place iterative radix-2 FFT. data.size() must be a power of two.
+/// inverse = true computes the unscaled inverse transform (divide by N
+/// yourself or use ifft()).
+void fft(std::span<std::complex<double>> data, bool inverse = false);
+
+/// Inverse FFT including the 1/N scaling.
+void ifft(std::span<std::complex<double>> data);
+
+/// FFT of a real signal: returns the full complex spectrum (length n).
+std::vector<std::complex<double>> fft_real(std::span<const double> signal);
+
+/// Magnitude spectrum |X_k| / (N/2) for k = 1 .. n/2 - 1 (bin 0/DC and the
+/// Nyquist bin are dropped, matching the cooling-fan dataset's 1..511 Hz
+/// convention for a 1024-sample frame at 1024 Hz).
+std::vector<double> magnitude_spectrum(std::span<const double> signal);
+
+/// Window functions applied in place before the FFT.
+enum class Window {
+  kRectangular,
+  kHann,
+  kHamming,
+};
+
+/// Applies the window to the frame in place.
+void apply_window(Window window, std::span<double> frame);
+
+}  // namespace edgedrift::dsp

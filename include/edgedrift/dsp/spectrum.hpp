@@ -1,0 +1,71 @@
+// Waveform -> feature-vector front end.
+//
+// SpectrumExtractor reproduces the cooling-fan dataset's preprocessing: a
+// 1024-sample frame sampled at 1024 Hz, windowed, FFT'd, and reduced to
+// the 511 magnitude bins covering 1..511 Hz. FanWaveform is the
+// time-domain counterpart of data::FanSpectrumConcept — a physically
+// plausible accelerometer signal (harmonic series, damage signatures,
+// environment noise) whose extracted spectra exercise the identical
+// downstream code path as the bundled spectral generator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "edgedrift/data/cooling_fan_like.hpp"
+#include "edgedrift/dsp/fft.hpp"
+
+namespace edgedrift::util {
+class Rng;
+}
+
+namespace edgedrift::dsp {
+
+/// Frame-to-spectrum converter with the cooling-fan conventions.
+class SpectrumExtractor {
+ public:
+  /// frame_size must be a power of two; output dimensionality is
+  /// frame_size/2 - 1 (511 for the default 1024).
+  explicit SpectrumExtractor(std::size_t frame_size = 1024,
+                             Window window = Window::kHann);
+
+  std::size_t frame_size() const { return frame_size_; }
+  std::size_t output_dim() const { return frame_size_ / 2 - 1; }
+  Window window() const { return window_; }
+
+  /// Extracts the magnitude spectrum of one frame; `out` must have length
+  /// output_dim(). The input frame is copied (not modified).
+  void extract(std::span<const double> frame, std::span<double> out) const;
+
+  /// Convenience: allocate-and-return variant.
+  std::vector<double> extract(std::span<const double> frame) const;
+
+ private:
+  std::size_t frame_size_;
+  Window window_;
+};
+
+/// Time-domain fan vibration synthesizer (counterpart of
+/// data::FanSpectrumConcept). Sample rate is fixed at 1024 Hz so a
+/// 1024-sample frame yields 1 Hz bins.
+class FanWaveform {
+ public:
+  static constexpr double kSampleRate = 1024.0;
+
+  FanWaveform(data::FanCondition condition,
+              data::FanEnvironment environment);
+
+  /// Synthesizes `frame` samples of acceleration, continuing the phase
+  /// from previous calls (a continuous virtual sensor).
+  void synthesize(util::Rng& rng, std::span<double> frame);
+
+  data::FanCondition condition() const { return condition_; }
+
+ private:
+  data::FanCondition condition_;
+  data::FanEnvironment environment_;
+  double phase_ = 0.0;  ///< Rotation phase in revolutions.
+};
+
+}  // namespace edgedrift::dsp

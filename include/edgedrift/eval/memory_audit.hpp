@@ -1,0 +1,33 @@
+// Byte-level memory accounting for the Table 4 comparison. Components
+// self-report via memory_bytes(); the audit aggregates and renders them.
+// Unlike the paper's process-level measurement on the Pi 4 this is an exact
+// count of algorithm state, which is the quantity the comparison is about.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace edgedrift::eval {
+
+/// Named component-size ledger.
+class MemoryAudit {
+ public:
+  void add(std::string component, std::size_t bytes);
+
+  std::size_t total_bytes() const;
+
+  /// Renders a two-column table (component, size in kB) plus a total row.
+  std::string table() const;
+
+  struct Entry {
+    std::string component;
+    std::size_t bytes;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace edgedrift::eval

@@ -1,0 +1,21 @@
+// Canonical experiment configurations of the paper's Section 4.2, shared by
+// the reproduction benches, the CLI and downstream users who want the
+// published hyper-parameters as a starting point.
+#pragma once
+
+#include <cstddef>
+
+#include "edgedrift/eval/experiment.hpp"
+
+namespace edgedrift::eval {
+
+/// NSL-KDD setup: OS-ELM 38-22-38 (C = 2), QuantTree B=480 K=32,
+/// SPLL B=480, ONLAD forgetting 0.97, proposed window W (default 100).
+ExperimentConfig nsl_kdd_paper_config(std::size_t window = 100);
+
+/// Cooling-fan setup: OS-ELM 511-22-511 (C = 1 normal pattern), QuantTree
+/// B=235 K=16, SPLL B=235, ONLAD forgetting 0.99, proposed window W
+/// (default 50).
+ExperimentConfig cooling_fan_paper_config(std::size_t window = 50);
+
+}  // namespace edgedrift::eval

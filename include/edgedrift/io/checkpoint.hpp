@@ -1,0 +1,38 @@
+// Pipeline checkpointing: persist a fitted edgedrift::core::Pipeline (model
+// weights, detector calibration, thresholds) and restore it elsewhere.
+//
+// Use case: the initial batch training (which needs the Cholesky solve and
+// the full training window) runs on a gateway-class machine; the resulting
+// state blob — a few tens of kB for the paper's configurations — is shipped
+// to the microcontroller, which then runs the fully sequential part only.
+//
+// The checkpoint stores the full PipelineConfig, the shared projection
+// weights, every instance's (beta, P) pair, and the detector's centroid
+// state. Loading reconstructs the pipeline and verifies the projection
+// weights bit-for-bit (they are re-drawn from the persisted seed, so any
+// mismatch indicates a version or RNG change and the load fails cleanly).
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "edgedrift/core/pipeline.hpp"
+
+namespace edgedrift::io {
+
+/// Writes a fitted pipeline. Returns false on I/O failure or if the
+/// pipeline is not fitted.
+bool save_pipeline(std::ostream& out, const core::Pipeline& pipeline);
+
+/// Reads a pipeline checkpoint. Returns nullopt on any corruption,
+/// format-version, or consistency failure.
+std::optional<core::Pipeline> load_pipeline(std::istream& in);
+
+/// File-path conveniences.
+bool save_pipeline_file(const std::string& path,
+                        const core::Pipeline& pipeline);
+std::optional<core::Pipeline> load_pipeline_file(const std::string& path);
+
+}  // namespace edgedrift::io

@@ -1,0 +1,35 @@
+// Matrix-multiply kernels. The blocked kernel is cache-tiled; the threaded
+// variant splits output rows across the global thread pool and is used only
+// by the batch paths (initial ELM training, baseline batch detectors).
+#pragma once
+
+#include <span>
+
+#include "edgedrift/linalg/matrix.hpp"
+
+namespace edgedrift::linalg {
+
+/// C = A * B (shapes: [m,k] x [k,n] -> [m,n]). Cache-blocked single-thread.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B without materializing A^T.
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T without materializing B^T.
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// C = A * B using the global thread pool for large problems.
+Matrix matmul_parallel(const Matrix& a, const Matrix& b);
+
+/// y = A * x (shapes: [m,n] x [n] -> [m]). `y` must have length m.
+void matvec(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// y = A^T * x (shapes: [m,n]^T x [m] -> [n]). `y` must have length n.
+void matvec_transposed(const Matrix& a, std::span<const double> x,
+                       std::span<double> y);
+
+/// Rank-1 update A += alpha * u * v^T (u length rows, v length cols).
+void ger(Matrix& a, double alpha, std::span<const double> u,
+         std::span<const double> v);
+
+}  // namespace edgedrift::linalg

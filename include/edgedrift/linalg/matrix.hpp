@@ -1,0 +1,119 @@
+// Dense row-major matrix type used throughout edgedrift.
+//
+// The library deliberately carries its own small linear-algebra substrate
+// instead of depending on Eigen/BLAS: the paper's target is a
+// microcontroller-class device where the entire numeric kernel must be
+// auditable and allocation-free on the hot path. Matrix is the storage and
+// shape layer; compute kernels live in gemm.hpp / solve.hpp / updates.hpp.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::util {
+class Rng;
+}
+
+namespace edgedrift::linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix with every element set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+
+  /// Builds from nested initializer lists: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    EDGEDRIFT_DASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    EDGEDRIFT_DASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable view of row r.
+  std::span<double> row(std::size_t r) {
+    EDGEDRIFT_DASSERT(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  /// Const view of row r.
+  std::span<const double> row(std::size_t r) const {
+    EDGEDRIFT_DASSERT(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Flat view over all elements in row-major order.
+  std::span<double> flat() { return {data_.data(), data_.size()}; }
+  std::span<const double> flat() const { return {data_.data(), data_.size()}; }
+
+  /// Resizes to rows x cols, zeroing all content.
+  void resize_zero(std::size_t rows, std::size_t cols);
+
+  /// Sets every element to `value`.
+  void fill(double value);
+
+  /// Copies `src` (length cols()) into row r.
+  void set_row(std::size_t r, std::span<const double> src);
+
+  /// Returns the transpose.
+  Matrix transposed() const;
+
+  /// Copies rows [begin, end) into a new matrix.
+  Matrix slice_rows(std::size_t begin, std::size_t end) const;
+
+  /// In-place element-wise operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double scalar) { return lhs *= scalar; }
+  friend Matrix operator*(double scalar, Matrix rhs) { return rhs *= scalar; }
+
+  /// Max |a_ij - b_ij|; matrices must have identical shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  /// rows x cols with iid U(lo, hi) entries drawn from `rng`.
+  static Matrix random_uniform(std::size_t rows, std::size_t cols,
+                               util::Rng& rng, double lo = -1.0,
+                               double hi = 1.0);
+
+  /// rows x cols with iid N(0, stddev^2) entries drawn from `rng`.
+  static Matrix random_gaussian(std::size_t rows, std::size_t cols,
+                                util::Rng& rng, double stddev = 1.0);
+
+  /// Heap bytes held by this matrix (the Table 4 memory audit counts these).
+  std::size_t memory_bytes() const { return data_.capacity() * sizeof(double); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace edgedrift::linalg

@@ -1,0 +1,55 @@
+// Span-based vector kernels. These are the distance/accumulation primitives
+// the sequential detector runs per sample, so they are kept allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace edgedrift::linalg {
+
+/// Dot product of equally sized spans.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+double norm2(std::span<const double> a);
+
+/// Sum of |a_i|.
+double norm1(std::span<const double> a);
+
+/// L2 distance between two points.
+double l2_distance(std::span<const double> a, std::span<const double> b);
+
+/// Squared L2 distance (no sqrt; used in argmin loops).
+double squared_l2_distance(std::span<const double> a,
+                           std::span<const double> b);
+
+/// L1 (Manhattan) distance — the metric of the paper's Algorithm 1 line 14.
+double l1_distance(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// dst = src.
+void copy(std::span<const double> src, std::span<double> dst);
+
+/// Sets every element of `v` to `value`.
+void fill(std::span<double> v, double value);
+
+/// Running-mean update: mean = (mean * count + x) / (count + 1), the
+/// sequential centroid update of Algorithm 1 line 12 / Algorithm 4 line 3.
+void running_mean_update(std::span<double> mean, std::span<const double> x,
+                         std::size_t count);
+
+/// Exponentially weighted mean update: mean = decay*mean + (1-decay)*x.
+/// The paper notes newer samples may be weighted higher when forming the
+/// "recent" test centroids; this is that variant.
+void ewma_update(std::span<double> mean, std::span<const double> x,
+                 double decay);
+
+/// Mean of `v`.
+double mean(std::span<const double> v);
+
+/// Population standard deviation of `v` (the paper's Eq. 1 uses 1/N).
+double stddev_population(std::span<const double> v);
+
+}  // namespace edgedrift::linalg

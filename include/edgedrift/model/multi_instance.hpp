@@ -1,0 +1,81 @@
+// The discriminative model of the paper (Section 3.1): one OS-ELM
+// autoencoder instance per class label, all sharing a single random
+// projection. Prediction returns the label whose instance reconstructs the
+// sample best (smallest anomaly score); sequential training updates only
+// that closest instance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "edgedrift/linalg/matrix.hpp"
+#include "edgedrift/oselm/autoencoder.hpp"
+
+namespace edgedrift::model {
+
+/// Result of a model prediction.
+struct Prediction {
+  std::size_t label = 0;  ///< argmin-score instance index.
+  double score = 0.0;     ///< Anomaly score of that instance.
+};
+
+/// Per-label OS-ELM autoencoder bank.
+class MultiInstanceModel {
+ public:
+  /// `num_labels` instances over one shared projection.
+  /// forgetting_factor < 1 turns every instance into an ONLAD autoencoder.
+  MultiInstanceModel(std::size_t num_labels, oselm::ProjectionPtr projection,
+                     double reg_lambda = 1e-2, double forgetting_factor = 1.0);
+
+  std::size_t num_labels() const { return instances_.size(); }
+  std::size_t input_dim() const { return instances_.front().input_dim(); }
+  std::size_t hidden_dim() const { return instances_.front().hidden_dim(); }
+
+  /// Batch initial training: instance L trains on the rows of X whose label
+  /// is L. Labels must be in [0, num_labels).
+  void init_train(const linalg::Matrix& x, std::span<const int> labels);
+
+  /// Data-free init of every instance (pure-sequential start).
+  void init_sequential();
+
+  /// Anomaly score of every instance; `out` must have length num_labels().
+  void scores(std::span<const double> x, std::span<double> out) const;
+
+  /// Label = argmin instance score (Algorithm 1 lines 6–7).
+  Prediction predict(std::span<const double> x) const;
+
+  /// Anomaly score of one specific instance.
+  double score_of(std::span<const double> x, std::size_t label) const;
+
+  /// Predicts, then sequentially trains the winning instance; returns the
+  /// prediction made before training.
+  Prediction train_closest(std::span<const double> x);
+
+  /// Sequentially trains the given instance on x.
+  void train_label(std::span<const double> x, std::size_t label);
+
+  /// Resets every instance's trainable state, keeping the projection.
+  void reset();
+
+  /// Reorders instances so position i holds the previous instance perm[i].
+  /// Used after model reconstruction to re-align rebuilt clusters with the
+  /// pre-drift label identities.
+  void apply_permutation(std::span<const std::size_t> perm);
+
+  const oselm::Autoencoder& instance(std::size_t label) const;
+
+  /// Mutable instance access (persistence / state restoration).
+  oselm::Autoencoder& instance_mutable(std::size_t label);
+  const oselm::ProjectionPtr& projection() const { return projection_; }
+
+  /// Bytes: per-instance trainable state plus the shared projection once.
+  std::size_t memory_bytes() const;
+
+ private:
+  oselm::ProjectionPtr projection_;
+  std::vector<oselm::Autoencoder> instances_;
+  mutable std::vector<double> score_scratch_;
+};
+
+}  // namespace edgedrift::model

@@ -1,0 +1,23 @@
+// Hidden-layer activations for ELM/OS-ELM.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace edgedrift::oselm {
+
+/// Supported hidden-layer nonlinearities.
+enum class Activation {
+  kSigmoid,   ///< 1 / (1 + exp(-x)) — the classic ELM choice.
+  kTanh,      ///< tanh(x).
+  kRelu,      ///< max(0, x).
+  kIdentity,  ///< x (degenerates ELM into ridge regression; used in tests).
+};
+
+/// Applies the activation element-wise in place.
+void apply_activation(Activation act, std::span<double> values);
+
+/// Human-readable name ("sigmoid", ...).
+std::string_view activation_name(Activation act);
+
+}  // namespace edgedrift::oselm

@@ -1,0 +1,68 @@
+// OS-ELM autoencoder: the discriminative-model building block of the paper
+// (Section 3.1). Targets equal inputs; the reconstruction error is the
+// anomaly score used both for prediction (argmin across per-label instances)
+// and for the theta_error gate of the drift detector (Algorithm 1, line 8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "edgedrift/oselm/oselm.hpp"
+
+namespace edgedrift::oselm {
+
+/// An OS-ELM whose target is its own input.
+class Autoencoder {
+ public:
+  /// Builds over a shared projection. reg_lambda / forgetting_factor as in
+  /// OsElmConfig; output_dim is forced to the projection's input_dim.
+  Autoencoder(ProjectionPtr projection, double reg_lambda = 1e-2,
+              double forgetting_factor = 1.0);
+
+  std::size_t input_dim() const { return net_.input_dim(); }
+  std::size_t hidden_dim() const { return net_.hidden_dim(); }
+  bool initialized() const { return net_.initialized(); }
+
+  /// Batch initial training on rows of X.
+  void init_train(const linalg::Matrix& x);
+
+  /// Data-free init so training can proceed purely sequentially.
+  void init_sequential() { net_.init_sequential(); }
+
+  /// One sequential training step on sample x.
+  void train(std::span<const double> x) { net_.train(x, x); }
+
+  /// Mean squared reconstruction error of x — the anomaly score.
+  double score(std::span<const double> x) const;
+
+  /// Writes the reconstruction of x into `out` (length input_dim()).
+  void reconstruct(std::span<const double> x, std::span<double> out) const {
+    net_.predict(x, out);
+  }
+
+  /// Resets trainable state, keeping the shared projection.
+  void reset() { net_.reset(); }
+
+  std::size_t samples_seen() const { return net_.samples_seen(); }
+
+  const OsElm& net() const { return net_; }
+
+  /// Restores trained state (deserialization path).
+  void restore_state(linalg::Matrix beta, linalg::Matrix p,
+                     std::size_t samples_seen) {
+    net_.restore_state(std::move(beta), std::move(p), samples_seen);
+  }
+
+  /// Trainable-state bytes; include_projection adds the shared weights.
+  std::size_t memory_bytes(bool include_projection = false) const {
+    return net_.memory_bytes(include_projection) +
+           recon_scratch_.capacity() * sizeof(double);
+  }
+
+ private:
+  OsElm net_;
+  mutable std::vector<double> recon_scratch_;
+};
+
+}  // namespace edgedrift::oselm

@@ -1,0 +1,65 @@
+// The random hidden-layer projection of an ELM: h = g(x * A + b).
+//
+// In ELM the input weights A and biases b are drawn randomly once and never
+// trained. Because of that, multiple OS-ELM instances (one per class label,
+// Section 3.1 of the paper) can share a single projection — this is what
+// makes the multi-instance model fit the Raspberry Pi Pico's 264 kB: the
+// dominant d x h weight block is stored once.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "edgedrift/linalg/matrix.hpp"
+#include "edgedrift/oselm/activation.hpp"
+
+namespace edgedrift::util {
+class Rng;
+}
+
+namespace edgedrift::oselm {
+
+/// Immutable random projection shared by OS-ELM instances.
+class Projection {
+ public:
+  /// Draws A ~ U(-scale, scale) of shape [input_dim, hidden_dim] and
+  /// b ~ U(-scale, scale) of length hidden_dim.
+  Projection(std::size_t input_dim, std::size_t hidden_dim, Activation act,
+             util::Rng& rng, double scale = 1.0);
+
+  /// Rebuilds a projection from explicit weights (deserialization path).
+  Projection(linalg::Matrix alpha, std::vector<double> bias, Activation act);
+
+  std::size_t input_dim() const { return alpha_.rows(); }
+  std::size_t hidden_dim() const { return alpha_.cols(); }
+  Activation activation() const { return act_; }
+
+  /// h = g(x * A + b). `hidden` must have length hidden_dim().
+  void hidden(std::span<const double> x, std::span<double> hidden) const;
+
+  /// H = g(X * A + b) for a batch (rows are samples).
+  linalg::Matrix hidden_batch(const linalg::Matrix& x) const;
+
+  /// Bytes of weight storage.
+  std::size_t memory_bytes() const;
+
+  // Weight access (persistence).
+  const linalg::Matrix& alpha() const { return alpha_; }
+  std::span<const double> bias() const { return bias_; }
+
+ private:
+  linalg::Matrix alpha_;
+  std::vector<double> bias_;
+  Activation act_;
+};
+
+using ProjectionPtr = std::shared_ptr<const Projection>;
+
+/// Convenience factory returning a shared, immutable projection.
+ProjectionPtr make_projection(std::size_t input_dim, std::size_t hidden_dim,
+                              Activation act, util::Rng& rng,
+                              double scale = 1.0);
+
+}  // namespace edgedrift::oselm

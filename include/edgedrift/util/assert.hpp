@@ -1,0 +1,34 @@
+// Lightweight runtime assertions for edgedrift.
+//
+// EDGEDRIFT_ASSERT is active in all build types (the library targets
+// correctness-critical numerical code where silent corruption is worse than
+// an abort); EDGEDRIFT_DASSERT compiles away in NDEBUG builds and is meant
+// for hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace edgedrift::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "edgedrift assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace edgedrift::util
+
+#define EDGEDRIFT_ASSERT(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::edgedrift::util::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define EDGEDRIFT_DASSERT(expr, msg) ((void)0)
+#else
+#define EDGEDRIFT_DASSERT(expr, msg) EDGEDRIFT_ASSERT(expr, msg)
+#endif

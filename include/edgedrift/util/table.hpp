@@ -1,0 +1,39 @@
+// Console table formatting used by benches and examples to print the
+// paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace edgedrift::util {
+
+/// Builds fixed-width ASCII tables.
+///
+/// Usage:
+///   Table t({"Method", "Accuracy", "Delay"});
+///   t.add_row({"Quant Tree", "96.8", "296"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with column-aligned cells and a header rule.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt(double value, int digits = 2);
+
+/// Formats a byte count as "x.y kB".
+std::string fmt_kb(std::size_t bytes, int digits = 1);
+
+}  // namespace edgedrift::util

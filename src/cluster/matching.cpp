@@ -1,0 +1,67 @@
+#include "edgedrift/cluster/matching.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "edgedrift/linalg/vector_ops.hpp"
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::cluster {
+
+std::vector<std::size_t> match_rows(const linalg::Matrix& reference,
+                                    const linalg::Matrix& candidates) {
+  const std::size_t n = reference.rows();
+  EDGEDRIFT_ASSERT(candidates.rows() == n, "row-count mismatch");
+  EDGEDRIFT_ASSERT(candidates.cols() == reference.cols(), "dim mismatch");
+
+  // Pairwise cost matrix.
+  std::vector<double> cost(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cost[i * n + j] = linalg::squared_l2_distance(reference.row(i),
+                                                    candidates.row(j));
+    }
+  }
+
+  std::vector<std::size_t> best(n);
+  std::iota(best.begin(), best.end(), 0);
+  if (n <= 8) {
+    // Exhaustive search over all bijections (8! = 40320 at most).
+    std::vector<std::size_t> perm = best;
+    double best_cost = std::numeric_limits<double>::infinity();
+    do {
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) total += cost[i * n + perm[i]];
+      if (total < best_cost) {
+        best_cost = total;
+        best = perm;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best;
+  }
+
+  // Greedy fallback: repeatedly take the globally cheapest unassigned pair.
+  std::vector<bool> ref_used(n, false), cand_used(n, false);
+  for (std::size_t step = 0; step < n; ++step) {
+    double cheapest = std::numeric_limits<double>::infinity();
+    std::size_t ri = 0, cj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ref_used[i]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (cand_used[j]) continue;
+        if (cost[i * n + j] < cheapest) {
+          cheapest = cost[i * n + j];
+          ri = i;
+          cj = j;
+        }
+      }
+    }
+    ref_used[ri] = true;
+    cand_used[cj] = true;
+    best[ri] = cj;
+  }
+  return best;
+}
+
+}  // namespace edgedrift::cluster

@@ -1,0 +1,114 @@
+#include "edgedrift/cluster/sequential_kmeans.hpp"
+
+#include <limits>
+
+#include "edgedrift/linalg/vector_ops.hpp"
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::cluster {
+
+SequentialKMeans::SequentialKMeans(std::size_t num_clusters, std::size_t dim)
+    : centroids_(num_clusters, dim), counts_(num_clusters, 0) {
+  EDGEDRIFT_ASSERT(num_clusters > 0 && dim > 0,
+                   "clusters and dim must be positive");
+}
+
+void SequentialKMeans::set_centroids(const linalg::Matrix& centroids,
+                                     std::span<const std::size_t> counts) {
+  EDGEDRIFT_ASSERT(centroids.rows() == num_clusters() &&
+                       centroids.cols() == dim(),
+                   "centroid shape mismatch");
+  EDGEDRIFT_ASSERT(counts.size() == num_clusters(), "count arity mismatch");
+  centroids_ = centroids;
+  counts_.assign(counts.begin(), counts.end());
+}
+
+std::size_t SequentialKMeans::nearest(std::span<const double> x) const {
+  EDGEDRIFT_ASSERT(x.size() == dim(), "sample dim mismatch");
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < num_clusters(); ++c) {
+    const double d = linalg::squared_l2_distance(x, centroids_.row(c));
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::size_t SequentialKMeans::update(std::span<const double> x) {
+  const std::size_t c = nearest(x);
+  update_cluster(c, x);
+  return c;
+}
+
+void SequentialKMeans::update_cluster(std::size_t cluster,
+                                      std::span<const double> x) {
+  EDGEDRIFT_ASSERT(cluster < num_clusters(), "cluster out of range");
+  EDGEDRIFT_ASSERT(x.size() == dim(), "sample dim mismatch");
+  linalg::running_mean_update(centroids_.row(cluster), x, counts_[cluster]);
+  ++counts_[cluster];
+}
+
+int SequentialKMeans::spread_init(std::span<const double> x) {
+  EDGEDRIFT_ASSERT(x.size() == dim(), "sample dim mismatch");
+  // Current objective (Algorithm 3 line 3).
+  double best = pairwise_l1_spread();
+  int chosen = -1;
+  // Try substituting x for each coordinate; keep the best improvement.
+  std::vector<double> saved(dim());
+  for (std::size_t c = 0; c < num_clusters(); ++c) {
+    auto row = centroids_.row(c);
+    linalg::copy(row, saved);
+    linalg::copy(x, row);
+    const double candidate = pairwise_l1_spread();
+    linalg::copy(saved, row);
+    if (candidate > best) {
+      best = candidate;
+      chosen = static_cast<int>(c);
+    }
+  }
+  if (chosen >= 0) {
+    linalg::copy(x, centroids_.row(static_cast<std::size_t>(chosen)));
+  }
+  return chosen;
+}
+
+double SequentialKMeans::pairwise_l1_spread() const {
+  double total = 0.0;
+  for (std::size_t a = 0; a < num_clusters(); ++a) {
+    for (std::size_t b = a + 1; b < num_clusters(); ++b) {
+      total += linalg::l1_distance(centroids_.row(a), centroids_.row(b));
+    }
+  }
+  return total;
+}
+
+void SequentialKMeans::apply_permutation(std::span<const std::size_t> perm) {
+  EDGEDRIFT_ASSERT(perm.size() == num_clusters(), "permutation arity");
+  linalg::Matrix reordered(num_clusters(), dim());
+  std::vector<std::size_t> counts(num_clusters());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EDGEDRIFT_ASSERT(perm[i] < num_clusters(), "permutation index range");
+    reordered.set_row(i, centroids_.row(perm[i]));
+    counts[i] = counts_[perm[i]];
+  }
+  centroids_ = std::move(reordered);
+  counts_ = std::move(counts);
+}
+
+void SequentialKMeans::reset() {
+  centroids_.fill(0.0);
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+void SequentialKMeans::set_counts(std::size_t value) {
+  std::fill(counts_.begin(), counts_.end(), value);
+}
+
+std::size_t SequentialKMeans::memory_bytes() const {
+  return centroids_.memory_bytes() + counts_.capacity() * sizeof(std::size_t);
+}
+
+}  // namespace edgedrift::cluster

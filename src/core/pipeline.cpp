@@ -1,0 +1,177 @@
+#include "edgedrift/core/pipeline.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "edgedrift/cluster/matching.hpp"
+#include "edgedrift/linalg/vector_ops.hpp"
+#include "edgedrift/util/assert.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace edgedrift::core {
+namespace {
+
+drift::CentroidDetectorConfig detector_config(const PipelineConfig& config) {
+  drift::CentroidDetectorConfig det;
+  det.num_labels = config.num_labels;
+  det.dim = config.input_dim;
+  det.window_size = config.window_size;
+  det.theta_error = config.theta_error;  // May be re-set after calibration.
+  det.theta_drift = 0.0;                 // Always from Eq. 1.
+  det.z = config.z;
+  det.ewma_decay = config.ewma_decay;
+  det.initial_count = config.detector_initial_count;
+  return det;
+}
+
+}  // namespace
+
+Pipeline::Pipeline(PipelineConfig config)
+    : config_(config),
+      reconstructor_(config.reconstruction, config.num_labels,
+                     config.input_dim) {
+  EDGEDRIFT_ASSERT(config_.input_dim > 0, "input_dim must be set");
+  EDGEDRIFT_ASSERT(config_.num_labels > 0, "num_labels must be set");
+  util::Rng rng(config_.seed);
+  auto projection =
+      oselm::make_projection(config_.input_dim, config_.hidden_dim,
+                             config_.activation, rng, config_.weight_scale);
+  model_ = std::make_unique<model::MultiInstanceModel>(
+      config_.num_labels, std::move(projection), config_.reg_lambda);
+  detector_ =
+      std::make_unique<drift::CentroidDetector>(detector_config(config_));
+}
+
+void Pipeline::fit(const linalg::Matrix& x, std::span<const int> labels) {
+  model_->init_train(x, labels);
+  detector_->calibrate(x, labels);
+
+  if (config_.theta_error <= 0.0) {
+    // Auto-calibrate the anomaly gate from the training scores: a window
+    // should open only for samples the trained model reconstructs badly.
+    std::vector<double> scores(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      scores[i] =
+          model_->score_of(x.row(i), static_cast<std::size_t>(labels[i]));
+    }
+    theta_error_ = linalg::mean(scores) +
+                   config_.theta_error_z * linalg::stddev_population(scores);
+  } else {
+    theta_error_ = config_.theta_error;
+  }
+  // Propagate the calibrated gate into the detector's config.
+  drift::CentroidDetectorConfig det = detector_->config();
+  det.theta_error = theta_error_;
+  auto replacement = std::make_unique<drift::CentroidDetector>(det);
+  replacement->calibrate(x, labels);
+  detector_ = std::move(replacement);
+
+  fitted_ = true;
+}
+
+PipelineStep Pipeline::process(std::span<const double> x) {
+  EDGEDRIFT_ASSERT(fitted_, "process() before fit()");
+  PipelineStep step;
+
+  // Algorithm 1 line 20-21: while drift is active, every sample feeds the
+  // reconstruction instead of the detector.
+  if (reconstructor_.active()) {
+    step.reconstructing = true;
+    const drift::ReconstructionPhase phase = reconstructor_.phase();
+    bool still_running = true;
+    {
+      const char* stage = nullptr;
+      switch (phase) {
+        case drift::ReconstructionPhase::kSearchCoords:
+          stage = kStageInitCoord;
+          break;
+        case drift::ReconstructionPhase::kUpdateCoords:
+          stage = kStageUpdateCoord;
+          break;
+        case drift::ReconstructionPhase::kTrainNearest:
+          stage = kStageRetrainNearest;
+          break;
+        case drift::ReconstructionPhase::kTrainPredict:
+          stage = kStageRetrainPredict;
+          break;
+        case drift::ReconstructionPhase::kIdle:
+          break;
+      }
+      if (stages_ != nullptr && stage != nullptr) {
+        util::StageTimer::Scope scope(*stages_, stage);
+        still_running = reconstructor_.step(x, *model_);
+      } else {
+        still_running = reconstructor_.step(x, *model_);
+      }
+    }
+    // Even while reconstructing, report the model's current prediction so
+    // accuracy accounting stays per-sample.
+    step.prediction = model_->predict(x);
+    if (!still_running) {
+      finish_reconstruction();
+      step.reconstruction_finished = true;
+    }
+    return step;
+  }
+
+  // Algorithm 1 lines 6-7: label prediction by the instance bank.
+  if (stages_ != nullptr) {
+    util::StageTimer::Scope scope(*stages_, kStagePredict);
+    step.prediction = model_->predict(x);
+  } else {
+    step.prediction = model_->predict(x);
+  }
+
+  // Lines 8-19: the sequential detector.
+  drift::Observation obs;
+  obs.x = x;
+  obs.predicted_label = static_cast<int>(step.prediction.label);
+  obs.anomaly_score = step.prediction.score;
+  drift::Detection detection;
+  if (stages_ != nullptr) {
+    util::StageTimer::Scope scope(*stages_, kStageDistance);
+    detection = detector_->observe(obs);
+  } else {
+    detection = detector_->observe(obs);
+  }
+  step.statistic = detection.statistic;
+  step.statistic_valid = detection.statistic_valid;
+
+  if (detection.drift) {
+    step.drift_detected = true;
+    // Lines 20-21: enter reconstruction, seeded from the recent test
+    // centroids (the best running estimate of the new concept).
+    reconstructor_.begin(*model_, detector_->recent_centroids());
+  }
+  return step;
+}
+
+void Pipeline::finish_reconstruction() {
+  // Re-align the rebuilt clusters with the pre-drift label identities:
+  // optimally match the rebuilt coordinates against the pre-drift trained
+  // centroids (the most stable per-label anchor available without ground
+  // truth), then permute coordinates and model instances together.
+  auto& coords = reconstructor_.coords_mutable();
+  const std::size_t c = config_.num_labels;
+  const std::vector<std::size_t> perm =
+      cluster::match_rows(detector_->trained_centroids(), coords.centroids());
+  bool identity = true;
+  for (std::size_t i = 0; i < c; ++i) identity &= perm[i] == i;
+  if (!identity) {
+    coords.apply_permutation(perm);
+    model_->apply_permutation(perm);
+  }
+
+  // Re-arm the detector: the rebuilt coordinates become the new trained
+  // centroids, with an Eq. 1 threshold recomputed over the reconstruction's
+  // training-phase samples.
+  detector_->rearm(coords.centroids(), coords.counts(),
+                   reconstructor_.suggested_theta_drift(config_.z));
+}
+
+std::size_t Pipeline::memory_bytes() const {
+  return model_->memory_bytes() + detector_->memory_bytes() +
+         reconstructor_.memory_bytes();
+}
+
+}  // namespace edgedrift::core

@@ -1,0 +1,116 @@
+#include "edgedrift/data/cooling_fan_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edgedrift/data/drift_stream.hpp"
+#include "edgedrift/util/assert.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace edgedrift::data {
+namespace {
+
+// Rotation fundamental of the simulated fan (Hz == bin index + 1).
+constexpr std::size_t kFundamental = 50;
+// Blade count; blade-pass frequency = kBlades * fundamental.
+constexpr std::size_t kBlades = 7;
+
+// Adds a spectral peak centered at `bin` with triangular spread into the
+// two neighbouring bins.
+void add_peak(std::span<double> spectrum, std::size_t bin, double amplitude) {
+  if (bin >= spectrum.size()) return;
+  spectrum[bin] += amplitude;
+  if (bin > 0) spectrum[bin - 1] += 0.45 * amplitude;
+  if (bin + 1 < spectrum.size()) spectrum[bin + 1] += 0.45 * amplitude;
+}
+
+}  // namespace
+
+FanSpectrumConcept::FanSpectrumConcept(FanCondition condition,
+                                       FanEnvironment environment, int label)
+    : condition_(condition), environment_(environment), label_(label) {}
+
+int FanSpectrumConcept::sample(util::Rng& rng, std::span<double> x) const {
+  EDGEDRIFT_ASSERT(x.size() == kBins, "spectrum buffer size mismatch");
+
+  // Environment-dependent broadband noise floor.
+  const double floor_sigma =
+      environment_ == FanEnvironment::kSilent ? 0.02 : 0.08;
+  for (auto& v : x) v = std::abs(rng.gaussian(0.0, floor_sigma));
+
+  if (environment_ == FanEnvironment::kNoisy) {
+    // Ventilation hum: low-frequency peaks around 25-35 Hz.
+    for (std::size_t hum = 24; hum <= 34; hum += 5) {
+      add_peak(x, hum, 0.25 * rng.uniform(0.8, 1.2));
+    }
+  }
+
+  // Per-sample multiplicative jitter of the whole harmonic series (speed
+  // wobble of the physical fan).
+  const double jitter = rng.uniform(0.92, 1.08);
+
+  // Harmonic series of the rotation frequency.
+  const double unbalance_gain =
+      condition_ == FanCondition::kChipped ? 2.2 : 1.0;
+  for (std::size_t k = 1; k * kFundamental <= kBins; ++k) {
+    double amplitude = jitter / static_cast<double>(k);
+    if (k == 1) amplitude *= unbalance_gain;  // Chipped blade: 1x unbalance.
+    add_peak(x, k * kFundamental - 1, amplitude * rng.uniform(0.9, 1.1));
+  }
+
+  // Blade-pass frequency and damage signatures.
+  const std::size_t bpf = kBlades * kFundamental;  // 350 Hz.
+  switch (condition_) {
+    case FanCondition::kNormal:
+      add_peak(x, bpf - 1, 0.5 * jitter);
+      break;
+    case FanCondition::kHoles:
+      // Holes raise blade-pass energy, grow sidebands at bpf +- f0, and add
+      // turbulence broadband from air rushing through the perforations.
+      add_peak(x, bpf - 1, 1.8 * jitter);
+      add_peak(x, bpf - 1 - kFundamental, 0.8 * jitter);
+      add_peak(x, bpf - 1 + kFundamental, 0.8 * jitter);
+      for (auto& v : x) v += std::abs(rng.gaussian(0.0, 0.02));
+      break;
+    case FanCondition::kChipped:
+      // Chipped edge: sub-harmonic at f0/2 plus raised broadband energy.
+      add_peak(x, kFundamental / 2 - 1, 0.9 * jitter);
+      add_peak(x, bpf - 1, 0.7 * jitter);
+      for (auto& v : x) v += std::abs(rng.gaussian(0.0, 0.03));
+      break;
+  }
+  return label_;
+}
+
+CoolingFanLike::CoolingFanLike(CoolingFanLikeConfig config)
+    : config_(config),
+      normal_(FanCondition::kNormal, config.environment),
+      holes_(FanCondition::kHoles, config.environment),
+      chipped_(FanCondition::kChipped, config.environment) {
+  EDGEDRIFT_ASSERT(config_.drift_point <= config_.stream_size,
+                   "drift point beyond stream");
+  EDGEDRIFT_ASSERT(config_.reoccur_end >= config_.drift_point,
+                   "reoccurrence must end after the drift point");
+}
+
+Dataset CoolingFanLike::training(util::Rng& rng) const {
+  return draw(normal_, config_.train_size, rng);
+}
+
+Dataset CoolingFanLike::sudden_stream(util::Rng& rng) const {
+  return make_sudden_drift(normal_, holes_, config_.stream_size,
+                           config_.drift_point, rng);
+}
+
+Dataset CoolingFanLike::gradual_stream(util::Rng& rng) const {
+  return make_gradual_drift(normal_, chipped_, config_.stream_size,
+                            config_.drift_point, config_.gradual_end, rng);
+}
+
+Dataset CoolingFanLike::reoccurring_stream(util::Rng& rng) const {
+  return make_reoccurring_drift(normal_, chipped_, config_.stream_size,
+                                config_.drift_point, config_.reoccur_end,
+                                rng);
+}
+
+}  // namespace edgedrift::data

@@ -1,0 +1,99 @@
+#include "edgedrift/data/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace edgedrift::data {
+
+std::optional<Dataset> load_csv(const std::string& path,
+                                const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "load_csv: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  std::string line;
+  std::size_t line_no = 0;
+  bool skipped_header = !options.has_header;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    std::vector<double> fields;
+    std::stringstream ss(line);
+    std::string cell;
+    bool parse_error = false;
+    while (std::getline(ss, cell, options.delimiter)) {
+      try {
+        fields.push_back(std::stod(cell));
+      } catch (...) {
+        parse_error = true;
+        break;
+      }
+    }
+    if (parse_error || fields.empty()) {
+      std::fprintf(stderr, "load_csv: parse error at %s:%zu\n", path.c_str(),
+                   line_no);
+      return std::nullopt;
+    }
+
+    int label = 0;
+    if (options.label_column != -1) {
+      const long long raw = options.label_column >= 0
+                                ? options.label_column
+                                : static_cast<long long>(fields.size()) +
+                                      options.label_column + 1;
+      if (raw < 0 || raw >= static_cast<long long>(fields.size())) {
+        std::fprintf(stderr, "load_csv: label column out of range at %s:%zu\n",
+                     path.c_str(), line_no);
+        return std::nullopt;
+      }
+      label = static_cast<int>(fields[static_cast<std::size_t>(raw)]);
+      fields.erase(fields.begin() + static_cast<std::ptrdiff_t>(raw));
+    }
+    if (!rows.empty() && fields.size() != rows.front().size()) {
+      std::fprintf(stderr, "load_csv: ragged row at %s:%zu\n", path.c_str(),
+                   line_no);
+      return std::nullopt;
+    }
+    rows.push_back(std::move(fields));
+    labels.push_back(label);
+  }
+
+  Dataset out;
+  if (rows.empty()) return out;
+  out.x.resize_zero(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out.x.set_row(r, rows[r]);
+  }
+  out.labels = std::move(labels);
+  return out;
+}
+
+bool save_csv(const std::string& path, const Dataset& dataset,
+              char delimiter) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "save_csv: cannot open %s\n", path.c_str());
+    return false;
+  }
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    const auto row = dataset.x.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << delimiter;
+    }
+    out << dataset.labels[r] << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace edgedrift::data

@@ -1,0 +1,90 @@
+#include "edgedrift/data/drift_stream.hpp"
+
+#include "edgedrift/util/assert.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace edgedrift::data {
+
+Dataset make_sudden_drift(const ConceptGenerator& a, const ConceptGenerator& b,
+                          std::size_t n, std::size_t drift_at,
+                          util::Rng& rng) {
+  EDGEDRIFT_ASSERT(a.dim() == b.dim(), "concept dim mismatch");
+  EDGEDRIFT_ASSERT(drift_at <= n, "drift point beyond stream length");
+  Dataset out;
+  out.x.resize_zero(n, a.dim());
+  out.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ConceptGenerator& src = i < drift_at ? a : b;
+    out.labels[i] = src.sample(rng, out.x.row(i));
+  }
+  return out;
+}
+
+Dataset make_gradual_drift(const ConceptGenerator& a,
+                           const ConceptGenerator& b, std::size_t n,
+                           std::size_t start, std::size_t end,
+                           util::Rng& rng) {
+  EDGEDRIFT_ASSERT(a.dim() == b.dim(), "concept dim mismatch");
+  EDGEDRIFT_ASSERT(start <= end && end <= n, "invalid transition range");
+  Dataset out;
+  out.x.resize_zero(n, a.dim());
+  out.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double p_new = 0.0;
+    if (i >= end) {
+      p_new = 1.0;
+    } else if (i >= start) {
+      p_new = static_cast<double>(i - start) /
+              static_cast<double>(end - start);
+    }
+    const ConceptGenerator& src = rng.bernoulli(p_new) ? b : a;
+    out.labels[i] = src.sample(rng, out.x.row(i));
+  }
+  return out;
+}
+
+Dataset make_incremental_drift(const GaussianConcept& a,
+                               const GaussianConcept& b, std::size_t n,
+                               std::size_t start, std::size_t end,
+                               util::Rng& rng) {
+  EDGEDRIFT_ASSERT(start <= end && end <= n, "invalid transition range");
+  Dataset out;
+  out.x.resize_zero(n, a.dim());
+  out.labels.resize(n);
+  // Quantize the interpolation so we do not rebuild the concept per sample.
+  constexpr std::size_t kSteps = 64;
+  for (std::size_t step = 0; step <= kSteps; ++step) {
+    const double t = static_cast<double>(step) / kSteps;
+    // Samples whose position maps to this interpolation step.
+    const auto lo = static_cast<std::size_t>(
+        step == 0 ? 0
+                  : start + (end - start) * (step * 2 - 1) / (2 * kSteps));
+    const auto hi = static_cast<std::size_t>(
+        step == kSteps ? n
+                       : start + (end - start) * (step * 2 + 1) / (2 * kSteps));
+    if (lo >= hi) continue;
+    const GaussianConcept mixed = GaussianConcept::interpolate(a, b, t);
+    for (std::size_t i = lo; i < hi && i < n; ++i) {
+      out.labels[i] = mixed.sample(rng, out.x.row(i));
+    }
+  }
+  return out;
+}
+
+Dataset make_reoccurring_drift(const ConceptGenerator& a,
+                               const ConceptGenerator& b, std::size_t n,
+                               std::size_t start, std::size_t end,
+                               util::Rng& rng) {
+  EDGEDRIFT_ASSERT(a.dim() == b.dim(), "concept dim mismatch");
+  EDGEDRIFT_ASSERT(start <= end && end <= n, "invalid reoccurrence range");
+  Dataset out;
+  out.x.resize_zero(n, a.dim());
+  out.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ConceptGenerator& src = (i >= start && i < end) ? b : a;
+    out.labels[i] = src.sample(rng, out.x.row(i));
+  }
+  return out;
+}
+
+}  // namespace edgedrift::data

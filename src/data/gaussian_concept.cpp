@@ -1,0 +1,64 @@
+#include "edgedrift/data/gaussian_concept.hpp"
+
+#include "edgedrift/util/assert.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace edgedrift::data {
+
+GaussianConcept::GaussianConcept(std::vector<GaussianClass> classes)
+    : classes_(std::move(classes)) {
+  EDGEDRIFT_ASSERT(!classes_.empty(), "need at least one class");
+  const std::size_t d = classes_.front().mean.size();
+  EDGEDRIFT_ASSERT(d > 0, "dimension must be positive");
+  double total = 0.0;
+  for (auto& c : classes_) {
+    EDGEDRIFT_ASSERT(c.mean.size() == d, "class dimension mismatch");
+    EDGEDRIFT_ASSERT(c.stddev.size() == d || c.stddev.size() == 1,
+                     "stddev must be per-dimension or scalar");
+    EDGEDRIFT_ASSERT(c.weight > 0.0, "class weight must be positive");
+    if (c.stddev.size() == 1) c.stddev.assign(d, c.stddev.front());
+    total += c.weight;
+    cumulative_weights_.push_back(total);
+  }
+}
+
+int GaussianConcept::sample(util::Rng& rng, std::span<double> x) const {
+  EDGEDRIFT_ASSERT(x.size() == dim(), "sample buffer size mismatch");
+  const double pick = rng.uniform() * cumulative_weights_.back();
+  std::size_t label = 0;
+  while (label + 1 < classes_.size() &&
+         pick > cumulative_weights_[label]) {
+    ++label;
+  }
+  const GaussianClass& c = classes_[label];
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    x[j] = rng.gaussian(c.mean[j], c.stddev[j]);
+  }
+  return static_cast<int>(label);
+}
+
+GaussianConcept GaussianConcept::interpolate(const GaussianConcept& a,
+                                             const GaussianConcept& b,
+                                             double t) {
+  EDGEDRIFT_ASSERT(a.num_labels() == b.num_labels() && a.dim() == b.dim(),
+                   "interpolate shape mismatch");
+  EDGEDRIFT_ASSERT(t >= 0.0 && t <= 1.0, "t must be in [0, 1]");
+  std::vector<GaussianClass> classes;
+  classes.reserve(a.num_labels());
+  for (std::size_t c = 0; c < a.num_labels(); ++c) {
+    GaussianClass mixed;
+    const auto& ca = a.classes_[c];
+    const auto& cb = b.classes_[c];
+    mixed.mean.resize(a.dim());
+    mixed.stddev.resize(a.dim());
+    for (std::size_t j = 0; j < a.dim(); ++j) {
+      mixed.mean[j] = (1.0 - t) * ca.mean[j] + t * cb.mean[j];
+      mixed.stddev[j] = (1.0 - t) * ca.stddev[j] + t * cb.stddev[j];
+    }
+    mixed.weight = (1.0 - t) * ca.weight + t * cb.weight;
+    classes.push_back(std::move(mixed));
+  }
+  return GaussianConcept(std::move(classes));
+}
+
+}  // namespace edgedrift::data

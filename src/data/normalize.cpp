@@ -1,0 +1,84 @@
+#include "edgedrift/data/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::data {
+
+void MinMaxScaler::fit(const linalg::Matrix& x) {
+  EDGEDRIFT_ASSERT(x.rows() > 0, "cannot fit on empty data");
+  const std::size_t d = x.cols();
+  min_.assign(d, std::numeric_limits<double>::infinity());
+  std::vector<double> max(d, -std::numeric_limits<double>::infinity());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t j = 0; j < d; ++j) {
+      min_[j] = std::min(min_[j], row[j]);
+      max[j] = std::max(max[j], row[j]);
+    }
+  }
+  inv_range_.resize(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double range = max[j] - min_[j];
+    inv_range_[j] = range > 0.0 ? 1.0 / range : 0.0;
+  }
+}
+
+void MinMaxScaler::transform(std::span<double> x) const {
+  EDGEDRIFT_ASSERT(fitted(), "transform() before fit()");
+  EDGEDRIFT_ASSERT(x.size() == min_.size(), "dimension mismatch");
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    x[j] = (x[j] - min_[j]) * inv_range_[j];
+    if (clamp) x[j] = std::clamp(x[j], 0.0, 1.0);
+  }
+}
+
+void MinMaxScaler::transform(Dataset& dataset) const {
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    transform(dataset.x.row(r));
+  }
+}
+
+void ZScoreScaler::fit(const linalg::Matrix& x) {
+  EDGEDRIFT_ASSERT(x.rows() > 0, "cannot fit on empty data");
+  const std::size_t d = x.cols();
+  const double inv_n = 1.0 / static_cast<double>(x.rows());
+  mean_.assign(d, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (auto& m : mean_) m *= inv_n;
+
+  std::vector<double> var(d, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_[j];
+      var[j] += delta * delta;
+    }
+  }
+  inv_std_.resize(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] * inv_n);
+    inv_std_[j] = sd > 0.0 ? 1.0 / sd : 0.0;
+  }
+}
+
+void ZScoreScaler::transform(std::span<double> x) const {
+  EDGEDRIFT_ASSERT(fitted(), "transform() before fit()");
+  EDGEDRIFT_ASSERT(x.size() == mean_.size(), "dimension mismatch");
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    x[j] = (x[j] - mean_[j]) * inv_std_[j];
+  }
+}
+
+void ZScoreScaler::transform(Dataset& dataset) const {
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    transform(dataset.x.row(r));
+  }
+}
+
+}  // namespace edgedrift::data

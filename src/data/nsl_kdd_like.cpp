@@ -1,0 +1,105 @@
+#include "edgedrift/data/nsl_kdd_like.hpp"
+
+#include <cmath>
+
+#include "edgedrift/linalg/vector_ops.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace edgedrift::data {
+namespace {
+
+constexpr std::size_t kDim = NslKddLike::kDim;
+
+GaussianConcept build_pre(const NslKddLikeConfig& config) {
+  util::Rng rng(config.seed);
+  // Normal traffic: anchored feature profile in [0, 1].
+  GaussianClass normal;
+  normal.mean.resize(kDim);
+  for (auto& v : normal.mean) v = rng.uniform(0.1, 0.9);
+  normal.stddev = {config.noise};
+  normal.weight = 1.0;
+
+  // Attack traffic: displaced along a random unit direction by
+  // class_separation.
+  GaussianClass attack;
+  attack.mean.resize(kDim);
+  std::vector<double> direction(kDim);
+  for (auto& v : direction) v = rng.gaussian();
+  const double norm = linalg::norm2(direction);
+  for (std::size_t j = 0; j < kDim; ++j) {
+    attack.mean[j] =
+        normal.mean[j] + config.class_separation * direction[j] / norm;
+  }
+  attack.stddev = {config.noise};
+  attack.weight = 1.0;
+
+  return GaussianConcept({std::move(normal), std::move(attack)});
+}
+
+GaussianConcept build_post(const NslKddLikeConfig& config,
+                           const GaussianConcept& pre) {
+  // Deterministic drift geometry derived from a separate seed stream.
+  util::Rng rng(config.seed ^ 0x5eed5eedULL);
+  std::vector<double> off_manifold(kDim);
+  for (auto& v : off_manifold) v = rng.gaussian();
+  double norm = linalg::norm2(off_manifold);
+  for (auto& v : off_manifold) v *= config.manifold_shift / norm;
+
+  const auto& normal_pre = pre.cls(0);
+  const auto& attack_pre = pre.cls(1);
+
+  // Old separation direction (unit) and a fresh direction orthogonalized
+  // against it; the post separation keeps `attack_direction_overlap` cosine
+  // with the old one.
+  std::vector<double> old_dir(kDim), fresh(kDim);
+  for (std::size_t j = 0; j < kDim; ++j) {
+    old_dir[j] = attack_pre.mean[j] - normal_pre.mean[j];
+  }
+  norm = linalg::norm2(old_dir);
+  for (auto& v : old_dir) v /= norm;
+  for (auto& v : fresh) v = rng.gaussian();
+  const double proj = linalg::dot(fresh, old_dir);
+  for (std::size_t j = 0; j < kDim; ++j) fresh[j] -= proj * old_dir[j];
+  norm = linalg::norm2(fresh);
+  for (auto& v : fresh) v /= norm;
+
+  const double cos_mix = config.attack_direction_overlap;
+  const double sin_mix = std::sqrt(std::max(0.0, 1.0 - cos_mix * cos_mix));
+
+  GaussianClass normal;
+  normal.mean.resize(kDim);
+  GaussianClass attack;
+  attack.mean.resize(kDim);
+  for (std::size_t j = 0; j < kDim; ++j) {
+    // Both classes drift off the trained manifold; the attack class also
+    // rotates to a new separation direction (same magnitude, so the post
+    // concept stays learnable with the same hyper-parameters).
+    normal.mean[j] = normal_pre.mean[j] + off_manifold[j];
+    attack.mean[j] = normal.mean[j] +
+                     config.class_separation *
+                         (cos_mix * old_dir[j] + sin_mix * fresh[j]);
+  }
+  normal.stddev = {config.post_noise};
+  attack.stddev = {config.post_noise};
+  normal.weight = 1.0;
+  attack.weight = 1.0;
+  return GaussianConcept({std::move(normal), std::move(attack)});
+}
+
+}  // namespace
+
+NslKddLike::NslKddLike(NslKddLikeConfig config)
+    : config_(config),
+      pre_(build_pre(config_)),
+      post_(build_post(config_, pre_)) {}
+
+Dataset NslKddLike::training(util::Rng& rng) const {
+  return draw(pre_, config_.train_size, rng);
+}
+
+Dataset NslKddLike::test_stream(util::Rng& rng) const {
+  return make_sudden_drift(pre_, post_, config_.test_size,
+                           config_.drift_point, rng);
+}
+
+}  // namespace edgedrift::data

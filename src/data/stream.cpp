@@ -1,0 +1,58 @@
+#include "edgedrift/data/stream.hpp"
+
+#include "edgedrift/util/assert.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace edgedrift::data {
+
+void Dataset::append(const Dataset& other) {
+  if (other.size() == 0) return;
+  if (size() == 0) {
+    *this = other;
+    return;
+  }
+  EDGEDRIFT_ASSERT(dim() == other.dim(), "dimension mismatch in append");
+  linalg::Matrix merged(size() + other.size(), dim());
+  for (std::size_t r = 0; r < size(); ++r) merged.set_row(r, x.row(r));
+  for (std::size_t r = 0; r < other.size(); ++r) {
+    merged.set_row(size() + r, other.x.row(r));
+  }
+  x = std::move(merged);
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+void Dataset::push_back(std::span<const double> row, int label) {
+  if (size() == 0 && x.cols() == 0) {
+    x.resize_zero(0, row.size());
+  }
+  EDGEDRIFT_ASSERT(row.size() == dim(), "row dimension mismatch");
+  linalg::Matrix grown(size() + 1, dim());
+  for (std::size_t r = 0; r < size(); ++r) grown.set_row(r, x.row(r));
+  grown.set_row(size(), row);
+  x = std::move(grown);
+  labels.push_back(label);
+}
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  EDGEDRIFT_ASSERT(begin <= end && end <= size(), "slice out of range");
+  Dataset out;
+  out.x.resize_zero(end - begin, dim());
+  out.labels.reserve(end - begin);
+  for (std::size_t r = begin; r < end; ++r) {
+    out.x.set_row(r - begin, x.row(r));
+    out.labels.push_back(labels[r]);
+  }
+  return out;
+}
+
+Dataset draw(const ConceptGenerator& source, std::size_t n, util::Rng& rng) {
+  Dataset out;
+  out.x.resize_zero(n, source.dim());
+  out.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.labels[i] = source.sample(rng, out.x.row(i));
+  }
+  return out;
+}
+
+}  // namespace edgedrift::data

@@ -1,0 +1,123 @@
+#include "edgedrift/drift/reconstructor.hpp"
+
+#include <cmath>
+
+#include "edgedrift/linalg/vector_ops.hpp"
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::drift {
+
+Reconstructor::Reconstructor(ReconstructorConfig config,
+                             std::size_t num_labels, std::size_t dim)
+    : config_(config), coords_(num_labels, dim) {
+  EDGEDRIFT_ASSERT(config_.n_search <= config_.n_update,
+                   "N_search must not exceed N_update");
+  EDGEDRIFT_ASSERT(config_.n_update <= config_.n_total,
+                   "N_update must not exceed N");
+  EDGEDRIFT_ASSERT(config_.n_update <= config_.n_total / 2,
+                   "coordinate refinement must end before model training "
+                   "(N_update <= N/2)");
+  EDGEDRIFT_ASSERT(config_.n_total > 0, "N must be positive");
+}
+
+void Reconstructor::begin(model::MultiInstanceModel& model,
+                          const linalg::Matrix& seed_coords) {
+  EDGEDRIFT_ASSERT(seed_coords.rows() == coords_.num_clusters() &&
+                       seed_coords.cols() == coords_.dim(),
+                   "seed coordinate shape mismatch");
+  model.init_sequential();
+  std::vector<std::size_t> zeros(coords_.num_clusters(), 0);
+  coords_.set_centroids(seed_coords, zeros);
+  count_ = 0;
+  dist_count_ = 0;
+  dist_mean_ = 0.0;
+  dist_m2_ = 0.0;
+  phase_ = config_.n_search > 0 ? ReconstructionPhase::kSearchCoords
+                                : ReconstructionPhase::kUpdateCoords;
+  update_phase();
+}
+
+bool Reconstructor::step(std::span<const double> x,
+                         model::MultiInstanceModel& model) {
+  EDGEDRIFT_ASSERT(active(), "step() without begin()");
+  EDGEDRIFT_ASSERT(x.size() == coords_.dim(), "sample dim mismatch");
+  ++count_;  // Algorithm 2 line 2 increments before the phase tests.
+  if (count_ >= config_.n_total) {
+    // Algorithm 2 lines 13-15: the N-th sample does no work; reconstruction
+    // reports completion so Algorithm 1 clears its drift flag.
+    phase_ = ReconstructionPhase::kIdle;
+    return false;
+  }
+  update_phase();
+
+  switch (phase_) {
+    case ReconstructionPhase::kSearchCoords:
+      // "C initial samples are selected as initial coordinates of C labels"
+      // (paper Section 3.3): the first C streamed samples seed the
+      // coordinates unconditionally — the begin() seeds are placeholders
+      // and must not win the spread contest against real data. Later
+      // samples substitute via the Algorithm 3 spread maximization.
+      if (count_ <= coords_.num_clusters()) {
+        linalg::copy(x, coords_.centroid_mutable(count_ - 1));
+      } else {
+        coords_.spread_init(x);
+      }
+      break;
+    case ReconstructionPhase::kUpdateCoords:
+      coords_.update(x);
+      break;
+    case ReconstructionPhase::kTrainNearest: {
+      const std::size_t label = coords_.nearest(x);
+      model.train_label(x, label);
+      // Track Equation 1 distances against the rebuilt coordinates so the
+      // detector can be re-armed for the new concept.
+      const double d = linalg::l1_distance(x, coords_.centroid(label));
+      ++dist_count_;
+      const double delta = d - dist_mean_;
+      dist_mean_ += delta / static_cast<double>(dist_count_);
+      dist_m2_ += delta * (d - dist_mean_);
+      break;
+    }
+    case ReconstructionPhase::kTrainPredict: {
+      const model::Prediction pred = model.predict(x);
+      model.train_label(x, pred.label);
+      const double d = linalg::l1_distance(x, coords_.centroid(pred.label));
+      ++dist_count_;
+      const double delta = d - dist_mean_;
+      dist_mean_ += delta / static_cast<double>(dist_count_);
+      dist_m2_ += delta * (d - dist_mean_);
+      break;
+    }
+    case ReconstructionPhase::kIdle:
+      break;
+  }
+  return true;
+}
+
+void Reconstructor::update_phase() {
+  if (phase_ == ReconstructionPhase::kIdle) return;
+  if (count_ < config_.n_search) {
+    phase_ = ReconstructionPhase::kSearchCoords;
+  } else if (count_ < config_.n_update) {
+    // Entering the refinement phase: the coordinates currently hold real
+    // samples placed by Init_Coord, so give each a unit weight.
+    if (phase_ == ReconstructionPhase::kSearchCoords) coords_.set_counts(1);
+    phase_ = ReconstructionPhase::kUpdateCoords;
+  } else if (count_ < config_.n_total / 2) {
+    phase_ = ReconstructionPhase::kTrainNearest;
+  } else {
+    phase_ = ReconstructionPhase::kTrainPredict;
+  }
+}
+
+double Reconstructor::suggested_theta_drift(double z) const {
+  if (dist_count_ == 0) return 0.0;
+  const double variance = dist_m2_ / static_cast<double>(dist_count_);
+  return dist_mean_ + z * std::sqrt(std::max(0.0, variance));
+}
+
+std::size_t Reconstructor::memory_bytes() const {
+  return coords_.memory_bytes() + sizeof(*this) - sizeof(coords_);
+}
+
+}  // namespace edgedrift::drift

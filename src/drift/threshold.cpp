@@ -1,0 +1,32 @@
+#include "edgedrift/drift/threshold.hpp"
+
+#include <vector>
+
+#include "edgedrift/linalg/vector_ops.hpp"
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::drift {
+
+double drift_threshold_from_distances(std::span<const double> distances,
+                                      double z) {
+  EDGEDRIFT_ASSERT(!distances.empty(), "need at least one distance");
+  return linalg::mean(distances) + z * linalg::stddev_population(distances);
+}
+
+double calibrate_drift_threshold(const linalg::Matrix& x,
+                                 std::span<const int> labels,
+                                 const linalg::Matrix& centroids, double z) {
+  EDGEDRIFT_ASSERT(x.rows() == labels.size(), "X/label row mismatch");
+  EDGEDRIFT_ASSERT(x.cols() == centroids.cols(), "dim mismatch");
+  std::vector<double> distances(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const int c = labels[i];
+    EDGEDRIFT_ASSERT(
+        c >= 0 && static_cast<std::size_t>(c) < centroids.rows(),
+        "label out of range");
+    distances[i] = linalg::l1_distance(x.row(i), centroids.row(c));
+  }
+  return drift_threshold_from_distances(distances, z);
+}
+
+}  // namespace edgedrift::drift

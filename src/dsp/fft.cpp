@@ -1,0 +1,91 @@
+#include "edgedrift/dsp/fft.hpp"
+
+#include <cmath>
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::dsp {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+void fft(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  EDGEDRIFT_ASSERT(is_power_of_two(n), "FFT length must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterfly passes.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / double(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void ifft(std::span<std::complex<double>> data) {
+  fft(data, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v *= inv_n;
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> signal) {
+  std::vector<std::complex<double>> data(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    data[i] = std::complex<double>(signal[i], 0.0);
+  }
+  fft(data);
+  return data;
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> signal) {
+  EDGEDRIFT_ASSERT(signal.size() >= 4, "frame too short");
+  const auto spectrum = fft_real(signal);
+  const std::size_t half = signal.size() / 2;
+  std::vector<double> magnitudes(half - 1);
+  const double scale = 2.0 / static_cast<double>(signal.size());
+  for (std::size_t k = 1; k < half; ++k) {
+    magnitudes[k - 1] = std::abs(spectrum[k]) * scale;
+  }
+  return magnitudes;
+}
+
+void apply_window(Window window, std::span<double> frame) {
+  const std::size_t n = frame.size();
+  if (n == 0) return;
+  switch (window) {
+    case Window::kRectangular:
+      break;
+    case Window::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        frame[i] *= 0.5 - 0.5 * std::cos(2.0 * kPi * double(i) / double(n));
+      }
+      break;
+    case Window::kHamming:
+      for (std::size_t i = 0; i < n; ++i) {
+        frame[i] *=
+            0.54 - 0.46 * std::cos(2.0 * kPi * double(i) / double(n));
+      }
+      break;
+  }
+}
+
+}  // namespace edgedrift::dsp

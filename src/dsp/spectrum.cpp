@@ -1,0 +1,101 @@
+#include "edgedrift/dsp/spectrum.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "edgedrift/util/assert.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace edgedrift::dsp {
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+constexpr double kFundamentalHz = 50.0;  // Matches FanSpectrumConcept.
+constexpr double kBladePassHz = 350.0;   // 7 blades x 50 Hz.
+
+}  // namespace
+
+SpectrumExtractor::SpectrumExtractor(std::size_t frame_size, Window window)
+    : frame_size_(frame_size), window_(window) {
+  EDGEDRIFT_ASSERT(is_power_of_two(frame_size_) && frame_size_ >= 8,
+                   "frame size must be a power of two >= 8");
+}
+
+void SpectrumExtractor::extract(std::span<const double> frame,
+                                std::span<double> out) const {
+  EDGEDRIFT_ASSERT(frame.size() == frame_size_, "frame size mismatch");
+  EDGEDRIFT_ASSERT(out.size() == output_dim(), "output size mismatch");
+  std::vector<double> windowed(frame.begin(), frame.end());
+  apply_window(window_, windowed);
+  const std::vector<double> magnitudes = magnitude_spectrum(windowed);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = magnitudes[i];
+}
+
+std::vector<double> SpectrumExtractor::extract(
+    std::span<const double> frame) const {
+  std::vector<double> out(output_dim());
+  extract(frame, out);
+  return out;
+}
+
+FanWaveform::FanWaveform(data::FanCondition condition,
+                         data::FanEnvironment environment)
+    : condition_(condition), environment_(environment) {}
+
+void FanWaveform::synthesize(util::Rng& rng, std::span<double> frame) {
+  const double noise_sigma =
+      environment_ == data::FanEnvironment::kSilent ? 0.3 : 1.2;
+  // Per-frame speed wobble, as in the spectral generator.
+  const double jitter = rng.uniform(0.97, 1.03);
+  const double f0 = kFundamentalHz * jitter;
+
+  // Damage-dependent component amplitudes (mirroring FanSpectrumConcept).
+  const double fundamental_gain =
+      condition_ == data::FanCondition::kChipped ? 2.2 : 1.0;
+  double bpf_amp = 0.5;
+  double sideband_amp = 0.0;
+  double subharmonic_amp = 0.0;
+  double extra_noise = 0.0;
+  switch (condition_) {
+    case data::FanCondition::kNormal:
+      break;
+    case data::FanCondition::kHoles:
+      bpf_amp = 1.8;
+      sideband_amp = 0.8;
+      extra_noise = 0.4;
+      break;
+    case data::FanCondition::kChipped:
+      bpf_amp = 0.7;
+      subharmonic_amp = 0.9;
+      extra_noise = 0.5;
+      break;
+  }
+
+  const double dt = 1.0 / kSampleRate;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    const double revolutions = phase_ + f0 * dt * static_cast<double>(i);
+    double x = 0.0;
+    // Harmonic series of the rotation frequency, 1/k amplitudes.
+    for (int k = 1; k * kFundamentalHz < kSampleRate / 2.0; ++k) {
+      double amplitude = 1.0 / static_cast<double>(k);
+      if (k == 1) amplitude *= fundamental_gain;
+      x += amplitude * std::sin(kTwoPi * k * revolutions);
+    }
+    // Blade-pass component and damage signatures.
+    const double bp_ratio = kBladePassHz / kFundamentalHz;
+    x += bpf_amp * std::sin(kTwoPi * bp_ratio * revolutions + 0.7);
+    if (sideband_amp > 0.0) {
+      x += sideband_amp * std::sin(kTwoPi * (bp_ratio - 1.0) * revolutions);
+      x += sideband_amp * std::sin(kTwoPi * (bp_ratio + 1.0) * revolutions);
+    }
+    if (subharmonic_amp > 0.0) {
+      x += subharmonic_amp * std::sin(kTwoPi * 0.5 * revolutions + 0.3);
+    }
+    x += rng.gaussian(0.0, noise_sigma + extra_noise);
+    frame[i] = x;
+  }
+  phase_ += f0 * dt * static_cast<double>(frame.size());
+  phase_ -= std::floor(phase_);  // Keep the phase accumulator bounded.
+}
+
+}  // namespace edgedrift::dsp

@@ -1,0 +1,26 @@
+#include "edgedrift/eval/memory_audit.hpp"
+
+#include "edgedrift/util/table.hpp"
+
+namespace edgedrift::eval {
+
+void MemoryAudit::add(std::string component, std::size_t bytes) {
+  entries_.push_back(Entry{std::move(component), bytes});
+}
+
+std::size_t MemoryAudit::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& e : entries_) total += e.bytes;
+  return total;
+}
+
+std::string MemoryAudit::table() const {
+  util::Table table({"Component", "Memory"});
+  for (const auto& e : entries_) {
+    table.add_row({e.component, util::fmt_kb(e.bytes)});
+  }
+  table.add_row({"TOTAL", util::fmt_kb(total_bytes())});
+  return table.str();
+}
+
+}  // namespace edgedrift::eval

@@ -1,0 +1,103 @@
+#include "edgedrift/eval/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::eval {
+
+double StreamingAccuracy::overall() const {
+  return range(0, correct_.size());
+}
+
+double StreamingAccuracy::range(std::size_t begin, std::size_t end) const {
+  EDGEDRIFT_ASSERT(begin <= end && end <= correct_.size(),
+                   "range out of bounds");
+  if (begin == end) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (correct_[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(end - begin);
+}
+
+std::vector<double> StreamingAccuracy::windowed(std::size_t window) const {
+  EDGEDRIFT_ASSERT(window > 0, "window must be positive");
+  std::vector<double> series;
+  for (std::size_t begin = 0; begin + window <= correct_.size();
+       begin += window) {
+    series.push_back(range(begin, begin + window));
+  }
+  return series;
+}
+
+std::optional<std::size_t> DetectionLog::delay(std::size_t drift_at) const {
+  for (const std::size_t d : detections_) {
+    if (d >= drift_at) return d - drift_at;
+  }
+  return std::nullopt;
+}
+
+std::size_t DetectionLog::false_alarms(std::size_t drift_at) const {
+  return static_cast<std::size_t>(
+      std::count_if(detections_.begin(), detections_.end(),
+                    [drift_at](std::size_t d) { return d < drift_at; }));
+}
+
+PrequentialAccuracy::PrequentialAccuracy(double fading_factor)
+    : fading_factor_(fading_factor) {
+  EDGEDRIFT_ASSERT(fading_factor > 0.0 && fading_factor <= 1.0,
+                   "fading factor must be in (0, 1]");
+}
+
+double PrequentialAccuracy::record(bool correct) {
+  weighted_correct_ =
+      (correct ? 1.0 : 0.0) + fading_factor_ * weighted_correct_;
+  weighted_count_ = 1.0 + fading_factor_ * weighted_count_;
+  ++samples_;
+  return value();
+}
+
+double PrequentialAccuracy::value() const {
+  return weighted_count_ > 0.0 ? weighted_correct_ / weighted_count_ : 0.0;
+}
+
+void PrequentialAccuracy::reset() {
+  weighted_correct_ = 0.0;
+  weighted_count_ = 0.0;
+  samples_ = 0;
+}
+
+double best_mapped_accuracy(const std::vector<int>& predicted,
+                            const std::vector<int>& truth,
+                            std::size_t num_labels) {
+  EDGEDRIFT_ASSERT(predicted.size() == truth.size(), "length mismatch");
+  EDGEDRIFT_ASSERT(num_labels > 0 && num_labels <= 8,
+                   "exhaustive mapping supports up to 8 labels");
+  if (predicted.empty()) return 0.0;
+
+  // Confusion counts.
+  std::vector<std::size_t> confusion(num_labels * num_labels, 0);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const auto p = static_cast<std::size_t>(predicted[i]);
+    const auto t = static_cast<std::size_t>(truth[i]);
+    EDGEDRIFT_ASSERT(p < num_labels && t < num_labels, "label out of range");
+    ++confusion[p * num_labels + t];
+  }
+
+  // Exhaustive search over bijections (num_labels <= 8 keeps this tiny).
+  std::vector<std::size_t> perm(num_labels);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::size_t best = 0;
+  do {
+    std::size_t hits = 0;
+    for (std::size_t p = 0; p < num_labels; ++p) {
+      hits += confusion[p * num_labels + perm[p]];
+    }
+    best = std::max(best, hits);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return static_cast<double>(best) / static_cast<double>(predicted.size());
+}
+
+}  // namespace edgedrift::eval

@@ -1,0 +1,218 @@
+#include "edgedrift/io/checkpoint.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "edgedrift/io/binary.hpp"
+
+namespace edgedrift::io {
+namespace {
+
+constexpr const char* kSection = "edgedrift.pipeline";
+
+void write_config(Writer& w, const core::PipelineConfig& config) {
+  w.write_u64(config.num_labels);
+  w.write_u64(config.input_dim);
+  w.write_u64(config.hidden_dim);
+  w.write_u32(static_cast<std::uint32_t>(config.activation));
+  w.write_f64(config.weight_scale);
+  w.write_f64(config.reg_lambda);
+  w.write_f64(config.theta_error);
+  w.write_f64(config.theta_error_z);
+  w.write_f64(config.z);
+  w.write_u64(config.window_size);
+  w.write_f64(config.ewma_decay);
+  w.write_u64(static_cast<std::uint64_t>(config.detector_initial_count));
+  w.write_u64(config.reconstruction.n_search);
+  w.write_u64(config.reconstruction.n_update);
+  w.write_u64(config.reconstruction.n_total);
+  w.write_u64(config.seed);
+}
+
+bool read_config(Reader& r, core::PipelineConfig& config) {
+  std::uint64_t u64 = 0;
+  std::uint32_t u32 = 0;
+  if (!r.read_u64(u64)) return false;
+  config.num_labels = u64;
+  if (!r.read_u64(u64)) return false;
+  config.input_dim = u64;
+  if (!r.read_u64(u64)) return false;
+  config.hidden_dim = u64;
+  if (!r.read_u32(u32) || u32 > 3) return false;
+  config.activation = static_cast<oselm::Activation>(u32);
+  if (!r.read_f64(config.weight_scale)) return false;
+  if (!r.read_f64(config.reg_lambda)) return false;
+  if (!r.read_f64(config.theta_error)) return false;
+  if (!r.read_f64(config.theta_error_z)) return false;
+  if (!r.read_f64(config.z)) return false;
+  if (!r.read_u64(u64)) return false;
+  config.window_size = u64;
+  if (!r.read_f64(config.ewma_decay)) return false;
+  if (!r.read_u64(u64)) return false;
+  config.detector_initial_count = static_cast<long>(u64);
+  if (!r.read_u64(u64)) return false;
+  config.reconstruction.n_search = u64;
+  if (!r.read_u64(u64)) return false;
+  config.reconstruction.n_update = u64;
+  if (!r.read_u64(u64)) return false;
+  config.reconstruction.n_total = u64;
+  if (!r.read_u64(u64)) return false;
+  config.seed = u64;
+  return true;
+}
+
+// A checkpoint's config bytes may be corrupted; every field must be proven
+// sane BEFORE core::Pipeline's constructor allocates from it or trips an
+// assertion on it.
+bool config_is_sane(const core::PipelineConfig& config) {
+  constexpr std::size_t kMaxLabels = 1u << 12;
+  constexpr std::size_t kMaxDim = 1u << 20;
+  constexpr std::size_t kMaxHidden = 1u << 16;
+  constexpr std::size_t kMaxCount = 1u << 30;
+  if (config.num_labels == 0 || config.num_labels > kMaxLabels) return false;
+  if (config.input_dim == 0 || config.input_dim > kMaxDim) return false;
+  if (config.hidden_dim == 0 || config.hidden_dim > kMaxHidden) return false;
+  if (config.window_size == 0 || config.window_size > kMaxCount) {
+    return false;
+  }
+  if (!(config.reg_lambda > 0.0) || !std::isfinite(config.reg_lambda)) {
+    return false;
+  }
+  if (!std::isfinite(config.weight_scale) || !std::isfinite(config.z) ||
+      !std::isfinite(config.theta_error) ||
+      !std::isfinite(config.theta_error_z)) {
+    return false;
+  }
+  if (!(config.ewma_decay >= 0.0) || config.ewma_decay >= 1.0) return false;
+  const auto& recon = config.reconstruction;
+  if (recon.n_total == 0 || recon.n_total > kMaxCount) return false;
+  if (recon.n_search > recon.n_update || recon.n_update > recon.n_total ||
+      recon.n_update > recon.n_total / 2) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool save_pipeline(std::ostream& out, const core::Pipeline& pipeline) {
+  if (!pipeline.fitted()) return false;
+  Writer w(out);
+  w.write_header(kSection);
+  write_config(w, pipeline.config());
+  w.write_f64(pipeline.theta_error());
+
+  // Shared projection weights (for integrity verification at load time).
+  const auto& projection = *pipeline.model().projection();
+  w.write_matrix(projection.alpha());
+  w.write_doubles(projection.bias());
+
+  // Per-instance trained state.
+  const auto& model = pipeline.model();
+  w.write_u64(model.num_labels());
+  for (std::size_t c = 0; c < model.num_labels(); ++c) {
+    const auto& net = model.instance(c).net();
+    w.write_matrix(net.beta());
+    w.write_matrix(net.p());
+    w.write_u64(net.samples_seen());
+  }
+
+  // Detector calibration.
+  const auto& detector = pipeline.detector();
+  w.write_matrix(detector.trained_centroids());
+  w.write_matrix(detector.recent_centroids());
+  w.write_sizes(detector.counts());
+  w.write_sizes(detector.calibrated_counts());
+  w.write_f64(detector.theta_drift());
+  w.write_checksum();
+  return w.ok();
+}
+
+std::optional<core::Pipeline> load_pipeline(std::istream& in) {
+  Reader r(in);
+  if (!r.read_header(kSection)) return std::nullopt;
+
+  core::PipelineConfig config;
+  double theta_error = 0.0;
+  if (!read_config(r, config) || !r.read_f64(theta_error)) {
+    return std::nullopt;
+  }
+  if (!config_is_sane(config) || !std::isfinite(theta_error)) {
+    return std::nullopt;
+  }
+  // Construct with the persisted effective gate so the rebuilt detector
+  // carries it from the start.
+  core::PipelineConfig effective = config;
+  effective.theta_error = theta_error;
+  core::Pipeline pipeline(effective);
+
+  // Verify projection integrity (same seed => identical weights).
+  linalg::Matrix alpha;
+  std::vector<double> bias;
+  if (!r.read_matrix(alpha) || !r.read_doubles(bias)) return std::nullopt;
+  const auto& projection = *pipeline.model().projection();
+  if (alpha.rows() != projection.alpha().rows() ||
+      alpha.cols() != projection.alpha().cols() ||
+      linalg::Matrix::max_abs_diff(alpha, projection.alpha()) != 0.0) {
+    return std::nullopt;
+  }
+
+  // Instance states.
+  std::uint64_t labels = 0;
+  if (!r.read_u64(labels) || labels != config.num_labels) {
+    return std::nullopt;
+  }
+  for (std::size_t c = 0; c < labels; ++c) {
+    linalg::Matrix beta, p;
+    std::uint64_t seen = 0;
+    if (!r.read_matrix(beta) || !r.read_matrix(p) || !r.read_u64(seen)) {
+      return std::nullopt;
+    }
+    if (beta.rows() != config.hidden_dim ||
+        beta.cols() != config.input_dim || p.rows() != config.hidden_dim ||
+        p.cols() != config.hidden_dim) {
+      return std::nullopt;
+    }
+    pipeline.model_mutable().instance_mutable(c).restore_state(
+        std::move(beta), std::move(p), seen);
+  }
+
+  // Detector state.
+  linalg::Matrix trained, recent;
+  std::vector<std::size_t> counts, calibrated_counts;
+  double theta_drift = 0.0;
+  if (!r.read_matrix(trained) || !r.read_matrix(recent) ||
+      !r.read_sizes(counts) || !r.read_sizes(calibrated_counts) ||
+      !r.read_f64(theta_drift)) {
+    return std::nullopt;
+  }
+  if (trained.rows() != config.num_labels ||
+      trained.cols() != config.input_dim ||
+      recent.rows() != config.num_labels ||
+      recent.cols() != config.input_dim ||
+      counts.size() != config.num_labels ||
+      calibrated_counts.size() != config.num_labels) {
+    return std::nullopt;
+  }
+  if (!r.verify_checksum()) return std::nullopt;
+  pipeline.detector_mutable().restore(trained, recent, counts,
+                                      calibrated_counts, theta_drift);
+  pipeline.finish_restore(theta_error);
+  if (!r.ok()) return std::nullopt;
+  return pipeline;
+}
+
+bool save_pipeline_file(const std::string& path,
+                        const core::Pipeline& pipeline) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return save_pipeline(out, pipeline);
+}
+
+std::optional<core::Pipeline> load_pipeline_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return load_pipeline(in);
+}
+
+}  // namespace edgedrift::io

@@ -1,0 +1,156 @@
+#include "edgedrift/linalg/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edgedrift/linalg/gemm.hpp"
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::linalg {
+
+std::optional<LuFactorization> lu_factor(const Matrix& a) {
+  EDGEDRIFT_ASSERT(a.rows() == a.cols(), "LU needs a square matrix");
+  const std::size_t n = a.rows();
+  LuFactorization f{a, std::vector<std::size_t>(n), 1};
+  for (std::size_t i = 0; i < n; ++i) f.piv[i] = i;
+
+  Matrix& lu = f.lu;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |value| in column k at/below the diagonal.
+    std::size_t pivot = k;
+    double best = std::abs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < 1e-13) return std::nullopt;
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot, j));
+      std::swap(f.piv[k], f.piv[pivot]);
+      f.sign = -f.sign;
+    }
+    const double inv_diag = 1.0 / lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu(i, k) * inv_diag;
+      lu(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= factor * lu(k, j);
+    }
+  }
+  return f;
+}
+
+void lu_solve(const LuFactorization& f, std::span<const double> b,
+              std::span<double> x) {
+  const std::size_t n = f.lu.rows();
+  EDGEDRIFT_ASSERT(b.size() == n && x.size() == n, "lu_solve size mismatch");
+  // Forward substitution with the permuted right-hand side.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[f.piv[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= f.lu(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Backward substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= f.lu(ii, j) * x[j];
+    x[ii] = acc / f.lu(ii, ii);
+  }
+}
+
+Matrix lu_solve_matrix(const LuFactorization& f, const Matrix& b) {
+  const std::size_t n = f.lu.rows();
+  EDGEDRIFT_ASSERT(b.rows() == n, "lu_solve_matrix shape mismatch");
+  Matrix x(n, b.cols());
+  std::vector<double> col(n), sol(n);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = b(r, c);
+    lu_solve(f, col, sol);
+    for (std::size_t r = 0; r < n; ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+std::optional<Matrix> inverse(const Matrix& a) {
+  auto f = lu_factor(a);
+  if (!f) return std::nullopt;
+  return lu_solve_matrix(*f, Matrix::identity(a.rows()));
+}
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  EDGEDRIFT_ASSERT(a.rows() == a.cols(), "Cholesky needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (acc <= 0.0) return std::nullopt;
+        l(i, j) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+void cholesky_solve(const Matrix& l, std::span<const double> b,
+                    std::span<double> x) {
+  const std::size_t n = l.rows();
+  EDGEDRIFT_ASSERT(b.size() == n && x.size() == n,
+                   "cholesky_solve size mismatch");
+  // L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * x[j];
+    x[i] = acc / l(i, i);
+  }
+  // L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l(j, ii) * x[j];
+    x[ii] = acc / l(ii, ii);
+  }
+}
+
+std::optional<Matrix> spd_inverse(const Matrix& a) {
+  auto l = cholesky(a);
+  if (!l) return std::nullopt;
+  const std::size_t n = a.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0), col(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    cholesky_solve(*l, e, col);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+    e[c] = 0.0;
+  }
+  return inv;
+}
+
+Matrix regularized_gram_inverse(const Matrix& a, double lambda) {
+  EDGEDRIFT_ASSERT(lambda > 0.0, "regularization must be positive");
+  Matrix gram = matmul_at_b(a, a);
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+  auto inv = spd_inverse(gram);
+  EDGEDRIFT_ASSERT(inv.has_value(),
+                   "regularized Gram matrix must be positive definite");
+  return std::move(*inv);
+}
+
+Matrix regularized_pinv(const Matrix& a, double lambda) {
+  // (A^T A + lambda I)^-1 A^T.
+  return matmul_a_bt(regularized_gram_inverse(a, lambda), a);
+}
+
+Matrix ridge_least_squares(const Matrix& a, const Matrix& b, double lambda) {
+  EDGEDRIFT_ASSERT(a.rows() == b.rows(), "ridge shape mismatch");
+  return matmul(regularized_gram_inverse(a, lambda), matmul_at_b(a, b));
+}
+
+}  // namespace edgedrift::linalg

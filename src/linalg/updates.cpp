@@ -1,0 +1,75 @@
+#include "edgedrift/linalg/updates.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "edgedrift/linalg/gemm.hpp"
+#include "edgedrift/linalg/solve.hpp"
+#include "edgedrift/linalg/vector_ops.hpp"
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::linalg {
+
+bool sherman_morrison_update(Matrix& p, std::span<const double> u,
+                             std::span<const double> v) {
+  const std::size_t n = p.rows();
+  EDGEDRIFT_ASSERT(p.cols() == n, "P must be square");
+  EDGEDRIFT_ASSERT(u.size() == n && v.size() == n,
+                   "sherman_morrison size mismatch");
+  std::vector<double> pu(n), vtp(n);
+  matvec(p, u, pu);
+  matvec_transposed(p, v, vtp);
+  const double denom = 1.0 + dot(v, pu);
+  if (std::abs(denom) < 1e-13) return false;
+  const double scale = -1.0 / denom;
+  ger(p, scale, pu, vtp);
+  return true;
+}
+
+bool oselm_p_update(Matrix& p, std::span<const double> h, double alpha,
+                    std::span<double> ph_scratch) {
+  const std::size_t n = p.rows();
+  EDGEDRIFT_ASSERT(p.cols() == n, "P must be square");
+  EDGEDRIFT_ASSERT(h.size() == n && ph_scratch.size() == n,
+                   "oselm_p_update size mismatch");
+  EDGEDRIFT_ASSERT(alpha > 0.0 && alpha <= 1.0,
+                   "forgetting factor must be in (0, 1]");
+  // ph = P h (P is symmetric, so P h == P^T h and one matvec suffices).
+  matvec(p, h, ph_scratch);
+  const double hph = dot(h, ph_scratch);
+  const double denom = alpha + hph;
+  if (!(denom > 0.0) || !std::isfinite(denom)) return false;
+  // P <- (P - ph ph^T / denom) / alpha, fused into one pass.
+  const double inv_alpha = 1.0 / alpha;
+  const double scale = inv_alpha / denom;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phi = ph_scratch[i];
+    double* prow = p.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      prow[j] = inv_alpha * prow[j] - scale * phi * ph_scratch[j];
+    }
+  }
+  return true;
+}
+
+bool woodbury_update(Matrix& p, const Matrix& u, const Matrix& v) {
+  const std::size_t n = p.rows();
+  const std::size_t k = u.cols();
+  EDGEDRIFT_ASSERT(p.cols() == n, "P must be square");
+  EDGEDRIFT_ASSERT(u.rows() == n && v.rows() == n && v.cols() == k,
+                   "woodbury shape mismatch");
+  // PU: n x k, core = I + V^T P U: k x k.
+  Matrix pu = matmul(p, u);
+  Matrix core = matmul_at_b(v, pu);
+  for (std::size_t i = 0; i < k; ++i) core(i, i) += 1.0;
+  auto f = lu_factor(core);
+  if (!f) return false;
+  // P -= PU * core^-1 * (V^T P) = PU * core^-1 * (P^T V)^T.
+  Matrix vtp = matmul_at_b(v, p);              // k x n
+  Matrix core_inv_vtp = lu_solve_matrix(*f, vtp);  // k x n
+  Matrix delta = matmul(pu, core_inv_vtp);     // n x n
+  p -= delta;
+  return true;
+}
+
+}  // namespace edgedrift::linalg

@@ -1,0 +1,98 @@
+#include "edgedrift/linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::linalg {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  EDGEDRIFT_DASSERT(a.size() == b.size(), "dot size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+double norm1(std::span<const double> a) {
+  double acc = 0.0;
+  for (double v : a) acc += std::abs(v);
+  return acc;
+}
+
+double l2_distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(squared_l2_distance(a, b));
+}
+
+double squared_l2_distance(std::span<const double> a,
+                           std::span<const double> b) {
+  EDGEDRIFT_DASSERT(a.size() == b.size(), "distance size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double l1_distance(std::span<const double> a, std::span<const double> b) {
+  EDGEDRIFT_DASSERT(a.size() == b.size(), "distance size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  EDGEDRIFT_DASSERT(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void copy(std::span<const double> src, std::span<double> dst) {
+  EDGEDRIFT_DASSERT(src.size() == dst.size(), "copy size mismatch");
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void fill(std::span<double> v, double value) {
+  std::fill(v.begin(), v.end(), value);
+}
+
+void running_mean_update(std::span<double> mean, std::span<const double> x,
+                         std::size_t count) {
+  EDGEDRIFT_DASSERT(mean.size() == x.size(), "running mean size mismatch");
+  const double n = static_cast<double>(count);
+  const double inv = 1.0 / (n + 1.0);
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    mean[i] = (mean[i] * n + x[i]) * inv;
+  }
+}
+
+void ewma_update(std::span<double> mean, std::span<const double> x,
+                 double decay) {
+  EDGEDRIFT_DASSERT(mean.size() == x.size(), "ewma size mismatch");
+  EDGEDRIFT_DASSERT(decay >= 0.0 && decay <= 1.0, "decay must be in [0,1]");
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    mean[i] = decay * mean[i] + (1.0 - decay) * x[i];
+  }
+}
+
+double mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev_population(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  const double mu = mean(v);
+  double acc = 0.0;
+  for (double x : v) {
+    const double d = x - mu;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+}  // namespace edgedrift::linalg

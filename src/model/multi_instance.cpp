@@ -1,0 +1,123 @@
+#include "edgedrift/model/multi_instance.hpp"
+
+#include <limits>
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::model {
+
+MultiInstanceModel::MultiInstanceModel(std::size_t num_labels,
+                                       oselm::ProjectionPtr projection,
+                                       double reg_lambda,
+                                       double forgetting_factor)
+    : projection_(std::move(projection)), score_scratch_(num_labels) {
+  EDGEDRIFT_ASSERT(num_labels > 0, "need at least one label");
+  EDGEDRIFT_ASSERT(projection_ != nullptr, "projection must not be null");
+  instances_.reserve(num_labels);
+  for (std::size_t i = 0; i < num_labels; ++i) {
+    instances_.emplace_back(projection_, reg_lambda, forgetting_factor);
+  }
+}
+
+void MultiInstanceModel::init_train(const linalg::Matrix& x,
+                                    std::span<const int> labels) {
+  EDGEDRIFT_ASSERT(x.rows() == labels.size(), "X/label row mismatch");
+  for (std::size_t label = 0; label < instances_.size(); ++label) {
+    // Gather the rows of this label into a contiguous block.
+    std::size_t count = 0;
+    for (const int l : labels) {
+      EDGEDRIFT_ASSERT(l >= 0 && static_cast<std::size_t>(l) < num_labels(),
+                       "label out of range");
+      if (static_cast<std::size_t>(l) == label) ++count;
+    }
+    EDGEDRIFT_ASSERT(count > 0, "every label needs initial samples");
+    linalg::Matrix block(count, x.cols());
+    std::size_t row = 0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      if (static_cast<std::size_t>(labels[r]) == label) {
+        block.set_row(row++, x.row(r));
+      }
+    }
+    instances_[label].init_train(block);
+  }
+}
+
+void MultiInstanceModel::init_sequential() {
+  for (auto& inst : instances_) inst.init_sequential();
+}
+
+void MultiInstanceModel::scores(std::span<const double> x,
+                                std::span<double> out) const {
+  EDGEDRIFT_ASSERT(out.size() == num_labels(), "score buffer size mismatch");
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    out[i] = instances_[i].score(x);
+  }
+}
+
+Prediction MultiInstanceModel::predict(std::span<const double> x) const {
+  scores(x, score_scratch_);
+  Prediction best{0, std::numeric_limits<double>::infinity()};
+  for (std::size_t i = 0; i < score_scratch_.size(); ++i) {
+    if (score_scratch_[i] < best.score) {
+      best.label = i;
+      best.score = score_scratch_[i];
+    }
+  }
+  return best;
+}
+
+double MultiInstanceModel::score_of(std::span<const double> x,
+                                    std::size_t label) const {
+  EDGEDRIFT_ASSERT(label < num_labels(), "label out of range");
+  return instances_[label].score(x);
+}
+
+Prediction MultiInstanceModel::train_closest(std::span<const double> x) {
+  const Prediction pred = predict(x);
+  instances_[pred.label].train(x);
+  return pred;
+}
+
+void MultiInstanceModel::train_label(std::span<const double> x,
+                                     std::size_t label) {
+  EDGEDRIFT_ASSERT(label < num_labels(), "label out of range");
+  instances_[label].train(x);
+}
+
+void MultiInstanceModel::reset() {
+  for (auto& inst : instances_) inst.reset();
+}
+
+void MultiInstanceModel::apply_permutation(
+    std::span<const std::size_t> perm) {
+  EDGEDRIFT_ASSERT(perm.size() == num_labels(), "permutation arity mismatch");
+  std::vector<oselm::Autoencoder> reordered;
+  reordered.reserve(instances_.size());
+  for (const std::size_t src : perm) {
+    EDGEDRIFT_ASSERT(src < instances_.size(), "permutation index range");
+    reordered.push_back(std::move(instances_[src]));
+  }
+  instances_ = std::move(reordered);
+}
+
+const oselm::Autoencoder& MultiInstanceModel::instance(
+    std::size_t label) const {
+  EDGEDRIFT_ASSERT(label < num_labels(), "label out of range");
+  return instances_[label];
+}
+
+oselm::Autoencoder& MultiInstanceModel::instance_mutable(std::size_t label) {
+  EDGEDRIFT_ASSERT(label < num_labels(), "label out of range");
+  return instances_[label];
+}
+
+std::size_t MultiInstanceModel::memory_bytes() const {
+  std::size_t bytes = projection_->memory_bytes() +
+                      score_scratch_.capacity() * sizeof(double);
+  for (const auto& inst : instances_) {
+    bytes += inst.memory_bytes(/*include_projection=*/false);
+  }
+  return bytes;
+}
+
+}  // namespace edgedrift::model

@@ -1,0 +1,37 @@
+#include "edgedrift/oselm/activation.hpp"
+
+#include <cmath>
+
+namespace edgedrift::oselm {
+
+void apply_activation(Activation act, std::span<double> values) {
+  switch (act) {
+    case Activation::kSigmoid:
+      for (auto& v : values) v = 1.0 / (1.0 + std::exp(-v));
+      break;
+    case Activation::kTanh:
+      for (auto& v : values) v = std::tanh(v);
+      break;
+    case Activation::kRelu:
+      for (auto& v : values) v = v > 0.0 ? v : 0.0;
+      break;
+    case Activation::kIdentity:
+      break;
+  }
+}
+
+std::string_view activation_name(Activation act) {
+  switch (act) {
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kIdentity:
+      return "identity";
+  }
+  return "unknown";
+}
+
+}  // namespace edgedrift::oselm

@@ -1,0 +1,40 @@
+#include "edgedrift/oselm/autoencoder.hpp"
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::oselm {
+namespace {
+
+OsElmConfig autoencoder_config(const ProjectionPtr& projection,
+                               double reg_lambda, double forgetting_factor) {
+  EDGEDRIFT_ASSERT(projection != nullptr, "projection must not be null");
+  OsElmConfig config;
+  config.output_dim = projection->input_dim();
+  config.reg_lambda = reg_lambda;
+  config.forgetting_factor = forgetting_factor;
+  return config;
+}
+
+}  // namespace
+
+Autoencoder::Autoencoder(ProjectionPtr projection, double reg_lambda,
+                         double forgetting_factor)
+    : net_(projection,
+           autoencoder_config(projection, reg_lambda, forgetting_factor)),
+      recon_scratch_(projection->input_dim()) {}
+
+void Autoencoder::init_train(const linalg::Matrix& x) {
+  net_.init_train(x, x);
+}
+
+double Autoencoder::score(std::span<const double> x) const {
+  net_.predict(x, recon_scratch_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - recon_scratch_[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+}  // namespace edgedrift::oselm

@@ -1,0 +1,62 @@
+#include "edgedrift/util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  EDGEDRIFT_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  EDGEDRIFT_ASSERT(row.size() == header_.size(),
+                   "row arity must match header arity");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& out,
+                      const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  emit_row(out, header_);
+  out << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out.str();
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_kb(std::size_t bytes, int digits) {
+  return fmt(static_cast<double>(bytes) / 1024.0, digits) + " kB";
+}
+
+}  // namespace edgedrift::util

@@ -1,0 +1,412 @@
+// Tests for the data substrate: dataset plumbing, concept generators, drift
+// composers (Figure 1 shapes), the two dataset simulators, CSV I/O, and the
+// scalers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "edgedrift/data/cooling_fan_like.hpp"
+#include "edgedrift/data/csv.hpp"
+#include "edgedrift/data/drift_stream.hpp"
+#include "edgedrift/data/gaussian_concept.hpp"
+#include "edgedrift/data/normalize.hpp"
+#include "edgedrift/data/nsl_kdd_like.hpp"
+#include "edgedrift/data/stream.hpp"
+#include "edgedrift/linalg/vector_ops.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace {
+
+using edgedrift::data::CoolingFanLike;
+using edgedrift::data::Dataset;
+using edgedrift::data::FanCondition;
+using edgedrift::data::FanEnvironment;
+using edgedrift::data::FanSpectrumConcept;
+using edgedrift::data::GaussianClass;
+using edgedrift::data::GaussianConcept;
+using edgedrift::data::NslKddLike;
+using edgedrift::linalg::Matrix;
+using edgedrift::util::Rng;
+
+GaussianConcept simple_concept(double center, double sep = 4.0) {
+  GaussianClass a;
+  a.mean = {center, center};
+  a.stddev = {0.2};
+  GaussianClass b;
+  b.mean = {center + sep, center + sep};
+  b.stddev = {0.2};
+  return GaussianConcept({a, b});
+}
+
+double mean_of_dim(const Dataset& d, std::size_t begin, std::size_t end,
+                   std::size_t dim) {
+  double acc = 0.0;
+  for (std::size_t i = begin; i < end; ++i) acc += d.x(i, dim);
+  return acc / static_cast<double>(end - begin);
+}
+
+TEST(Dataset, PushBackAndSlice) {
+  Dataset d;
+  d.push_back(std::vector<double>{1.0, 2.0}, 0);
+  d.push_back(std::vector<double>{3.0, 4.0}, 1);
+  d.push_back(std::vector<double>{5.0, 6.0}, 0);
+  EXPECT_EQ(d.size(), 3u);
+  const Dataset s = d.slice(1, 3);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x(0, 0), 3.0);
+  EXPECT_EQ(s.labels[0], 1);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  Rng rng(1);
+  const auto concept_a = simple_concept(0.0);
+  Dataset a = edgedrift::data::draw(concept_a, 10, rng);
+  Dataset b = edgedrift::data::draw(concept_a, 5, rng);
+  a.append(b);
+  EXPECT_EQ(a.size(), 15u);
+  EXPECT_EQ(a.labels.size(), 15u);
+}
+
+TEST(GaussianConcept, SamplesClusterAroundMeans) {
+  Rng rng(2);
+  const auto c = simple_concept(1.0);
+  Dataset d = edgedrift::data::draw(c, 2000, rng);
+  double sum0 = 0.0, sum1 = 0.0;
+  std::size_t n0 = 0, n1 = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d.labels[i] == 0) {
+      sum0 += d.x(i, 0);
+      ++n0;
+    } else {
+      sum1 += d.x(i, 0);
+      ++n1;
+    }
+  }
+  EXPECT_NEAR(sum0 / n0, 1.0, 0.05);
+  EXPECT_NEAR(sum1 / n1, 5.0, 0.05);
+  // Roughly balanced weights.
+  EXPECT_NEAR(static_cast<double>(n0) / d.size(), 0.5, 0.05);
+}
+
+TEST(GaussianConcept, WeightsControlLabelFrequency) {
+  GaussianClass a;
+  a.mean = {0.0};
+  a.stddev = {0.1};
+  a.weight = 3.0;
+  GaussianClass b;
+  b.mean = {5.0};
+  b.stddev = {0.1};
+  b.weight = 1.0;
+  GaussianConcept c({a, b});
+  Rng rng(3);
+  Dataset d = edgedrift::data::draw(c, 4000, rng);
+  const auto zeros = static_cast<double>(
+      std::count(d.labels.begin(), d.labels.end(), 0));
+  EXPECT_NEAR(zeros / 4000.0, 0.75, 0.03);
+}
+
+TEST(GaussianConcept, InterpolationMovesMeans) {
+  const auto a = simple_concept(0.0);
+  const auto b = simple_concept(10.0);
+  const auto mid = GaussianConcept::interpolate(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.cls(0).mean[0], 5.0);
+  EXPECT_DOUBLE_EQ(mid.cls(1).mean[0], 9.0);
+}
+
+TEST(DriftStream, SuddenSwitchesAtExactIndex) {
+  Rng rng(4);
+  const auto a = simple_concept(0.0);
+  const auto b = simple_concept(20.0);
+  const Dataset d =
+      edgedrift::data::make_sudden_drift(a, b, 200, 100, rng);
+  ASSERT_EQ(d.size(), 200u);
+  // Everything before 100 is near concept A (values < 10), after is > 10.
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_LT(d.x(i, 0), 10.0);
+  for (std::size_t i = 100; i < 200; ++i) EXPECT_GT(d.x(i, 0), 10.0);
+}
+
+TEST(DriftStream, GradualMixesBothConcepts) {
+  Rng rng(5);
+  const auto a = simple_concept(0.0);
+  const auto b = simple_concept(20.0);
+  const Dataset d =
+      edgedrift::data::make_gradual_drift(a, b, 1000, 200, 800, rng);
+  // In the middle of the transition both concepts appear.
+  std::size_t from_a = 0, from_b = 0;
+  for (std::size_t i = 450; i < 550; ++i) {
+    if (d.x(i, 0) < 10.0) {
+      ++from_a;
+    } else {
+      ++from_b;
+    }
+  }
+  EXPECT_GT(from_a, 20u);
+  EXPECT_GT(from_b, 20u);
+  // Pure A before, pure B after.
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_LT(d.x(i, 0), 10.0);
+  for (std::size_t i = 800; i < 1000; ++i) EXPECT_GT(d.x(i, 0), 10.0);
+}
+
+TEST(DriftStream, IncrementalShiftsDistributionSmoothly) {
+  Rng rng(6);
+  const auto a = simple_concept(0.0);
+  const auto b = simple_concept(20.0);
+  const Dataset d =
+      edgedrift::data::make_incremental_drift(a, b, 1200, 200, 1000, rng);
+  // Mean of dimension 0 rises monotonically across the transition thirds.
+  const double early = mean_of_dim(d, 200, 400, 0);
+  const double mid = mean_of_dim(d, 500, 700, 0);
+  const double late = mean_of_dim(d, 800, 1000, 0);
+  EXPECT_LT(early, mid);
+  EXPECT_LT(mid, late);
+  // Incremental (not gradual): mid-transition samples are NOT bimodal at
+  // the endpoints — no sample near concept A's pure position.
+  std::size_t near_a = 0;
+  for (std::size_t i = 580; i < 620; ++i) {
+    if (d.x(i, 0) < 3.0) ++near_a;
+  }
+  EXPECT_LT(near_a, 5u);
+}
+
+TEST(DriftStream, ReoccurringReturnsToOldConcept) {
+  Rng rng(7);
+  const auto a = simple_concept(0.0);
+  const auto b = simple_concept(20.0);
+  const Dataset d =
+      edgedrift::data::make_reoccurring_drift(a, b, 300, 100, 150, rng);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_LT(d.x(i, 0), 10.0);
+  for (std::size_t i = 100; i < 150; ++i) EXPECT_GT(d.x(i, 0), 10.0);
+  for (std::size_t i = 150; i < 300; ++i) EXPECT_LT(d.x(i, 0), 10.0);
+}
+
+TEST(NslKddLike, ShapesMatchPaperSetup) {
+  edgedrift::data::NslKddLike generator;
+  Rng rng(8);
+  const Dataset train = generator.training(rng);
+  const Dataset test = generator.test_stream(rng);
+  EXPECT_EQ(train.size(), 2522u);
+  EXPECT_EQ(test.size(), 22701u);
+  EXPECT_EQ(train.dim(), 38u);
+  EXPECT_EQ(generator.config().drift_point, 8333u);
+}
+
+TEST(NslKddLike, PreDriftClassesAreSeparable) {
+  edgedrift::data::NslKddLike generator;
+  Rng rng(9);
+  const Dataset train = generator.training(rng);
+  // Nearest-class-mean classification on fresh pre-drift data must be
+  // nearly perfect.
+  Matrix means(2, train.dim());
+  std::vector<std::size_t> counts(2, 0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    edgedrift::linalg::axpy(1.0, train.x.row(i),
+                            means.row(train.labels[i]));
+    ++counts[train.labels[i]];
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (auto& v : means.row(c)) v /= static_cast<double>(counts[c]);
+  }
+  const Dataset fresh = edgedrift::data::draw(generator.pre_concept(),
+                                              500, rng);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const double d0 = edgedrift::linalg::squared_l2_distance(
+        fresh.x.row(i), means.row(0));
+    const double d1 = edgedrift::linalg::squared_l2_distance(
+        fresh.x.row(i), means.row(1));
+    if ((d0 < d1 ? 0 : 1) == fresh.labels[i]) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / fresh.size(), 0.97);
+}
+
+TEST(NslKddLike, DriftMovesDistribution) {
+  edgedrift::data::NslKddLike generator;
+  Rng rng(10);
+  const Dataset test = generator.test_stream(rng);
+  const std::size_t drift = generator.config().drift_point;
+  // Per-dimension mean displacement across the drift must be significant.
+  double displacement = 0.0;
+  for (std::size_t j = 0; j < test.dim(); ++j) {
+    const double pre = mean_of_dim(test, 0, drift, j);
+    const double post = mean_of_dim(test, drift, test.size(), j);
+    displacement += std::abs(post - pre);
+  }
+  EXPECT_GT(displacement, 1.0);
+}
+
+TEST(FanSpectrum, HasHarmonicPeaks) {
+  FanSpectrumConcept normal(FanCondition::kNormal, FanEnvironment::kSilent);
+  Rng rng(11);
+  std::vector<double> x(FanSpectrumConcept::kBins);
+  normal.sample(rng, x);
+  // Fundamental at bin 49 towers over the floor nearby.
+  EXPECT_GT(x[49], 5.0 * x[40]);
+  // Second harmonic at bin 99 present.
+  EXPECT_GT(x[99], x[90] + 0.1);
+}
+
+TEST(FanSpectrum, DamageSignaturesDiffer) {
+  Rng rng(12);
+  std::vector<double> normal_spec(FanSpectrumConcept::kBins, 0.0);
+  std::vector<double> holes_spec(FanSpectrumConcept::kBins, 0.0);
+  std::vector<double> chipped_spec(FanSpectrumConcept::kBins, 0.0);
+  std::vector<double> tmp(FanSpectrumConcept::kBins);
+  FanSpectrumConcept normal(FanCondition::kNormal, FanEnvironment::kSilent);
+  FanSpectrumConcept holes(FanCondition::kHoles, FanEnvironment::kSilent);
+  FanSpectrumConcept chipped(FanCondition::kChipped,
+                             FanEnvironment::kSilent);
+  for (int i = 0; i < 50; ++i) {
+    normal.sample(rng, tmp);
+    for (std::size_t j = 0; j < tmp.size(); ++j) normal_spec[j] += tmp[j];
+    holes.sample(rng, tmp);
+    for (std::size_t j = 0; j < tmp.size(); ++j) holes_spec[j] += tmp[j];
+    chipped.sample(rng, tmp);
+    for (std::size_t j = 0; j < tmp.size(); ++j) chipped_spec[j] += tmp[j];
+  }
+  // Holes: raised blade-pass energy (bin 349) and sidebands (bin 299).
+  EXPECT_GT(holes_spec[349], normal_spec[349] * 1.3);
+  EXPECT_GT(holes_spec[299], normal_spec[299] * 1.5);
+  // Chipped: raised fundamental (unbalance, bin 49) and sub-harmonic
+  // (bin 24).
+  EXPECT_GT(chipped_spec[49], normal_spec[49] * 1.5);
+  EXPECT_GT(chipped_spec[24], normal_spec[24] * 1.5);
+}
+
+TEST(FanSpectrum, NoisyEnvironmentRaisesFloor) {
+  Rng rng(13);
+  FanSpectrumConcept silent(FanCondition::kNormal, FanEnvironment::kSilent);
+  FanSpectrumConcept noisy(FanCondition::kNormal, FanEnvironment::kNoisy);
+  std::vector<double> x(FanSpectrumConcept::kBins);
+  double silent_floor = 0.0, noisy_floor = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    silent.sample(rng, x);
+    silent_floor += x[160];  // A bin away from every peak and shoulder.
+    noisy.sample(rng, x);
+    noisy_floor += x[160];
+  }
+  EXPECT_GT(noisy_floor, silent_floor * 2.0);
+}
+
+TEST(CoolingFanLike, StreamSchedulesMatchPaper) {
+  CoolingFanLike generator;
+  Rng rng(14);
+  EXPECT_EQ(generator.config().drift_point, 120u);
+  EXPECT_EQ(generator.config().gradual_end, 600u);
+  EXPECT_EQ(generator.config().reoccur_end, 170u);
+  const auto sudden = generator.sudden_stream(rng);
+  const auto gradual = generator.gradual_stream(rng);
+  const auto reoccur = generator.reoccurring_stream(rng);
+  EXPECT_EQ(sudden.size(), 700u);
+  EXPECT_EQ(gradual.size(), 700u);
+  EXPECT_EQ(reoccur.size(), 700u);
+  EXPECT_EQ(sudden.dim(), 511u);
+}
+
+TEST(CoolingFanLike, SuddenStreamChangesAtDriftPoint) {
+  CoolingFanLike generator;
+  Rng rng(15);
+  const auto sudden = generator.sudden_stream(rng);
+  // Blade-pass sideband bin (299) energy jumps after the drift.
+  const double pre = mean_of_dim(sudden, 0, 120, 299);
+  const double post = mean_of_dim(sudden, 120, 700, 299);
+  EXPECT_GT(post, pre * 1.5);
+}
+
+TEST(CoolingFanLike, ReoccurringStreamReturnsToNormal) {
+  CoolingFanLike generator;
+  Rng rng(16);
+  const auto stream = generator.reoccurring_stream(rng);
+  // Chipped signature (sub-harmonic bin 24) high only inside [120, 170).
+  const double inside = mean_of_dim(stream, 120, 170, 24);
+  const double after = mean_of_dim(stream, 200, 700, 24);
+  EXPECT_GT(inside, after * 1.5);
+}
+
+TEST(Csv, RoundTripPreservesData) {
+  Dataset d;
+  d.push_back(std::vector<double>{1.5, -2.25}, 0);
+  d.push_back(std::vector<double>{0.0, 3.75}, 1);
+  const std::string path = "/tmp/edgedrift_csv_test.csv";
+  ASSERT_TRUE(edgedrift::data::save_csv(path, d));
+
+  edgedrift::data::CsvOptions options;
+  options.label_column = -2;  // Last column.
+  const auto loaded = edgedrift::data::load_csv(path, options);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->dim(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->x(0, 1), -2.25);
+  EXPECT_EQ(loaded->labels[1], 1);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(
+      edgedrift::data::load_csv("/tmp/definitely_missing_edgedrift.csv")
+          .has_value());
+}
+
+TEST(Csv, HeaderIsSkipped) {
+  const std::string path = "/tmp/edgedrift_csv_header.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("a,b\n1.0,2.0\n", f);
+    fclose(f);
+  }
+  edgedrift::data::CsvOptions options;
+  options.has_header = true;
+  const auto loaded = edgedrift::data::load_csv(path, options);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(MinMaxScaler, MapsFitRangeToUnitInterval) {
+  Matrix x{{0.0, 10.0}, {5.0, 20.0}, {10.0, 30.0}};
+  edgedrift::data::MinMaxScaler scaler;
+  scaler.fit(x);
+  std::vector<double> sample{5.0, 30.0};
+  scaler.transform(sample);
+  EXPECT_DOUBLE_EQ(sample[0], 0.5);
+  EXPECT_DOUBLE_EQ(sample[1], 1.0);
+}
+
+TEST(MinMaxScaler, ClampLimitsOutOfRange) {
+  Matrix x{{0.0}, {10.0}};
+  edgedrift::data::MinMaxScaler scaler;
+  scaler.clamp = true;
+  scaler.fit(x);
+  std::vector<double> sample{20.0};
+  scaler.transform(sample);
+  EXPECT_DOUBLE_EQ(sample[0], 1.0);
+}
+
+TEST(MinMaxScaler, ConstantDimensionMapsToZero) {
+  Matrix x{{3.0}, {3.0}};
+  edgedrift::data::MinMaxScaler scaler;
+  scaler.fit(x);
+  std::vector<double> sample{3.0};
+  scaler.transform(sample);
+  EXPECT_DOUBLE_EQ(sample[0], 0.0);
+}
+
+TEST(ZScoreScaler, StandardizesFitData) {
+  Rng rng(17);
+  Matrix x(500, 2);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.gaussian(5.0, 2.0);
+    x(i, 1) = rng.gaussian(-3.0, 0.5);
+  }
+  edgedrift::data::ZScoreScaler scaler;
+  scaler.fit(x);
+  Dataset d;
+  d.x = x;
+  d.labels.assign(500, 0);
+  scaler.transform(d);
+  EXPECT_NEAR(mean_of_dim(d, 0, 500, 0), 0.0, 1e-9);
+  EXPECT_NEAR(mean_of_dim(d, 0, 500, 1), 0.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+// Tests for the DSP front end: FFT correctness (against a naive DFT and
+// analytic cases), windows, the spectrum extractor, and the end-to-end
+// waveform -> spectrum -> drift-pipeline path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/data/stream.hpp"
+#include "edgedrift/dsp/fft.hpp"
+#include "edgedrift/dsp/spectrum.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace {
+
+using edgedrift::dsp::FanWaveform;
+using edgedrift::dsp::SpectrumExtractor;
+using edgedrift::dsp::Window;
+using edgedrift::util::Rng;
+
+constexpr double kTwoPi = 6.28318530717958647692;
+
+std::vector<std::complex<double>> naive_dft(
+    const std::vector<double>& signal) {
+  const std::size_t n = signal.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -kTwoPi * double(k) * double(t) / double(n);
+      acc += signal[t] * std::complex<double>(std::cos(angle),
+                                              std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(Fft, MatchesNaiveDftOnRandomSignal) {
+  Rng rng(1);
+  std::vector<double> signal(64);
+  for (auto& v : signal) v = rng.gaussian();
+  const auto expected = naive_dft(signal);
+  const auto actual = edgedrift::dsp::fft_real(signal);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t k = 0; k < actual.size(); ++k) {
+    EXPECT_NEAR(actual[k].real(), expected[k].real(), 1e-9);
+    EXPECT_NEAR(actual[k].imag(), expected[k].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<double> impulse(32, 0.0);
+  impulse[0] = 1.0;
+  const auto spectrum = edgedrift::dsp::fft_real(impulse);
+  for (const auto& v : spectrum) {
+    EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureSinePeaksAtItsBin) {
+  const std::size_t n = 256;
+  const std::size_t bin = 17;
+  std::vector<double> signal(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    signal[t] = std::sin(kTwoPi * double(bin) * double(t) / double(n));
+  }
+  const auto magnitudes = edgedrift::dsp::magnitude_spectrum(signal);
+  // magnitude_spectrum index k-1 corresponds to bin k; amplitude 1 sine
+  // maps to ~1.0 after the 2/N scaling.
+  EXPECT_NEAR(magnitudes[bin - 1], 1.0, 1e-9);
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    if (k == bin) continue;
+    EXPECT_LT(magnitudes[k - 1], 1e-9);
+  }
+}
+
+TEST(Fft, RoundTripThroughInverse) {
+  Rng rng(2);
+  std::vector<std::complex<double>> data(128);
+  std::vector<std::complex<double>> original(128);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {rng.gaussian(), rng.gaussian()};
+    original[i] = data[i];
+  }
+  edgedrift::dsp::fft(data);
+  edgedrift::dsp::ifft(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  Rng rng(3);
+  std::vector<double> signal(64);
+  for (auto& v : signal) v = rng.gaussian();
+  double time_energy = 0.0;
+  for (const double v : signal) time_energy += v * v;
+  const auto spectrum = edgedrift::dsp::fft_real(signal);
+  double freq_energy = 0.0;
+  for (const auto& v : spectrum) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / double(signal.size()), time_energy, 1e-9);
+}
+
+TEST(Windows, HannEndpointsAreZeroAndMidIsOne) {
+  std::vector<double> frame(128, 1.0);
+  edgedrift::dsp::apply_window(Window::kHann, frame);
+  EXPECT_NEAR(frame[0], 0.0, 1e-12);
+  EXPECT_NEAR(frame[64], 1.0, 1e-3);
+}
+
+TEST(Windows, RectangularIsIdentity) {
+  std::vector<double> frame{1.0, -2.0, 3.0};
+  edgedrift::dsp::apply_window(Window::kRectangular, frame);
+  EXPECT_DOUBLE_EQ(frame[1], -2.0);
+}
+
+TEST(SpectrumExtractor, OutputDimMatchesFanConvention) {
+  SpectrumExtractor extractor(1024);
+  EXPECT_EQ(extractor.output_dim(), 511u);  // 1..511 Hz at 1 Hz bins.
+}
+
+TEST(SpectrumExtractor, LocatesSinePeak) {
+  SpectrumExtractor extractor(1024, Window::kHann);
+  std::vector<double> frame(1024);
+  for (std::size_t t = 0; t < frame.size(); ++t) {
+    frame[t] = std::sin(kTwoPi * 50.0 * double(t) / 1024.0);
+  }
+  const auto spectrum = extractor.extract(frame);
+  // Bin index 49 corresponds to 50 Hz. It must dominate everything away
+  // from the peak's window-spread shoulders.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < spectrum.size(); ++i) {
+    if (spectrum[i] > spectrum[best]) best = i;
+  }
+  EXPECT_EQ(best, 49u);
+  EXPECT_GT(spectrum[49], 20.0 * spectrum[200]);
+}
+
+TEST(FanWaveformDsp, NormalSpectrumHasHarmonicStructure) {
+  Rng rng(4);
+  FanWaveform fan(edgedrift::data::FanCondition::kNormal,
+                  edgedrift::data::FanEnvironment::kSilent);
+  SpectrumExtractor extractor;
+  std::vector<double> frame(1024);
+  std::vector<double> mean_spectrum(511, 0.0);
+  for (int rep = 0; rep < 10; ++rep) {
+    fan.synthesize(rng, frame);
+    const auto s = extractor.extract(frame);
+    for (std::size_t i = 0; i < s.size(); ++i) mean_spectrum[i] += s[i];
+  }
+  // Fundamental (bin 49) towers above a quiet bin; second harmonic
+  // present. Speed jitter spreads peaks a little, so compare windows.
+  auto peak_near = [&](std::size_t center) {
+    double best = 0.0;
+    for (std::size_t i = center - 3; i <= center + 3; ++i) {
+      best = std::max(best, mean_spectrum[i]);
+    }
+    return best;
+  };
+  EXPECT_GT(peak_near(49), 5.0 * mean_spectrum[160]);
+  EXPECT_GT(peak_near(99), 2.0 * mean_spectrum[160]);
+}
+
+TEST(FanWaveformDsp, DamageChangesExtractedSpectrum) {
+  Rng rng(5);
+  SpectrumExtractor extractor;
+  std::vector<double> frame(1024);
+
+  auto mean_spectrum = [&](edgedrift::data::FanCondition condition) {
+    FanWaveform fan(condition, edgedrift::data::FanEnvironment::kSilent);
+    std::vector<double> acc(511, 0.0);
+    for (int rep = 0; rep < 12; ++rep) {
+      fan.synthesize(rng, frame);
+      const auto s = extractor.extract(frame);
+      for (std::size_t i = 0; i < s.size(); ++i) acc[i] += s[i];
+    }
+    return acc;
+  };
+
+  const auto normal = mean_spectrum(edgedrift::data::FanCondition::kNormal);
+  const auto holes = mean_spectrum(edgedrift::data::FanCondition::kHoles);
+  const auto chipped =
+      mean_spectrum(edgedrift::data::FanCondition::kChipped);
+
+  auto peak_near = [](const std::vector<double>& s, std::size_t center) {
+    double best = 0.0;
+    for (std::size_t i = center - 3; i <= center + 3; ++i) {
+      best = std::max(best, s[i]);
+    }
+    return best;
+  };
+  // Holes: blade-pass (349) and sidebands (299/399) grow.
+  EXPECT_GT(peak_near(holes, 349), 1.8 * peak_near(normal, 349));
+  EXPECT_GT(peak_near(holes, 299), 1.5 * peak_near(normal, 299));
+  // Chipped: fundamental (49) and the 25 Hz sub-harmonic (24) grow.
+  EXPECT_GT(peak_near(chipped, 49), 1.5 * peak_near(normal, 49));
+  EXPECT_GT(peak_near(chipped, 24), 2.0 * peak_near(normal, 24));
+}
+
+TEST(FanWaveformDsp, EndToEndDriftDetectionFromRawWaveforms) {
+  // The full sensor-to-decision path: raw accelerometer frames -> spectrum
+  // extractor -> proposed pipeline; a blade-damage event must be detected.
+  Rng rng(6);
+  SpectrumExtractor extractor;
+  FanWaveform healthy(edgedrift::data::FanCondition::kNormal,
+                      edgedrift::data::FanEnvironment::kSilent);
+  FanWaveform damaged(edgedrift::data::FanCondition::kHoles,
+                      edgedrift::data::FanEnvironment::kSilent);
+  std::vector<double> frame(1024);
+
+  // Train on 150 healthy spectra.
+  edgedrift::data::Dataset train;
+  train.x.resize_zero(150, 511);
+  train.labels.assign(150, 0);
+  for (std::size_t i = 0; i < 150; ++i) {
+    healthy.synthesize(rng, frame);
+    extractor.extract(frame, train.x.row(i));
+  }
+
+  edgedrift::core::PipelineConfig config;
+  config.num_labels = 1;
+  config.input_dim = 511;
+  config.hidden_dim = 22;
+  config.window_size = 20;
+  config.detector_initial_count = 0;
+  config.reconstruction = {5, 20, 80};
+  edgedrift::core::Pipeline pipeline(config);
+  pipeline.fit(train.x, train.labels);
+
+  std::vector<double> spectrum(511);
+  // 100 healthy frames: no alarm.
+  for (int i = 0; i < 100; ++i) {
+    healthy.synthesize(rng, frame);
+    extractor.extract(frame, spectrum);
+    ASSERT_FALSE(pipeline.process(spectrum).drift_detected)
+        << "false alarm on healthy frame " << i;
+  }
+  // Damage begins: must be detected within 200 frames.
+  int detected_at = -1;
+  for (int i = 0; i < 200; ++i) {
+    damaged.synthesize(rng, frame);
+    extractor.extract(frame, spectrum);
+    if (pipeline.process(spectrum).drift_detected) {
+      detected_at = i;
+      break;
+    }
+  }
+  EXPECT_GE(detected_at, 0);
+}
+
+}  // namespace

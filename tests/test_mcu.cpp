@@ -1,0 +1,167 @@
+// Tests for the MCU deployment profile (mcu::StaticPipeline): compile-time
+// memory budget, agreement with the double-precision pipeline, and the full
+// detect -> reconstruct -> recover loop in float32.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/data/drift_stream.hpp"
+#include "edgedrift/data/gaussian_concept.hpp"
+#include "edgedrift/data/nsl_kdd_like.hpp"
+#include "edgedrift/mcu/static_pipeline.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace {
+
+using edgedrift::core::Pipeline;
+using edgedrift::core::PipelineConfig;
+using edgedrift::util::Rng;
+
+// The paper's two deployment configurations as compile-time facts.
+using NslPipeline = edgedrift::mcu::StaticPipeline<38, 22, 2>;
+using FanPipeline = edgedrift::mcu::StaticPipeline<511, 22, 1>;
+
+static_assert(NslPipeline::state_bytes() < 264 * 1024,
+              "NSL-KDD config must fit the Raspberry Pi Pico SRAM");
+static_assert(FanPipeline::state_bytes() < 264 * 1024,
+              "cooling-fan config must fit the Raspberry Pi Pico SRAM");
+
+std::vector<float> to_float(std::span<const double> x) {
+  std::vector<float> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = static_cast<float>(x[i]);
+  }
+  return out;
+}
+
+TEST(StaticPipeline, StateSizesAreAsExpected) {
+  // Dominant terms: alpha (d*h) + per-label beta (h*d) and P (h*h), all
+  // float32, plus four C x D centroid sets.
+  EXPECT_LT(NslPipeline::state_bytes(), 32u * 1024u);
+  EXPECT_GT(FanPipeline::state_bytes(), 90u * 1024u);
+  EXPECT_LT(FanPipeline::state_bytes(), 120u * 1024u);
+}
+
+class StaticPipelineNsl : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edgedrift::data::NslKddLikeConfig data_config;
+    data_config.train_size = 800;
+    data_config.test_size = 4000;
+    data_config.drift_point = 1500;
+    edgedrift::data::NslKddLike generator(data_config);
+    Rng rng(77);
+    train_ = generator.training(rng);
+    test_ = generator.test_stream(rng);
+    drift_at_ = data_config.drift_point;
+
+    PipelineConfig config;
+    config.num_labels = 2;
+    config.input_dim = 38;
+    config.hidden_dim = 22;
+    config.window_size = 100;
+    config.detector_initial_count = 0;
+    config.theta_error_z = 4.0;
+    config.reconstruction = {20, 120, 500};
+    reference_ = std::make_unique<Pipeline>(config);
+    reference_->fit(train_.x, train_.labels);
+    device_.load(*reference_);
+  }
+
+  edgedrift::data::Dataset train_;
+  edgedrift::data::Dataset test_;
+  std::size_t drift_at_ = 0;
+  std::unique_ptr<Pipeline> reference_;
+  NslPipeline device_;
+};
+
+TEST_F(StaticPipelineNsl, LoadCopiesThresholds) {
+  EXPECT_TRUE(device_.loaded());
+  EXPECT_NEAR(device_.theta_error(), reference_->theta_error(), 1e-6);
+  EXPECT_NEAR(device_.theta_drift(), reference_->detector().theta_drift(),
+              1e-4);
+}
+
+TEST_F(StaticPipelineNsl, PredictionsMatchDoublePipeline) {
+  std::size_t disagreements = 0;
+  const std::size_t n = 500;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = test_.x.row(i);
+    const auto ref = reference_->model().predict(x);
+    float score = 0.0f;
+    const std::size_t label = device_.predict(to_float(x), score);
+    if (label != ref.label) ++disagreements;
+    // Scores agree to float precision.
+    EXPECT_NEAR(score, static_cast<float>(ref.score),
+                5e-4f * (1.0f + score));
+  }
+  // float32 rounding may flip ties, but essentially never on separated
+  // classes.
+  EXPECT_LE(disagreements, n / 100);
+}
+
+TEST_F(StaticPipelineNsl, DetectsReconstructsAndRecovers) {
+  std::size_t hits_tail = 0, tail = 0;
+  std::ptrdiff_t detected_at = -1;
+  bool recon_finished = false;
+  for (std::size_t i = 0; i < test_.size(); ++i) {
+    const auto xf = to_float(test_.x.row(i));
+    const auto step = device_.process(xf);
+    if (step.drift_detected && detected_at < 0) {
+      detected_at = static_cast<std::ptrdiff_t>(i);
+    }
+    recon_finished |= step.reconstruction_finished;
+    if (i >= test_.size() * 3 / 4) {
+      ++tail;
+      hits_tail +=
+          static_cast<int>(step.label) == test_.labels[i] ? 1 : 0;
+    }
+  }
+  ASSERT_GE(detected_at, static_cast<std::ptrdiff_t>(drift_at_));
+  EXPECT_TRUE(recon_finished);
+  EXPECT_GT(static_cast<double>(hits_tail) / tail, 0.9);
+}
+
+TEST_F(StaticPipelineNsl, QuietBeforeDrift) {
+  for (std::size_t i = 0; i < drift_at_; ++i) {
+    const auto step = device_.process(to_float(test_.x.row(i)));
+    ASSERT_FALSE(step.drift_detected) << "false alarm at " << i;
+  }
+}
+
+TEST_F(StaticPipelineNsl, TrainLabelReducesScore) {
+  std::vector<float> x(38, 0.9f);
+  const float before = device_.score_of(x, 0);
+  for (int i = 0; i < 30; ++i) device_.train_label(x, 0);
+  const float after = device_.score_of(x, 0);
+  EXPECT_LT(after, before * 0.2f);
+}
+
+TEST(StaticPipelineFan, SingleLabelConfigLoadsAndRuns) {
+  // Minimal smoke of the 511-dim single-label config through a fitted
+  // double pipeline (kept tiny: the goal is the load/predict path).
+  Rng rng(5);
+  edgedrift::data::GaussianClass normal;
+  normal.mean.assign(511, 0.3);
+  normal.stddev = {0.05};
+  edgedrift::data::GaussianConcept concept_n({normal});
+  const auto train = edgedrift::data::draw(concept_n, 80, rng);
+
+  PipelineConfig config;
+  config.num_labels = 1;
+  config.input_dim = 511;
+  config.hidden_dim = 22;
+  config.window_size = 20;
+  Pipeline reference(config);
+  reference.fit(train.x, train.labels);
+
+  static FanPipeline device;  // ~100 kB: keep off the test thread's stack.
+  device.load(reference);
+  float score = 0.0f;
+  const std::size_t label = device.predict(to_float(train.x.row(0)), score);
+  EXPECT_EQ(label, 0u);
+  EXPECT_LT(score, 0.1f);
+}
+
+}  // namespace
