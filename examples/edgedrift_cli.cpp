@@ -11,6 +11,11 @@
 //   --dataset nslkdd | fan-sudden | fan-gradual | fan-reoccurring
 //   --train-csv PATH / --test-csv PATH   (labels in the last column)
 //   --method proposed | baseline | quanttree | spll | onlad | multiwindow
+//   --detector KIND run any drift::DetectorKind by name (centroid,
+//                   multiwindow, quanttree, spll, ddm, eddm, adwin,
+//                   kswin, pagehinkley) through the pipeline; overrides
+//                   --method
+//   --recovery reconstruct | recalibrate | detect-only   (default reconstruct)
 //   --window N      proposed-method window size W        (default 100)
 //   --drift-at N    true drift index for delay reporting  (dataset default)
 //   --seed N        stream RNG seed                       (default 2023)
@@ -22,8 +27,11 @@
 #include <optional>
 #include <string>
 
+#include "edgedrift/core/pipeline.hpp"
 #include "edgedrift/data/cooling_fan_like.hpp"
 #include "edgedrift/data/csv.hpp"
+#include "edgedrift/drift/detector_factory.hpp"
+#include "edgedrift/util/stopwatch.hpp"
 #include "edgedrift/data/nsl_kdd_like.hpp"
 #include "edgedrift/eval/experiment.hpp"
 #include "edgedrift/eval/paper_configs.hpp"
@@ -40,6 +48,8 @@ struct Options {
   std::string train_csv;
   std::string test_csv;
   std::string method = "proposed";
+  std::string detector;
+  std::string recovery = "reconstruct";
   std::size_t window = 100;
   std::optional<std::size_t> drift_at;
   std::uint64_t seed = 2023;
@@ -53,6 +63,8 @@ struct Options {
                "fan-reoccurring]\n"
                "          [--train-csv PATH --test-csv PATH]\n"
                "          [--method proposed|baseline|quanttree|spll|onlad|multiwindow]\n"
+               "          [--detector KIND] [--recovery reconstruct|"
+               "recalibrate|detect-only]\n"
                "          [--window N] [--drift-at N] [--seed N]\n"
                "          [--series N] [--checkpoint PATH]\n",
                argv0);
@@ -74,6 +86,10 @@ bool parse_options(int argc, char** argv, Options& opts) {
       opts.test_csv = next();
     } else if (arg == "--method") {
       opts.method = next();
+    } else if (arg == "--detector") {
+      opts.detector = next();
+    } else if (arg == "--recovery") {
+      opts.recovery = next();
     } else if (arg == "--window") {
       opts.window = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--drift-at") {
@@ -102,6 +118,46 @@ std::optional<eval::Method> method_of(const std::string& name) {
   return std::nullopt;
 }
 
+std::optional<core::RecoveryPolicy> recovery_of(const std::string& name) {
+  if (name == "reconstruct") return core::RecoveryPolicy::kReconstruct;
+  if (name == "recalibrate") return core::RecoveryPolicy::kResetRecalibrate;
+  if (name == "detect-only") return core::RecoveryPolicy::kDetectOnly;
+  return std::nullopt;
+}
+
+/// Streams any detector kind through the pipeline, mirroring what
+/// eval::run_experiment collects. True labels feed only the error-rate
+/// detectors (DDM/EDDM/ADWIN) and the accuracy accounting.
+eval::ExperimentResult run_detector(drift::DetectorKind kind,
+                                    const data::Dataset& train,
+                                    const data::Dataset& test,
+                                    const eval::ExperimentConfig& config) {
+  eval::ExperimentResult result;
+  result.method = eval::Method::kProposed;
+
+  core::PipelineConfig pc = config.pipeline;
+  pc.input_dim = train.dim();
+  pc.detector.kind = kind;
+  pc.detector.quanttree = config.quanttree;
+  pc.detector.spll = config.spll;
+  pc.detector.windows = config.ensemble_windows;
+  core::Pipeline pipeline(pc);
+  pipeline.fit(train.x, train.labels);
+
+  util::Stopwatch clock;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const core::PipelineStep step =
+        pipeline.process(test.x.row(i), test.labels[i]);
+    result.accuracy.record(static_cast<int>(step.prediction.label) ==
+                           test.labels[i]);
+    if (step.drift_detected) result.detections.record(i);
+  }
+  result.runtime_seconds = clock.elapsed_seconds();
+  result.detector_memory_bytes = pipeline.detector_memory_bytes();
+  result.model_memory_bytes = pipeline.model().memory_bytes();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,6 +165,16 @@ int main(int argc, char** argv) {
   if (!parse_options(argc, argv, opts)) usage(argv[0]);
   const auto method = method_of(opts.method);
   if (!method) usage(argv[0]);
+  const auto recovery = recovery_of(opts.recovery);
+  if (!recovery) usage(argv[0]);
+  std::optional<drift::DetectorKind> detector_kind;
+  if (!opts.detector.empty()) {
+    detector_kind = drift::kind_from_name(opts.detector);
+    if (!detector_kind) {
+      std::fprintf(stderr, "unknown detector: %s\n", opts.detector.c_str());
+      usage(argv[0]);
+    }
+  }
 
   // ------------------------------------------------------------------ data
   data::Dataset train, test;
@@ -154,15 +220,24 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
   config.pipeline.window_size = opts.window;
+  config.pipeline.recovery = *recovery;
   config.seed = opts.seed;
 
   std::printf("dataset: %s (%zu train / %zu test, %zu features)\n",
               opts.dataset.c_str(), train.size(), test.size(), train.dim());
-  std::printf("method:  %s\n\n", eval::method_name(*method).c_str());
+  if (detector_kind) {
+    std::printf("detector: %s (recovery: %s)\n\n",
+                std::string(drift::kind_name(*detector_kind)).c_str(),
+                opts.recovery.c_str());
+  } else {
+    std::printf("method:  %s\n\n", eval::method_name(*method).c_str());
+  }
 
   // ------------------------------------------------------------------- run
   const eval::ExperimentResult result =
-      eval::run_experiment(*method, train, test, config);
+      detector_kind
+          ? run_detector(*detector_kind, train, test, config)
+          : eval::run_experiment(*method, train, test, config);
 
   util::Table summary({"Metric", "Value"});
   summary.add_row({"overall accuracy",

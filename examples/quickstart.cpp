@@ -68,7 +68,7 @@ int main() {
   core::Pipeline pipeline(config);
   pipeline.fit(train.x, train.labels);
   std::printf("fitted: theta_error=%.4f theta_drift=%.4f\n",
-              pipeline.theta_error(), pipeline.detector().theta_drift());
+              pipeline.theta_error(), pipeline.centroid_detector()->theta_drift());
 
   // 3. Stream. The pipeline predicts every sample; when the detector fires
   //    it transparently rebuilds the model from the next 300 samples.
@@ -79,12 +79,12 @@ int main() {
     if (step.drift_detected) {
       std::printf("sample %zu: concept drift detected (distance %.3f >= "
                   "threshold %.3f)\n",
-                  i, step.statistic, pipeline.detector().theta_drift());
+                  i, step.statistic, pipeline.centroid_detector()->theta_drift());
     }
     if (step.reconstruction_finished) {
       std::printf("sample %zu: model reconstruction finished; detector "
                   "re-armed with theta_drift=%.3f\n",
-                  i, pipeline.detector().theta_drift());
+                  i, pipeline.centroid_detector()->theta_drift());
     }
   }
   std::printf("overall accuracy: %.1f%% over %zu samples\n",

@@ -47,7 +47,7 @@ int main() {
   std::printf("trained on %zu healthy frames (theta_error=%.4f, "
               "theta_drift=%.2f)\n\n",
               train.rows(), pipeline.theta_error(),
-              pipeline.detector().theta_drift());
+              pipeline.centroid_detector()->theta_drift());
 
   // Phase 2: stream 150 healthy frames, then the blades take damage.
   dsp::FanWaveform damaged(data::FanCondition::kHoles,
@@ -67,7 +67,7 @@ int main() {
       // Drift localization: which frequency bins moved the most. For the
       // "holes" damage this should point at the blade-pass region
       // (~350 Hz) and its sidebands (~300/400 Hz).
-      const auto bins = pipeline.detector().top_drifted_dimensions(5);
+      const auto bins = pipeline.centroid_detector()->top_drifted_dimensions(5);
       std::printf("  most-displaced frequency bins:");
       for (const std::size_t b : bins) std::printf(" %zu Hz", b + 1);
       std::printf("\n");

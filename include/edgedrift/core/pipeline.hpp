@@ -1,7 +1,9 @@
 // edgedrift::Pipeline — the public facade tying together the paper's full
 // proposed system: the multi-instance OS-ELM discriminative model
-// (Section 3.1), the sequential centroid drift detector (Algorithm 1) and
-// the streaming model reconstruction (Algorithms 2-4).
+// (Section 3.1), a pluggable concept-drift detector (Algorithm 1's centroid
+// method by default, or any of the library's nine detector families via
+// drift::DetectorSpec) and a pluggable drift response (streaming model
+// reconstruction, Algorithms 2-4, by default).
 //
 // Typical use:
 //   core::PipelineConfig config;
@@ -12,14 +14,18 @@
 //     auto step = pipeline.process(x);
 //     // step.prediction, step.drift_detected, step.reconstructing ...
 //   }
+// or, when samples arrive in blocks:
+//   auto steps = pipeline.process_batch(block);   // == process() row by row
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "edgedrift/drift/centroid_detector.hpp"
+#include "edgedrift/drift/detector_factory.hpp"
 #include "edgedrift/drift/reconstructor.hpp"
 #include "edgedrift/model/multi_instance.hpp"
 #include "edgedrift/oselm/activation.hpp"
@@ -27,7 +33,23 @@
 
 namespace edgedrift::core {
 
-/// Everything configurable about the proposed system.
+/// What the pipeline does once its detector fires.
+enum class RecoveryPolicy {
+  /// Streaming model reconstruction (paper Algorithms 2-4): reset the
+  /// instances, re-place the label coordinates, self-label retrain, then
+  /// re-arm the detector against the rebuilt concept.
+  kReconstruct,
+  /// Reset the model to the sequential prior and self-label retrain for
+  /// reconstruction.n_total samples, skipping the coordinate search; the
+  /// detector is re-armed on the per-label running centroids of the
+  /// recovery samples. Cheaper than kReconstruct, no cluster re-alignment.
+  kResetRecalibrate,
+  /// Record the detection and reset the detector; the model is left
+  /// untouched. For monitoring/evaluation of detectors in isolation.
+  kDetectOnly,
+};
+
+/// Everything configurable about the streaming system.
 struct PipelineConfig {
   std::size_t num_labels = 2;
   std::size_t input_dim = 0;
@@ -49,7 +71,17 @@ struct PipelineConfig {
   double ewma_decay = 0.0;
   long detector_initial_count = -1;
 
+  /// Which drift detector runs the detect-and-retrain loop.
+  drift::DetectorSpec detector;
+
+  /// What a detection triggers.
+  RecoveryPolicy recovery = RecoveryPolicy::kReconstruct;
+
   drift::ReconstructorConfig reconstruction;
+
+  /// Largest block process_batch() scores through the GEMM kernels at once
+  /// (bounds the batch workspace size).
+  std::size_t max_batch_rows = 256;
 
   std::uint64_t seed = 1;
 };
@@ -58,46 +90,87 @@ struct PipelineConfig {
 struct PipelineStep {
   model::Prediction prediction;   ///< Label + anomaly score.
   bool drift_detected = false;    ///< Drift fired on this sample.
-  bool reconstructing = false;    ///< Reconstruction consumed this sample.
+  bool reconstructing = false;    ///< A recovery consumed this sample.
   bool reconstruction_finished = false;  ///< This sample completed it.
+  bool collecting_reference = false;     ///< Post-recovery reference refill.
   double statistic = 0.0;         ///< Detector distance when a window closed.
   bool statistic_valid = false;
 };
 
-/// The proposed detect-and-retrain system behind one object.
+/// Aggregate counters of one pipeline's streaming history.
+struct PipelineStats {
+  std::size_t samples = 0;          ///< process()ed samples.
+  std::size_t drifts = 0;           ///< Detections fired.
+  std::size_t recoveries = 0;       ///< Recoveries completed.
+  std::size_t recovery_samples = 0; ///< Samples consumed by recoveries.
+};
+
+/// The detect-and-retrain system behind one object.
 class Pipeline {
  public:
   explicit Pipeline(PipelineConfig config);
 
-  /// Batch initial training: fits the per-label autoencoders, calibrates the
-  /// trained centroids, theta_drift (Eq. 1) and theta_error.
+  /// Batch initial training: fits the per-label autoencoders, calibrates
+  /// theta_error from the training scores, then calibrates the detector
+  /// (trained centroids + theta_drift via Eq. 1 for the centroid family;
+  /// reference fit for the batch family) in a single pass.
   void fit(const linalg::Matrix& x, std::span<const int> labels);
 
-  /// Processes one streamed sample through Algorithm 1's main loop.
-  PipelineStep process(std::span<const double> x);
+  /// Processes one streamed sample through the detect-and-retrain loop.
+  /// `true_label` (optional) feeds the error-rate detectors (DDM, EDDM,
+  /// ADWIN) their supervised mistake stream; it is never shown to the model.
+  PipelineStep process(std::span<const double> x, int true_label = -1);
+
+  /// Processes a block of samples, scoring them through the GEMM batch
+  /// kernels while the model is frozen. Results are sample-for-sample
+  /// bit-identical to calling process() row by row; the pipeline falls back
+  /// to the sequential path while a recovery is training the model.
+  /// `true_labels` is empty or one label per row.
+  std::vector<PipelineStep> process_batch(
+      const linalg::Matrix& x, std::span<const int> true_labels = {});
 
   bool fitted() const { return fitted_; }
-  bool reconstructing() const { return reconstructor_.active(); }
+  bool reconstructing() const {
+    return state_ == RecoveryState::kReconstructing;
+  }
+  /// True while any recovery (reconstruction or recalibration) is running.
+  bool recovering() const {
+    return state_ == RecoveryState::kReconstructing ||
+           state_ == RecoveryState::kRecalibrating;
+  }
 
   const PipelineConfig& config() const { return config_; }
   const model::MultiInstanceModel& model() const { return *model_; }
-  const drift::CentroidDetector& detector() const { return *detector_; }
+  const drift::Detector& detector() const { return *detector_; }
   const drift::Reconstructor& reconstructor() const { return reconstructor_; }
   double theta_error() const { return theta_error_; }
+  const PipelineStats& stats() const { return stats_; }
+
+  /// The centroid detector when the configured kind is kCentroid, nullptr
+  /// otherwise. Centroid-specific introspection (theta_drift,
+  /// top_drifted_dimensions, ...) goes through here.
+  const drift::CentroidDetector* centroid_detector() const {
+    return centroid_;
+  }
+  drift::CentroidDetector* centroid_detector_mutable() { return centroid_; }
 
   // Persistence hooks (see io/checkpoint.hpp): mutable access to the
   // trained state and a way to mark the pipeline usable after that state
   // has been restored externally.
   model::MultiInstanceModel& model_mutable() { return *model_; }
-  drift::CentroidDetector& detector_mutable() { return *detector_; }
+  drift::Detector& detector_mutable() { return *detector_; }
   void finish_restore(double theta_error) {
     theta_error_ = theta_error;
     fitted_ = true;
   }
 
-  /// Bytes of the complete on-device state (model + detector +
-  /// reconstruction bookkeeping) — what must fit the Pico's 264 kB.
+  /// Bytes of the complete on-device state (model + detector + recovery
+  /// bookkeeping) — what must fit the Pico's 264 kB.
   std::size_t memory_bytes() const;
+
+  /// Bytes of the detection-and-recovery state alone (detector, recovery
+  /// bookkeeping, reference buffer, centroid tracker) — the Table 4 figure.
+  std::size_t detector_memory_bytes() const;
 
   /// Attaches a stage timer; subsequent process() calls accumulate the
   /// Table 6 breakdown stages into it. Pass nullptr to detach.
@@ -115,15 +188,69 @@ class Pipeline {
   static constexpr const char* kStageUpdateCoord = "label coordinates update";
 
  private:
+  /// Where the detect-and-retrain loop currently is.
+  enum class RecoveryState {
+    kIdle,                 ///< Normal detection.
+    kReconstructing,       ///< Algorithms 2-4 are consuming samples.
+    kRecalibrating,        ///< kResetRecalibrate retraining is running.
+    kCollectingReference,  ///< Refilling a batch detector's reference.
+  };
+
+  /// Running per-predicted-label centroids — the pipeline's own estimate of
+  /// the current concept, used to seed recoveries for detectors that track
+  /// no centroids themselves.
+  struct RecentTracker {
+    linalg::Matrix centroids;
+    std::vector<std::size_t> counts;
+  };
+
+  /// True when no recovery is training the model, i.e. predictions are a
+  /// pure function of the sample (the precondition for batch pre-scoring).
+  bool model_frozen() const {
+    return state_ == RecoveryState::kIdle ||
+           state_ == RecoveryState::kCollectingReference;
+  }
+
+  model::Prediction timed_predict(std::span<const double> x) const;
+  PipelineStep frozen_step(std::span<const double> x,
+                           const model::Prediction& pred, int true_label);
+  PipelineStep recovery_step(std::span<const double> x);
+  void start_recovery();
   void finish_reconstruction();
+  void finish_recalibration();
+  void begin_reference_collection();
+  void update_tracker(std::size_t label, std::span<const double> x);
 
   PipelineConfig config_;
   std::unique_ptr<model::MultiInstanceModel> model_;
-  std::unique_ptr<drift::CentroidDetector> detector_;
+  std::unique_ptr<drift::Detector> detector_;
+  drift::CentroidDetector* centroid_ = nullptr;  ///< Downcast view or null.
   drift::Reconstructor reconstructor_;
   double theta_error_ = 0.0;
   bool fitted_ = false;
   util::StageTimer* stages_ = nullptr;
+
+  RecoveryState state_ = RecoveryState::kIdle;
+  PipelineStats stats_;
+
+  // Concept tracking for detectors without centroid state.
+  bool tracker_enabled_ = false;
+  RecentTracker tracker_;
+  linalg::Matrix trained_means_;  ///< Per-label anchor for re-alignment.
+  std::size_t train_rows_ = 0;
+
+  // kResetRecalibrate bookkeeping.
+  RecentTracker recal_;
+  std::size_t recal_count_ = 0;
+
+  // Post-recovery reference window for batch detectors (QuantTree, SPLL).
+  linalg::Matrix refit_buffer_;
+  std::size_t refit_fill_ = 0;
+
+  // process_batch() workspaces, reused across calls.
+  linalg::Matrix chunk_input_;
+  model::BatchWorkspace batch_ws_;
+  std::vector<model::Prediction> chunk_preds_;
 };
 
 }  // namespace edgedrift::core

@@ -1,0 +1,104 @@
+// core::PipelineManager — the multi-stream layer: one detect-and-retrain
+// Pipeline per sensor stream, fanned out over the shared thread pool.
+//
+// An edge gateway rarely watches a single signal; it aggregates N sensors,
+// each with its own concept. The manager owns one Pipeline per stream and
+// exposes a submit(stream_id, sample) entry point: samples of one stream
+// are processed strictly in submission order (a stream is never touched by
+// two workers at once), while distinct streams run concurrently. Each
+// stream keeps its own drift/recovery statistics and the per-sample steps
+// in submission order.
+//
+// Thread-safety contract: submit() may be called from any thread. fit(),
+// stream(), steps() and the stats accessors must not race with in-flight
+// samples for the same stream — call drain() first.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/util/thread_pool.hpp"
+
+namespace edgedrift::core {
+
+/// Owns N per-stream pipelines and schedules their samples over a pool.
+class PipelineManager {
+ public:
+  /// Builds `num_streams` pipelines from `config`; stream i uses seed
+  /// config.seed + i so the streams' random projections are independent.
+  /// `pool` defaults to the process-wide pool; it must outlive the manager.
+  PipelineManager(const PipelineConfig& config, std::size_t num_streams,
+                  util::ThreadPool* pool = nullptr);
+
+  /// Drains all in-flight samples before destruction.
+  ~PipelineManager();
+
+  PipelineManager(const PipelineManager&) = delete;
+  PipelineManager& operator=(const PipelineManager&) = delete;
+
+  std::size_t num_streams() const { return streams_.size(); }
+
+  /// The per-stream pipeline. Not safe while samples for this stream are
+  /// in flight — drain() first.
+  Pipeline& stream(std::size_t id);
+  const Pipeline& stream(std::size_t id) const;
+
+  /// Convenience: initial training of one stream's pipeline.
+  void fit(std::size_t id, const linalg::Matrix& x,
+           std::span<const int> labels);
+
+  /// Enqueues one sample (copied) for the stream. Returns immediately;
+  /// processing happens on the pool, in submission order per stream.
+  void submit(std::size_t id, std::span<const double> x, int true_label = -1);
+
+  /// Enqueues every row of a block for the stream.
+  void submit_batch(std::size_t id, const linalg::Matrix& x,
+                    std::span<const int> true_labels = {});
+
+  /// Blocks until every submitted sample has been processed.
+  void drain();
+
+  /// Steps produced so far for a stream, in submission order; clears the
+  /// stored steps. Call after drain() for a complete, race-free view.
+  std::vector<PipelineStep> take_steps(std::size_t id);
+
+  /// One stream's counters (samples, drifts, recoveries). drain() first.
+  const PipelineStats& stats(std::size_t id) const;
+
+  /// Counters summed across all streams. drain() first.
+  PipelineStats totals() const;
+
+ private:
+  struct QueuedSample {
+    std::vector<double> x;
+    int true_label = -1;
+  };
+
+  /// Per-stream state. The mutex guards queue/steps/scheduled; the pipeline
+  /// itself is only ever touched by the single worker draining the stream.
+  struct Stream {
+    std::unique_ptr<Pipeline> pipeline;
+    std::mutex mutex;
+    std::deque<QueuedSample> queue;
+    std::vector<PipelineStep> steps;
+    bool scheduled = false;  ///< A drain task is queued or running.
+  };
+
+  void run_stream(std::size_t id);
+
+  util::ThreadPool* pool_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;  ///< Submitted, not yet processed samples.
+  std::size_t active_ = 0;   ///< Drain tasks queued or running.
+};
+
+}  // namespace edgedrift::core

@@ -50,7 +50,8 @@ class CentroidDetector : public Detector {
   /// per-label counts, and theta_drift via Equation 1 (unless the config
   /// already fixed theta_drift > 0). Also snapshots the recent centroids to
   /// the trained ones.
-  void calibrate(const linalg::Matrix& x, std::span<const int> labels);
+  void calibrate(const linalg::Matrix& x,
+                 std::span<const int> labels) override;
 
   /// Calibrates from precomputed centroids/counts plus the distance array of
   /// Equation 1 (used when labels come from clustering).
@@ -62,6 +63,15 @@ class CentroidDetector : public Detector {
   Detection observe(const Observation& obs) override;
   void reset() override;
   void rebuild_reference(const linalg::Matrix& x) override;
+  void set_anomaly_gate(double theta_error) override {
+    config_.theta_error = theta_error;
+  }
+  const linalg::Matrix* reconstruction_seed() const override {
+    return &recent_;
+  }
+  const linalg::Matrix* reference_centroids() const override {
+    return &trained_;
+  }
   std::size_t memory_bytes() const override;
   std::string_view name() const override { return "proposed"; }
 
@@ -79,7 +89,8 @@ class CentroidDetector : public Detector {
   /// reconstruction: the rebuilt coordinates become the new reference) and
   /// re-arms the detector.
   void rearm(const linalg::Matrix& new_trained_centroids,
-             std::span<const std::size_t> counts, double new_theta_drift);
+             std::span<const std::size_t> counts,
+             double new_theta_drift) override;
 
   std::span<const std::size_t> calibrated_counts() const {
     return calibrated_counts_;

@@ -34,6 +34,14 @@ struct Detection {
 };
 
 /// Abstract streaming drift detector.
+///
+/// Beyond the observe/reset pair, the interface carries the uniform
+/// lifecycle hooks core::Pipeline drives every detector through:
+/// calibrate() before streaming, set_anomaly_gate() to propagate the
+/// model-derived theta_error, rearm() after a model recovery, and the
+/// reference-data hooks batch detectors use to re-fit post-drift. Every
+/// hook has a sensible default so scalar detectors (DDM, ADWIN, ...) stay
+/// one-override implementations.
 class Detector {
  public:
   virtual ~Detector() = default;
@@ -45,10 +53,55 @@ class Detector {
   /// restarts against the post-drift concept.
   virtual void reset() = 0;
 
+  /// Calibrates from labeled training data before streaming begins. The
+  /// default hands the features to rebuild_reference() — right for batch
+  /// detectors that fit an unlabeled reference, a no-op for scalar detectors
+  /// that self-calibrate on the stream.
+  virtual void calibrate(const linalg::Matrix& x,
+                         std::span<const int> labels) {
+    (void)labels;
+    rebuild_reference(x);
+  }
+
   /// Rebuilds the detector's reference statistics from post-drift data.
   /// Batch detectors re-fit their histogram/mixture; the default is a no-op
   /// for detectors whose reference is re-calibrated externally.
   virtual void rebuild_reference(const linalg::Matrix& x) { (void)x; }
+
+  /// Propagates the anomaly gate (Algorithm 1's theta_error) calibrated by
+  /// the discriminative model. Default: ignored — most detectors have no
+  /// gate.
+  virtual void set_anomaly_gate(double theta_error) { (void)theta_error; }
+
+  /// Re-anchors the detector after a model recovery: `centroids`/`counts`
+  /// are the rebuilt per-label coordinates, `theta_drift` the Eq. 1
+  /// threshold recomputed over the recovery samples (<= 0 keeps the old
+  /// one). Default: plain reset() for detectors without centroid state.
+  virtual void rearm(const linalg::Matrix& centroids,
+                     std::span<const std::size_t> counts, double theta_drift) {
+    (void)centroids;
+    (void)counts;
+    (void)theta_drift;
+    reset();
+  }
+
+  /// True when detection cannot resume after a recovery until
+  /// rebuild_reference() has been fed a fresh window of post-drift samples
+  /// (QuantTree, SPLL). The driver collects reference_rows() rows.
+  virtual bool needs_reference_data() const { return false; }
+
+  /// Minimum rows a post-recovery reference window must hold. Only
+  /// meaningful when needs_reference_data() is true.
+  virtual std::size_t reference_rows() const { return 0; }
+
+  /// Best current per-label centroid estimate of the post-drift concept —
+  /// the seed for model reconstruction. nullptr when the detector tracks no
+  /// centroids (the driver falls back to its own running estimate).
+  virtual const linalg::Matrix* reconstruction_seed() const { return nullptr; }
+
+  /// Frozen per-label reference centroids, used to re-align rebuilt label
+  /// identities after a reconstruction. nullptr when untracked.
+  virtual const linalg::Matrix* reference_centroids() const { return nullptr; }
 
   /// Bytes of detector state — the quantity Table 4 of the paper compares.
   virtual std::size_t memory_bytes() const = 0;

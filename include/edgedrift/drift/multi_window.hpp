@@ -34,7 +34,8 @@ class MultiWindowDetector : public Detector {
                       VotePolicy policy = VotePolicy::kMajority);
 
   /// Calibrates every member on the same training data.
-  void calibrate(const linalg::Matrix& x, std::span<const int> labels);
+  void calibrate(const linalg::Matrix& x,
+                 std::span<const int> labels) override;
 
   std::size_t members() const { return members_.size(); }
   const CentroidDetector& member(std::size_t i) const { return *members_[i]; }
@@ -53,6 +54,12 @@ class MultiWindowDetector : public Detector {
   Detection observe(const Observation& obs) override;
   void reset() override;
   void rebuild_reference(const linalg::Matrix& x) override;
+  void set_anomaly_gate(double theta_error) override;
+  /// Rearms every member to the rebuilt coordinates and clears the latched
+  /// votes, matching the per-member recovery of the ensemble extension.
+  void rearm(const linalg::Matrix& centroids,
+             std::span<const std::size_t> counts,
+             double theta_drift) override;
   std::size_t memory_bytes() const override;
   std::string_view name() const override { return "multi-window"; }
 

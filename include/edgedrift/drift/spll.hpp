@@ -51,6 +51,8 @@ class Spll : public Detector {
   Detection observe(const Observation& obs) override;
   void reset() override;
   void rebuild_reference(const linalg::Matrix& x) override { fit(x); }
+  bool needs_reference_data() const override { return true; }
+  std::size_t reference_rows() const override { return config_.batch_size; }
   std::size_t memory_bytes() const override;
   std::string_view name() const override { return "spll"; }
 

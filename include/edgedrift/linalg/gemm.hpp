@@ -21,6 +21,16 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
 /// C = A * B using the global thread pool for large problems.
 Matrix matmul_parallel(const Matrix& a, const Matrix& b);
 
+/// C = A * B into a caller-provided matrix (resized if needed). The
+/// allocation-free variant the batch scoring hot path uses with
+/// preallocated workspaces; per-element results are bit-identical to
+/// matmul().
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// matmul_into with the global thread pool for large problems. Row-
+/// partitioned, so per-element results stay bit-identical to matmul().
+void matmul_parallel_into(const Matrix& a, const Matrix& b, Matrix& c);
+
 /// y = A * x (shapes: [m,n] x [n] -> [m]). `y` must have length m.
 void matvec(const Matrix& a, std::span<const double> x, std::span<double> y);
 

@@ -166,7 +166,10 @@ void StaticPipeline<kDim, kHidden, kLabels>::load(
     }
   }
 
-  const auto& detector = pipeline.detector();
+  const drift::CentroidDetector* centroid = pipeline.centroid_detector();
+  EDGEDRIFT_ASSERT(centroid != nullptr,
+                   "StaticPipeline mirrors the centroid detector");
+  const auto& detector = *centroid;
   for (std::size_t c = 0; c < kLabels; ++c) {
     for (std::size_t d = 0; d < kDim; ++d) {
       trained_centroids_[c * kDim + d] =

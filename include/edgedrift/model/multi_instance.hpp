@@ -20,6 +20,15 @@ struct Prediction {
   double score = 0.0;     ///< Anomaly score of that instance.
 };
 
+/// Preallocated buffers for the batch scoring path. Reuse one workspace
+/// across calls to keep the hot loop allocation-free; the matrices are
+/// resized on demand.
+struct BatchWorkspace {
+  linalg::Matrix hidden;  ///< rows x hidden_dim: shared hidden activations.
+  linalg::Matrix recon;   ///< rows x input_dim: per-instance reconstruction.
+  linalg::Matrix scores;  ///< rows x num_labels: per-instance MSE scores.
+};
+
 /// Per-label OS-ELM autoencoder bank.
 class MultiInstanceModel {
  public:
@@ -42,8 +51,18 @@ class MultiInstanceModel {
   /// Anomaly score of every instance; `out` must have length num_labels().
   void scores(std::span<const double> x, std::span<double> out) const;
 
-  /// Label = argmin instance score (Algorithm 1 lines 6–7).
+  /// Label = argmin instance score (Algorithm 1 lines 6–7). Thread-safe on
+  /// a frozen model: uses no shared scratch.
   Prediction predict(std::span<const double> x) const;
+
+  /// Scores every instance on every row of X via the GEMM kernels:
+  /// ws.scores(r, l) is bit-identical to instance(l).score(x.row(r)).
+  void score_batch(const linalg::Matrix& x, BatchWorkspace& ws) const;
+
+  /// Batch prediction: out[r] is identical to predict(x.row(r)). `out`
+  /// must have length x.rows().
+  void predict_batch(const linalg::Matrix& x, BatchWorkspace& ws,
+                     std::span<Prediction> out) const;
 
   /// Anomaly score of one specific instance.
   double score_of(std::span<const double> x, std::size_t label) const;
@@ -75,7 +94,6 @@ class MultiInstanceModel {
  private:
   oselm::ProjectionPtr projection_;
   std::vector<oselm::Autoencoder> instances_;
-  mutable std::vector<double> score_scratch_;
 };
 
 }  // namespace edgedrift::model

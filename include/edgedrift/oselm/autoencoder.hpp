@@ -55,14 +55,15 @@ class Autoencoder {
   }
 
   /// Trainable-state bytes; include_projection adds the shared weights.
+  /// Includes the per-sample reconstruction scratch score() keeps on the
+  /// stack, so the figure still reflects the device working-set requirement.
   std::size_t memory_bytes(bool include_projection = false) const {
     return net_.memory_bytes(include_projection) +
-           recon_scratch_.capacity() * sizeof(double);
+           input_dim() * sizeof(double);
   }
 
  private:
   OsElm net_;
-  mutable std::vector<double> recon_scratch_;
 };
 
 }  // namespace edgedrift::oselm

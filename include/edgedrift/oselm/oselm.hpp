@@ -96,8 +96,10 @@ class OsElm {
   bool initialized_ = false;
   std::size_t samples_seen_ = 0;
 
-  // Per-sample scratch, reused to keep the hot path allocation-free.
-  mutable std::vector<double> h_scratch_;
+  // Per-sample training scratch, reused to keep the hot path
+  // allocation-free. predict() deliberately does not touch these so it is
+  // safe to call concurrently on a frozen model.
+  std::vector<double> h_scratch_;
   std::vector<double> ph_scratch_;
   std::vector<double> err_scratch_;
 };

@@ -42,6 +42,10 @@ class Projection {
   /// H = g(X * A + b) for a batch (rows are samples).
   linalg::Matrix hidden_batch(const linalg::Matrix& x) const;
 
+  /// hidden_batch into a caller-provided matrix (resized if needed). Each
+  /// row is bit-identical to hidden() on the same sample.
+  void hidden_batch_into(const linalg::Matrix& x, linalg::Matrix& h) const;
+
   /// Bytes of weight storage.
   std::size_t memory_bytes() const;
 

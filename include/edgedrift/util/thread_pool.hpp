@@ -30,10 +30,15 @@ class ThreadPool {
 
   /// Runs body(i) for i in [begin, end), split into contiguous chunks across
   /// the pool; blocks until all chunks are done. Runs inline when the range
-  /// is small or the pool has a single worker.
+  /// is small, the pool has a single worker, or the caller is itself a pool
+  /// worker — a nested parallel_for would otherwise block a worker on
+  /// futures that only another (possibly busy) worker can complete.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t min_chunk = 256);
+
+  /// True when called from one of this pool's worker threads.
+  static bool in_worker();
 
   std::size_t size() const { return workers_.size(); }
 

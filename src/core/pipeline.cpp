@@ -1,5 +1,6 @@
 #include "edgedrift/core/pipeline.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -24,6 +25,25 @@ drift::CentroidDetectorConfig detector_config(const PipelineConfig& config) {
   return det;
 }
 
+/// Per-label mean of a labeled batch.
+linalg::Matrix per_label_means(const linalg::Matrix& x,
+                               std::span<const int> labels,
+                               std::size_t num_labels) {
+  linalg::Matrix means(num_labels, x.cols());
+  std::vector<std::size_t> counts(num_labels, 0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto label = static_cast<std::size_t>(labels[i]);
+    linalg::axpy(1.0, x.row(i), means.row(label));
+    ++counts[label];
+  }
+  for (std::size_t c = 0; c < num_labels; ++c) {
+    if (counts[c] == 0) continue;
+    const double inv = 1.0 / static_cast<double>(counts[c]);
+    for (auto& v : means.row(c)) v *= inv;
+  }
+  return means;
+}
+
 }  // namespace
 
 Pipeline::Pipeline(PipelineConfig config)
@@ -32,6 +52,7 @@ Pipeline::Pipeline(PipelineConfig config)
                      config.input_dim) {
   EDGEDRIFT_ASSERT(config_.input_dim > 0, "input_dim must be set");
   EDGEDRIFT_ASSERT(config_.num_labels > 0, "num_labels must be set");
+  EDGEDRIFT_ASSERT(config_.max_batch_rows > 0, "max_batch_rows must be > 0");
   util::Rng rng(config_.seed);
   auto projection =
       oselm::make_projection(config_.input_dim, config_.hidden_dim,
@@ -39,12 +60,14 @@ Pipeline::Pipeline(PipelineConfig config)
   model_ = std::make_unique<model::MultiInstanceModel>(
       config_.num_labels, std::move(projection), config_.reg_lambda);
   detector_ =
-      std::make_unique<drift::CentroidDetector>(detector_config(config_));
+      drift::make_detector(config_.detector, detector_config(config_));
+  if (config_.detector.kind == drift::DetectorKind::kCentroid) {
+    centroid_ = static_cast<drift::CentroidDetector*>(detector_.get());
+  }
 }
 
 void Pipeline::fit(const linalg::Matrix& x, std::span<const int> labels) {
   model_->init_train(x, labels);
-  detector_->calibrate(x, labels);
 
   if (config_.theta_error <= 0.0) {
     // Auto-calibrate the anomaly gate from the training scores: a window
@@ -59,74 +82,120 @@ void Pipeline::fit(const linalg::Matrix& x, std::span<const int> labels) {
   } else {
     theta_error_ = config_.theta_error;
   }
-  // Propagate the calibrated gate into the detector's config.
-  drift::CentroidDetectorConfig det = detector_->config();
-  det.theta_error = theta_error_;
-  auto replacement = std::make_unique<drift::CentroidDetector>(det);
-  replacement->calibrate(x, labels);
-  detector_ = std::move(replacement);
+  // Set the gate first, then calibrate once — the detector sees its final
+  // configuration in a single pass.
+  detector_->set_anomaly_gate(theta_error_);
+  detector_->calibrate(x, labels);
 
+  // Concept bookkeeping for recoveries. Detectors that track no centroids
+  // of their own get a pipeline-owned running estimate; everyone gets a
+  // per-label anchor for post-reconstruction re-alignment.
+  train_rows_ = x.rows();
+  trained_means_ = per_label_means(x, labels, config_.num_labels);
+  tracker_enabled_ = detector_->reconstruction_seed() == nullptr;
+  if (tracker_enabled_) {
+    tracker_.centroids = trained_means_;
+    tracker_.counts.assign(config_.num_labels, 1);
+  }
+  if (detector_->needs_reference_data()) {
+    // After a recovery the batch detector's reference is stale; it is
+    // re-fit from a fresh window at least as large as the training
+    // reference — a reference of only one batch makes the fit so noisy the
+    // detector re-fires on its own calibration error.
+    const std::size_t rows =
+        std::max(detector_->reference_rows(), train_rows_);
+    refit_buffer_.resize_zero(rows, config_.input_dim);
+  }
+  state_ = RecoveryState::kIdle;
+  refit_fill_ = 0;
   fitted_ = true;
 }
 
-PipelineStep Pipeline::process(std::span<const double> x) {
+PipelineStep Pipeline::process(std::span<const double> x, int true_label) {
   EDGEDRIFT_ASSERT(fitted_, "process() before fit()");
-  PipelineStep step;
+  if (!model_frozen()) return recovery_step(x);
+  return frozen_step(x, timed_predict(x), true_label);
+}
 
-  // Algorithm 1 line 20-21: while drift is active, every sample feeds the
-  // reconstruction instead of the detector.
-  if (reconstructor_.active()) {
-    step.reconstructing = true;
-    const drift::ReconstructionPhase phase = reconstructor_.phase();
-    bool still_running = true;
-    {
-      const char* stage = nullptr;
-      switch (phase) {
-        case drift::ReconstructionPhase::kSearchCoords:
-          stage = kStageInitCoord;
-          break;
-        case drift::ReconstructionPhase::kUpdateCoords:
-          stage = kStageUpdateCoord;
-          break;
-        case drift::ReconstructionPhase::kTrainNearest:
-          stage = kStageRetrainNearest;
-          break;
-        case drift::ReconstructionPhase::kTrainPredict:
-          stage = kStageRetrainPredict;
-          break;
-        case drift::ReconstructionPhase::kIdle:
-          break;
-      }
-      if (stages_ != nullptr && stage != nullptr) {
-        util::StageTimer::Scope scope(*stages_, stage);
-        still_running = reconstructor_.step(x, *model_);
-      } else {
-        still_running = reconstructor_.step(x, *model_);
-      }
+std::vector<PipelineStep> Pipeline::process_batch(
+    const linalg::Matrix& x, std::span<const int> true_labels) {
+  EDGEDRIFT_ASSERT(fitted_, "process_batch() before fit()");
+  EDGEDRIFT_ASSERT(true_labels.empty() || true_labels.size() == x.rows(),
+                   "true_labels must be empty or one per row");
+  std::vector<PipelineStep> steps;
+  steps.reserve(x.rows());
+  std::size_t i = 0;
+  while (i < x.rows()) {
+    if (!model_frozen()) {
+      // A recovery is training the model; predictions depend on every
+      // intervening update, so fall back to the sequential path.
+      steps.push_back(recovery_step(x.row(i)));
+      ++i;
+      continue;
     }
-    // Even while reconstructing, report the model's current prediction so
-    // accuracy accounting stays per-sample.
-    step.prediction = model_->predict(x);
-    if (!still_running) {
-      finish_reconstruction();
-      step.reconstruction_finished = true;
+    // While frozen, predictions are a pure per-sample function of the
+    // model: pre-score a whole chunk through the GEMM kernels (bit-identical
+    // to the scalar path), then run the detector sequentially over it.
+    const std::size_t chunk =
+        std::min(x.rows() - i, config_.max_batch_rows);
+    chunk_input_.resize_zero(chunk, config_.input_dim);
+    for (std::size_t r = 0; r < chunk; ++r) {
+      chunk_input_.set_row(r, x.row(i + r));
+    }
+    chunk_preds_.resize(chunk);
+    if (stages_ != nullptr) {
+      util::StageTimer::Scope scope(*stages_, kStagePredict);
+      model_->predict_batch(chunk_input_, batch_ws_, chunk_preds_);
+    } else {
+      model_->predict_batch(chunk_input_, batch_ws_, chunk_preds_);
+    }
+    std::size_t consumed = 0;
+    for (std::size_t r = 0; r < chunk; ++r) {
+      const int tl =
+          true_labels.empty() ? -1 : true_labels[i + r];
+      steps.push_back(frozen_step(x.row(i + r), chunk_preds_[r], tl));
+      ++consumed;
+      // A detection just started a recovery: the remaining pre-scored
+      // predictions are stale (the model is about to retrain).
+      if (!model_frozen()) break;
+    }
+    i += consumed;
+  }
+  return steps;
+}
+
+model::Prediction Pipeline::timed_predict(std::span<const double> x) const {
+  if (stages_ != nullptr) {
+    util::StageTimer::Scope scope(*stages_, kStagePredict);
+    return model_->predict(x);
+  }
+  return model_->predict(x);
+}
+
+PipelineStep Pipeline::frozen_step(std::span<const double> x,
+                                   const model::Prediction& pred,
+                                   int true_label) {
+  ++stats_.samples;
+  PipelineStep step;
+  step.prediction = pred;
+  if (tracker_enabled_) update_tracker(pred.label, x);
+
+  if (state_ == RecoveryState::kCollectingReference) {
+    step.collecting_reference = true;
+    refit_buffer_.set_row(refit_fill_++, x);
+    if (refit_fill_ == refit_buffer_.rows()) {
+      detector_->rebuild_reference(refit_buffer_);
+      state_ = RecoveryState::kIdle;
     }
     return step;
   }
 
-  // Algorithm 1 lines 6-7: label prediction by the instance bank.
-  if (stages_ != nullptr) {
-    util::StageTimer::Scope scope(*stages_, kStagePredict);
-    step.prediction = model_->predict(x);
-  } else {
-    step.prediction = model_->predict(x);
-  }
-
-  // Lines 8-19: the sequential detector.
   drift::Observation obs;
   obs.x = x;
-  obs.predicted_label = static_cast<int>(step.prediction.label);
-  obs.anomaly_score = step.prediction.score;
+  obs.predicted_label = static_cast<int>(pred.label);
+  obs.anomaly_score = pred.score;
+  obs.error = true_label >= 0 &&
+              static_cast<std::size_t>(true_label) != pred.label;
   drift::Detection detection;
   if (stages_ != nullptr) {
     util::StageTimer::Scope scope(*stages_, kStageDistance);
@@ -139,39 +208,197 @@ PipelineStep Pipeline::process(std::span<const double> x) {
 
   if (detection.drift) {
     step.drift_detected = true;
-    // Lines 20-21: enter reconstruction, seeded from the recent test
-    // centroids (the best running estimate of the new concept).
-    reconstructor_.begin(*model_, detector_->recent_centroids());
+    ++stats_.drifts;
+    start_recovery();
   }
   return step;
 }
 
+PipelineStep Pipeline::recovery_step(std::span<const double> x) {
+  ++stats_.samples;
+  ++stats_.recovery_samples;
+  PipelineStep step;
+  step.reconstructing = true;
+
+  if (state_ == RecoveryState::kReconstructing) {
+    const drift::ReconstructionPhase phase = reconstructor_.phase();
+    const char* stage = nullptr;
+    switch (phase) {
+      case drift::ReconstructionPhase::kSearchCoords:
+        stage = kStageInitCoord;
+        break;
+      case drift::ReconstructionPhase::kUpdateCoords:
+        stage = kStageUpdateCoord;
+        break;
+      case drift::ReconstructionPhase::kTrainNearest:
+        stage = kStageRetrainNearest;
+        break;
+      case drift::ReconstructionPhase::kTrainPredict:
+        stage = kStageRetrainPredict;
+        break;
+      case drift::ReconstructionPhase::kIdle:
+        break;
+    }
+    bool still_running = true;
+    if (stages_ != nullptr && stage != nullptr) {
+      util::StageTimer::Scope scope(*stages_, stage);
+      still_running = reconstructor_.step(x, *model_);
+    } else {
+      still_running = reconstructor_.step(x, *model_);
+    }
+    // Even while reconstructing, report the model's current prediction so
+    // accuracy accounting stays per-sample.
+    step.prediction = model_->predict(x);
+    if (tracker_enabled_) update_tracker(step.prediction.label, x);
+    if (!still_running) {
+      finish_reconstruction();
+      step.reconstruction_finished = true;
+    }
+    return step;
+  }
+
+  // kRecalibrating: retraining without the coordinate search. A freshly
+  // reset model scores every sample identically, so self-labelling would
+  // collapse onto one label; bootstrap by training the instance nearest (L1)
+  // to the sample among the recovery centroids — the same supervision-free
+  // trick as reconstruction's train-nearest phase — then switch to
+  // self-labelled training once the instances have separated.
+  const std::size_t bootstrap =
+      config_.reconstruction.n_search + config_.reconstruction.n_update;
+  if (recal_count_ < bootstrap) {
+    std::size_t nearest = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < recal_.centroids.rows(); ++c) {
+      const double d = linalg::l1_distance(recal_.centroids.row(c), x);
+      if (d < best) {
+        best = d;
+        nearest = c;
+      }
+    }
+    if (stages_ != nullptr) {
+      util::StageTimer::Scope scope(*stages_, kStageRetrainNearest);
+      model_->train_label(x, nearest);
+    } else {
+      model_->train_label(x, nearest);
+    }
+    step.prediction = model_->predict(x);
+  } else if (stages_ != nullptr) {
+    util::StageTimer::Scope scope(*stages_, kStageRetrainPredict);
+    step.prediction = model_->train_closest(x);
+  } else {
+    step.prediction = model_->train_closest(x);
+  }
+  if (tracker_enabled_) update_tracker(step.prediction.label, x);
+  linalg::running_mean_update(recal_.centroids.row(step.prediction.label), x,
+                              recal_.counts[step.prediction.label]);
+  ++recal_.counts[step.prediction.label];
+  ++recal_count_;
+  if (recal_count_ >= config_.reconstruction.n_total) {
+    finish_recalibration();
+    step.reconstruction_finished = true;
+  }
+  return step;
+}
+
+void Pipeline::start_recovery() {
+  switch (config_.recovery) {
+    case RecoveryPolicy::kDetectOnly:
+      // Record-and-rearm: the model is left alone, the detector restarts
+      // against its existing reference.
+      detector_->reset();
+      return;
+    case RecoveryPolicy::kReconstruct: {
+      // Seed from the detector's own recent centroids when it tracks them,
+      // else from the pipeline's running estimate of the new concept.
+      const linalg::Matrix* seed = detector_->reconstruction_seed();
+      reconstructor_.begin(*model_,
+                           seed != nullptr ? *seed : tracker_.centroids);
+      state_ = RecoveryState::kReconstructing;
+      return;
+    }
+    case RecoveryPolicy::kResetRecalibrate: {
+      model_->reset();
+      const linalg::Matrix* seed = detector_->reconstruction_seed();
+      recal_.centroids = seed != nullptr ? *seed : tracker_.centroids;
+      recal_.counts.assign(config_.num_labels, 1);
+      recal_count_ = 0;
+      state_ = RecoveryState::kRecalibrating;
+      return;
+    }
+  }
+}
+
 void Pipeline::finish_reconstruction() {
   // Re-align the rebuilt clusters with the pre-drift label identities:
-  // optimally match the rebuilt coordinates against the pre-drift trained
-  // centroids (the most stable per-label anchor available without ground
-  // truth), then permute coordinates and model instances together.
+  // optimally match the rebuilt coordinates against the detector's frozen
+  // reference centroids (or the pipeline's per-label anchor when the
+  // detector tracks none), then permute coordinates and model instances
+  // together.
   auto& coords = reconstructor_.coords_mutable();
-  const std::size_t c = config_.num_labels;
+  const linalg::Matrix* ref = detector_->reference_centroids();
+  const linalg::Matrix& reference =
+      ref != nullptr ? *ref : trained_means_;
   const std::vector<std::size_t> perm =
-      cluster::match_rows(detector_->trained_centroids(), coords.centroids());
+      cluster::match_rows(reference, coords.centroids());
   bool identity = true;
-  for (std::size_t i = 0; i < c; ++i) identity &= perm[i] == i;
+  for (std::size_t i = 0; i < perm.size(); ++i) identity &= perm[i] == i;
   if (!identity) {
     coords.apply_permutation(perm);
     model_->apply_permutation(perm);
   }
+  // The rebuilt coordinates are the anchor for any later recovery.
+  trained_means_ = coords.centroids();
 
   // Re-arm the detector: the rebuilt coordinates become the new trained
   // centroids, with an Eq. 1 threshold recomputed over the reconstruction's
   // training-phase samples.
   detector_->rearm(coords.centroids(), coords.counts(),
                    reconstructor_.suggested_theta_drift(config_.z));
+  ++stats_.recoveries;
+  if (detector_->needs_reference_data()) {
+    begin_reference_collection();
+  } else {
+    state_ = RecoveryState::kIdle;
+  }
+}
+
+void Pipeline::finish_recalibration() {
+  // No Eq. 1 statistics were gathered, so keep the detector's threshold
+  // (<= 0 means "retain") and anchor it on the recovery centroids.
+  detector_->rearm(recal_.centroids, recal_.counts, 0.0);
+  trained_means_ = recal_.centroids;
+  ++stats_.recoveries;
+  if (detector_->needs_reference_data()) {
+    begin_reference_collection();
+  } else {
+    state_ = RecoveryState::kIdle;
+  }
+}
+
+void Pipeline::begin_reference_collection() {
+  state_ = RecoveryState::kCollectingReference;
+  refit_fill_ = 0;
+}
+
+void Pipeline::update_tracker(std::size_t label, std::span<const double> x) {
+  linalg::running_mean_update(tracker_.centroids.row(label), x,
+                              tracker_.counts[label]);
+  ++tracker_.counts[label];
 }
 
 std::size_t Pipeline::memory_bytes() const {
-  return model_->memory_bytes() + detector_->memory_bytes() +
-         reconstructor_.memory_bytes();
+  return model_->memory_bytes() + detector_memory_bytes();
+}
+
+std::size_t Pipeline::detector_memory_bytes() const {
+  std::size_t bytes = detector_->memory_bytes() +
+                      reconstructor_.memory_bytes() +
+                      refit_buffer_.memory_bytes();
+  if (tracker_enabled_) {
+    bytes += tracker_.centroids.memory_bytes() +
+             tracker_.counts.capacity() * sizeof(std::size_t);
+  }
+  return bytes;
 }
 
 }  // namespace edgedrift::core

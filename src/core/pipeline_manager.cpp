@@ -1,0 +1,144 @@
+#include "edgedrift/core/pipeline_manager.hpp"
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::core {
+
+PipelineManager::PipelineManager(const PipelineConfig& config,
+                                 std::size_t num_streams,
+                                 util::ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &util::ThreadPool::global()) {
+  EDGEDRIFT_ASSERT(num_streams > 0, "need at least one stream");
+  streams_.reserve(num_streams);
+  for (std::size_t i = 0; i < num_streams; ++i) {
+    PipelineConfig stream_config = config;
+    stream_config.seed = config.seed + i;
+    auto stream = std::make_unique<Stream>();
+    stream->pipeline = std::make_unique<Pipeline>(stream_config);
+    streams_.push_back(std::move(stream));
+  }
+}
+
+PipelineManager::~PipelineManager() { drain(); }
+
+Pipeline& PipelineManager::stream(std::size_t id) {
+  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  return *streams_[id]->pipeline;
+}
+
+const Pipeline& PipelineManager::stream(std::size_t id) const {
+  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  return *streams_[id]->pipeline;
+}
+
+void PipelineManager::fit(std::size_t id, const linalg::Matrix& x,
+                          std::span<const int> labels) {
+  stream(id).fit(x, labels);
+}
+
+void PipelineManager::submit(std::size_t id, std::span<const double> x,
+                             int true_label) {
+  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  Stream& s = *streams_[id];
+  QueuedSample sample;
+  sample.x.assign(x.begin(), x.end());
+  sample.true_label = true_label;
+
+  bool need_schedule = false;
+  {
+    std::lock_guard lock(done_mutex_);
+    ++pending_;
+  }
+  {
+    std::lock_guard lock(s.mutex);
+    s.queue.push_back(std::move(sample));
+    if (!s.scheduled) {
+      s.scheduled = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule) {
+    {
+      std::lock_guard lock(done_mutex_);
+      ++active_;
+    }
+    pool_->submit([this, id] { run_stream(id); });
+  }
+}
+
+void PipelineManager::submit_batch(std::size_t id, const linalg::Matrix& x,
+                                   std::span<const int> true_labels) {
+  EDGEDRIFT_ASSERT(true_labels.empty() || true_labels.size() == x.rows(),
+                   "true_labels must be empty or one per row");
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    submit(id, x.row(r), true_labels.empty() ? -1 : true_labels[r]);
+  }
+}
+
+void PipelineManager::drain() {
+  std::unique_lock lock(done_mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0 && active_ == 0; });
+}
+
+std::vector<PipelineStep> PipelineManager::take_steps(std::size_t id) {
+  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  Stream& s = *streams_[id];
+  std::lock_guard lock(s.mutex);
+  std::vector<PipelineStep> steps = std::move(s.steps);
+  s.steps.clear();
+  return steps;
+}
+
+const PipelineStats& PipelineManager::stats(std::size_t id) const {
+  return stream(id).stats();
+}
+
+PipelineStats PipelineManager::totals() const {
+  PipelineStats totals;
+  for (const auto& s : streams_) {
+    const PipelineStats& st = s->pipeline->stats();
+    totals.samples += st.samples;
+    totals.drifts += st.drifts;
+    totals.recoveries += st.recoveries;
+    totals.recovery_samples += st.recovery_samples;
+  }
+  return totals;
+}
+
+void PipelineManager::run_stream(std::size_t id) {
+  Stream& s = *streams_[id];
+  for (;;) {
+    QueuedSample sample;
+    {
+      std::lock_guard lock(s.mutex);
+      if (s.queue.empty()) {
+        s.scheduled = false;
+        break;
+      }
+      sample = std::move(s.queue.front());
+      s.queue.pop_front();
+    }
+    // The pipeline is touched only here, by the single task draining this
+    // stream — per-stream ordering needs no further locking. Any nested
+    // parallel_for in the batch kernels runs inline (ThreadPool::in_worker).
+    const PipelineStep step =
+        s.pipeline->process(sample.x, sample.true_label);
+    {
+      std::lock_guard lock(s.mutex);
+      s.steps.push_back(step);
+    }
+    {
+      // The exit path below notifies once this task winds down; a waiter
+      // only cares about pending_ == 0 && active_ == 0.
+      std::lock_guard lock(done_mutex_);
+      --pending_;
+    }
+  }
+  {
+    std::lock_guard lock(done_mutex_);
+    --active_;
+    if (pending_ == 0 && active_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace edgedrift::core

@@ -75,6 +75,17 @@ void MultiWindowDetector::rebuild_reference(const linalg::Matrix& x) {
   std::fill(member_fired_.begin(), member_fired_.end(), false);
 }
 
+void MultiWindowDetector::set_anomaly_gate(double theta_error) {
+  for (auto& m : members_) m->set_anomaly_gate(theta_error);
+}
+
+void MultiWindowDetector::rearm(const linalg::Matrix& centroids,
+                                std::span<const std::size_t> counts,
+                                double theta_drift) {
+  for (auto& m : members_) m->rearm(centroids, counts, theta_drift);
+  clear_votes();
+}
+
 std::size_t MultiWindowDetector::memory_bytes() const {
   std::size_t bytes = member_fired_.capacity() / 8 + sizeof(*this);
   for (const auto& m : members_) bytes += m->memory_bytes();

@@ -1,11 +1,5 @@
 #include "edgedrift/eval/experiment.hpp"
 
-#include <limits>
-#include <vector>
-
-#include "edgedrift/cluster/matching.hpp"
-#include "edgedrift/drift/multi_window.hpp"
-#include "edgedrift/linalg/vector_ops.hpp"
 #include "edgedrift/util/assert.hpp"
 #include "edgedrift/util/rng.hpp"
 #include "edgedrift/util/stopwatch.hpp"
@@ -13,71 +7,50 @@
 namespace edgedrift::eval {
 namespace {
 
-/// Running per-predicted-label centroids, used to seed the reconstruction of
-/// the batch-detector combos exactly the way the proposed pipeline seeds its
-/// own (from the recent test centroids).
-struct RecentCentroids {
-  linalg::Matrix centroids;
-  std::vector<std::size_t> counts;
-
-  RecentCentroids(std::size_t labels, std::size_t dim)
-      : centroids(labels, dim), counts(labels, 0) {}
-
-  void seed(const linalg::Matrix& initial) {
-    centroids = initial;
-    std::fill(counts.begin(), counts.end(), 1);
+/// Every detector-based method is the same program: configure the pipeline
+/// with the method's drift::DetectorSpec and stream. The facade supplies
+/// the recovery loop (reconstruction, re-alignment, detector re-arming,
+/// reference refill for the batch detectors) that the per-method runners
+/// used to hand-roll.
+core::PipelineConfig method_pipeline_config(Method method,
+                                            const data::Dataset& train,
+                                            const ExperimentConfig& config) {
+  core::PipelineConfig pc = config.pipeline;
+  pc.input_dim = train.dim();
+  switch (method) {
+    case Method::kProposed:
+      pc.detector.kind = drift::DetectorKind::kCentroid;
+      break;
+    case Method::kQuantTree:
+      pc.detector.kind = drift::DetectorKind::kQuantTree;
+      pc.detector.quanttree = config.quanttree;
+      pc.seed = config.seed;  // Matches the historical model seeding.
+      break;
+    case Method::kSpll:
+      pc.detector.kind = drift::DetectorKind::kSpll;
+      pc.detector.spll = config.spll;
+      pc.seed = config.seed;
+      break;
+    case Method::kMultiWindow:
+      pc.detector.kind = drift::DetectorKind::kMultiWindow;
+      pc.detector.windows = config.ensemble_windows;
+      pc.seed = config.seed;
+      break;
+    case Method::kBaseline:
+    case Method::kOnlad:
+      EDGEDRIFT_ASSERT(false, "model-only methods have no detector");
+      break;
   }
-
-  void update(std::size_t label, std::span<const double> x) {
-    linalg::running_mean_update(centroids.row(label), x, counts[label]);
-    ++counts[label];
-  }
-};
-
-/// Per-label mean of a labeled dataset.
-linalg::Matrix label_means(const data::Dataset& dataset,
-                           std::size_t num_labels) {
-  linalg::Matrix means(num_labels, dataset.dim());
-  std::vector<std::size_t> counts(num_labels, 0);
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    const auto label = static_cast<std::size_t>(dataset.labels[i]);
-    linalg::axpy(1.0, dataset.x.row(i), means.row(label));
-    ++counts[label];
-  }
-  for (std::size_t c = 0; c < num_labels; ++c) {
-    if (counts[c] == 0) continue;
-    const double inv = 1.0 / static_cast<double>(counts[c]);
-    for (auto& v : means.row(c)) v *= inv;
-  }
-  return means;
+  return pc;
 }
 
-/// Optimal alignment of rebuilt coordinates to reference centroids;
-/// permutes both the coordinate store and the model instances.
-void align_after_reconstruction(drift::Reconstructor& recon,
-                                model::MultiInstanceModel& model,
-                                const linalg::Matrix& reference) {
-  auto& coords = recon.coords_mutable();
-  const std::size_t c = coords.num_clusters();
-  const std::vector<std::size_t> perm =
-      cluster::match_rows(reference, coords.centroids());
-  bool identity = true;
-  for (std::size_t i = 0; i < c; ++i) identity &= perm[i] == i;
-  if (!identity) {
-    coords.apply_permutation(perm);
-    model.apply_permutation(perm);
-  }
-}
-
-ExperimentResult run_proposed(const data::Dataset& train,
-                              const data::Dataset& test,
-                              const ExperimentConfig& config) {
+ExperimentResult run_pipeline_method(Method method, const data::Dataset& train,
+                                     const data::Dataset& test,
+                                     const ExperimentConfig& config) {
   ExperimentResult result;
-  result.method = Method::kProposed;
+  result.method = method;
 
-  core::PipelineConfig pipeline_config = config.pipeline;
-  pipeline_config.input_dim = train.dim();
-  core::Pipeline pipeline(pipeline_config);
+  core::Pipeline pipeline(method_pipeline_config(method, train, config));
   pipeline.fit(train.x, train.labels);
 
   util::Stopwatch clock;
@@ -88,8 +61,7 @@ ExperimentResult run_proposed(const data::Dataset& train,
     if (step.drift_detected) result.detections.record(i);
   }
   result.runtime_seconds = clock.elapsed_seconds();
-  result.detector_memory_bytes = pipeline.detector().memory_bytes() +
-                                 pipeline.reconstructor().memory_bytes();
+  result.detector_memory_bytes = pipeline.detector_memory_bytes();
   result.model_memory_bytes = pipeline.model().memory_bytes();
   return result;
 }
@@ -124,181 +96,6 @@ ExperimentResult run_model_only(Method method, const data::Dataset& train,
   return result;
 }
 
-ExperimentResult run_batch_detector(Method method, const data::Dataset& train,
-                                    const data::Dataset& test,
-                                    const ExperimentConfig& config) {
-  ExperimentResult result;
-  result.method = method;
-
-  util::Rng rng(config.seed);
-  auto projection = oselm::make_projection(
-      train.dim(), config.pipeline.hidden_dim, config.pipeline.activation,
-      rng, config.pipeline.weight_scale);
-  model::MultiInstanceModel model(config.pipeline.num_labels,
-                                  std::move(projection),
-                                  config.pipeline.reg_lambda);
-  model.init_train(train.x, train.labels);
-
-  std::unique_ptr<drift::Detector> detector;
-  std::size_t batch_size = 0;
-  if (method == Method::kQuantTree) {
-    auto qt = std::make_unique<drift::QuantTree>(config.quanttree);
-    qt->fit(train.x);
-    batch_size = config.quanttree.batch_size;
-    detector = std::move(qt);
-  } else {
-    auto spll = std::make_unique<drift::Spll>(config.spll);
-    spll->fit(train.x);
-    batch_size = config.spll.batch_size;
-    detector = std::move(spll);
-  }
-
-  drift::Reconstructor recon(config.pipeline.reconstruction,
-                             config.pipeline.num_labels, train.dim());
-  linalg::Matrix trained_means =
-      label_means(train, config.pipeline.num_labels);
-  RecentCentroids recent(config.pipeline.num_labels, train.dim());
-  recent.seed(trained_means);
-
-  // After a reconstruction the batch detector's reference is stale; collect
-  // a fresh reference window before re-arming detection. The window must be
-  // as large as the original training reference — a reference of only one
-  // batch makes the histogram/mixture fit so noisy that the detector
-  // re-fires on its own calibration error.
-  const std::size_t refit_rows = std::max(batch_size, train.size());
-  linalg::Matrix refit_buffer(refit_rows, train.dim());
-  std::size_t refit_fill = 0;
-  bool collecting_refit = false;
-
-  util::Stopwatch clock;
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    const auto x = test.x.row(i);
-    const model::Prediction pred = model.predict(x);
-    result.accuracy.record(static_cast<int>(pred.label) == test.labels[i]);
-    recent.update(pred.label, x);
-
-    if (recon.active()) {
-      if (!recon.step(x, model)) {
-        align_after_reconstruction(recon, model, trained_means);
-        // The rebuilt coordinates are the new per-label anchor for any
-        // later reconstruction's alignment.
-        trained_means = recon.coords().centroids();
-        collecting_refit = true;
-        refit_fill = 0;
-      }
-      continue;
-    }
-    if (collecting_refit) {
-      refit_buffer.set_row(refit_fill++, x);
-      if (refit_fill == refit_rows) {
-        detector->rebuild_reference(refit_buffer);
-        collecting_refit = false;
-      }
-      continue;
-    }
-
-    drift::Observation obs;
-    obs.x = x;
-    obs.predicted_label = static_cast<int>(pred.label);
-    obs.anomaly_score = pred.score;
-    const drift::Detection detection = detector->observe(obs);
-    if (detection.drift) {
-      result.detections.record(i);
-      recon.begin(model, recent.centroids);
-    }
-  }
-  result.runtime_seconds = clock.elapsed_seconds();
-  result.detector_memory_bytes =
-      detector->memory_bytes() + recon.memory_bytes() +
-      refit_buffer.memory_bytes() + recent.centroids.memory_bytes();
-  result.model_memory_bytes = model.memory_bytes();
-  return result;
-}
-
-ExperimentResult run_multi_window(const data::Dataset& train,
-                                  const data::Dataset& test,
-                                  const ExperimentConfig& config) {
-  ExperimentResult result;
-  result.method = Method::kMultiWindow;
-
-  util::Rng rng(config.seed);
-  auto projection = oselm::make_projection(
-      train.dim(), config.pipeline.hidden_dim, config.pipeline.activation,
-      rng, config.pipeline.weight_scale);
-  model::MultiInstanceModel model(config.pipeline.num_labels,
-                                  std::move(projection),
-                                  config.pipeline.reg_lambda);
-  model.init_train(train.x, train.labels);
-
-  // theta_error auto-calibration, as core::Pipeline::fit does.
-  double theta_error = config.pipeline.theta_error;
-  if (theta_error <= 0.0) {
-    std::vector<double> scores(train.size());
-    for (std::size_t i = 0; i < train.size(); ++i) {
-      scores[i] = model.score_of(
-          train.x.row(i), static_cast<std::size_t>(train.labels[i]));
-    }
-    theta_error = linalg::mean(scores) +
-                  config.pipeline.theta_error_z *
-                      linalg::stddev_population(scores);
-  }
-
-  drift::CentroidDetectorConfig base;
-  base.num_labels = config.pipeline.num_labels;
-  base.dim = train.dim();
-  base.theta_error = theta_error;
-  base.z = config.pipeline.z;
-  base.ewma_decay = config.pipeline.ewma_decay;
-  base.initial_count = config.pipeline.detector_initial_count;
-  drift::MultiWindowDetector detector(base, config.ensemble_windows);
-  detector.calibrate(train.x, train.labels);
-
-  drift::Reconstructor recon(config.pipeline.reconstruction,
-                             config.pipeline.num_labels, train.dim());
-  linalg::Matrix trained_means =
-      label_means(train, config.pipeline.num_labels);
-  RecentCentroids recent(config.pipeline.num_labels, train.dim());
-  recent.seed(trained_means);
-
-  util::Stopwatch clock;
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    const auto x = test.x.row(i);
-    const model::Prediction pred = model.predict(x);
-    result.accuracy.record(static_cast<int>(pred.label) == test.labels[i]);
-    recent.update(pred.label, x);
-
-    if (recon.active()) {
-      if (!recon.step(x, model)) {
-        align_after_reconstruction(recon, model, trained_means);
-        trained_means = recon.coords().centroids();
-        const double suggested =
-            recon.suggested_theta_drift(config.pipeline.z);
-        for (std::size_t m = 0; m < detector.members(); ++m) {
-          detector.member_mutable(m).rearm(recon.coords().centroids(),
-                                           recon.coords().counts(),
-                                           suggested);
-        }
-        detector.clear_votes();
-      }
-      continue;
-    }
-
-    drift::Observation obs;
-    obs.x = x;
-    obs.predicted_label = static_cast<int>(pred.label);
-    obs.anomaly_score = pred.score;
-    if (detector.observe(obs).drift) {
-      result.detections.record(i);
-      recon.begin(model, recent.centroids);
-    }
-  }
-  result.runtime_seconds = clock.elapsed_seconds();
-  result.detector_memory_bytes =
-      detector.memory_bytes() + recon.memory_bytes();
-  result.model_memory_bytes = model.memory_bytes();
-  return result;
-}
-
 }  // namespace
 
 std::string method_name(Method method) {
@@ -324,16 +121,14 @@ ExperimentResult run_experiment(Method method, const data::Dataset& train,
                                 const ExperimentConfig& config) {
   EDGEDRIFT_ASSERT(train.dim() == test.dim(), "train/test dim mismatch");
   switch (method) {
-    case Method::kProposed:
-      return run_proposed(train, test, config);
     case Method::kBaseline:
     case Method::kOnlad:
       return run_model_only(method, train, test, config);
+    case Method::kProposed:
     case Method::kQuantTree:
     case Method::kSpll:
-      return run_batch_detector(method, train, test, config);
     case Method::kMultiWindow:
-      return run_multi_window(train, test, config);
+      return run_pipeline_method(method, train, test, config);
   }
   EDGEDRIFT_ASSERT(false, "unreachable");
   return {};

@@ -97,6 +97,11 @@ bool config_is_sane(const core::PipelineConfig& config) {
 
 bool save_pipeline(std::ostream& out, const core::Pipeline& pipeline) {
   if (!pipeline.fitted()) return false;
+  // The checkpoint format stores centroid-detector calibration; pipelines
+  // configured with another detector kind have no serializable detector
+  // state in this format.
+  const drift::CentroidDetector* detector = pipeline.centroid_detector();
+  if (detector == nullptr) return false;
   Writer w(out);
   w.write_header(kSection);
   write_config(w, pipeline.config());
@@ -118,12 +123,11 @@ bool save_pipeline(std::ostream& out, const core::Pipeline& pipeline) {
   }
 
   // Detector calibration.
-  const auto& detector = pipeline.detector();
-  w.write_matrix(detector.trained_centroids());
-  w.write_matrix(detector.recent_centroids());
-  w.write_sizes(detector.counts());
-  w.write_sizes(detector.calibrated_counts());
-  w.write_f64(detector.theta_drift());
+  w.write_matrix(detector->trained_centroids());
+  w.write_matrix(detector->recent_centroids());
+  w.write_sizes(detector->counts());
+  w.write_sizes(detector->calibrated_counts());
+  w.write_f64(detector->theta_drift());
   w.write_checksum();
   return w.ok();
 }
@@ -195,8 +199,11 @@ std::optional<core::Pipeline> load_pipeline(std::istream& in) {
     return std::nullopt;
   }
   if (!r.verify_checksum()) return std::nullopt;
-  pipeline.detector_mutable().restore(trained, recent, counts,
-                                      calibrated_counts, theta_drift);
+  // The restored config carries the default (centroid) detector spec, so
+  // the rebuilt pipeline always has a centroid detector to restore into.
+  pipeline.centroid_detector_mutable()->restore(trained, recent, counts,
+                                                calibrated_counts,
+                                                theta_drift);
   pipeline.finish_restore(theta_error);
   if (!r.ok()) return std::nullopt;
   return pipeline;

@@ -85,20 +85,31 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
 }
 
 Matrix matmul_parallel(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_parallel_into(a, b, c);
+  return c;
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
-  Matrix c(a.rows(), b.cols());
+  c.resize_zero(a.rows(), b.cols());
+  matmul_rows(a, b, c, 0, a.rows());
+}
+
+void matmul_parallel_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
+  c.resize_zero(a.rows(), b.cols());
   // Heuristic: below ~1M multiply-adds the pool dispatch costs more than it
   // saves.
   const std::size_t flops = a.rows() * a.cols() * b.cols();
   if (flops < (1u << 20)) {
     matmul_rows(a, b, c, 0, a.rows());
-    return c;
+    return;
   }
   util::ThreadPool::global().parallel_for(
       0, a.rows(),
       [&](std::size_t lo, std::size_t hi) { matmul_rows(a, b, c, lo, hi); },
       /*min_chunk=*/16);
-  return c;
 }
 
 void matvec(const Matrix& a, std::span<const double> x, std::span<double> y) {

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "edgedrift/linalg/gemm.hpp"
 #include "edgedrift/util/assert.hpp"
 
 namespace edgedrift::model {
@@ -10,7 +11,7 @@ MultiInstanceModel::MultiInstanceModel(std::size_t num_labels,
                                        oselm::ProjectionPtr projection,
                                        double reg_lambda,
                                        double forgetting_factor)
-    : projection_(std::move(projection)), score_scratch_(num_labels) {
+    : projection_(std::move(projection)) {
   EDGEDRIFT_ASSERT(num_labels > 0, "need at least one label");
   EDGEDRIFT_ASSERT(projection_ != nullptr, "projection must not be null");
   instances_.reserve(num_labels);
@@ -55,15 +56,69 @@ void MultiInstanceModel::scores(std::span<const double> x,
 }
 
 Prediction MultiInstanceModel::predict(std::span<const double> x) const {
-  scores(x, score_scratch_);
+  // Scores on the stack (heap fallback for very wide label sets) so
+  // concurrent predict() calls on a frozen model never share scratch.
+  constexpr std::size_t kStackLabels = 64;
+  double stack_buf[kStackLabels];
+  std::vector<double> heap_buf;
+  std::span<double> s;
+  if (num_labels() <= kStackLabels) {
+    s = std::span<double>(stack_buf, num_labels());
+  } else {
+    heap_buf.resize(num_labels());
+    s = heap_buf;
+  }
+  scores(x, s);
   Prediction best{0, std::numeric_limits<double>::infinity()};
-  for (std::size_t i = 0; i < score_scratch_.size(); ++i) {
-    if (score_scratch_[i] < best.score) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] < best.score) {
       best.label = i;
-      best.score = score_scratch_[i];
+      best.score = s[i];
     }
   }
   return best;
+}
+
+void MultiInstanceModel::score_batch(const linalg::Matrix& x,
+                                     BatchWorkspace& ws) const {
+  EDGEDRIFT_ASSERT(x.cols() == input_dim(), "batch feature dim mismatch");
+  projection_->hidden_batch_into(x, ws.hidden);
+  ws.scores.resize_zero(x.rows(), num_labels());
+  for (std::size_t label = 0; label < num_labels(); ++label) {
+    const oselm::OsElm& net = instances_[label].net();
+    EDGEDRIFT_ASSERT(net.initialized(), "score_batch() before initialization");
+    // R = H * beta: each row is bit-identical to the scalar reconstruction
+    // (same ascending-k accumulation order in both kernels).
+    linalg::matmul_parallel_into(ws.hidden, net.beta(), ws.recon);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const double* xr = x.data() + r * x.cols();
+      const double* rr = ws.recon.data() + r * ws.recon.cols();
+      double acc = 0.0;
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        const double d = xr[j] - rr[j];
+        acc += d * d;
+      }
+      ws.scores(r, label) = acc / static_cast<double>(x.cols());
+    }
+  }
+}
+
+void MultiInstanceModel::predict_batch(const linalg::Matrix& x,
+                                       BatchWorkspace& ws,
+                                       std::span<Prediction> out) const {
+  EDGEDRIFT_ASSERT(out.size() == x.rows(), "prediction buffer size mismatch");
+  score_batch(x, ws);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    Prediction best{0, std::numeric_limits<double>::infinity()};
+    for (std::size_t l = 0; l < num_labels(); ++l) {
+      const double s = ws.scores(r, l);
+      if (s < best.score) {
+        best.label = l;
+        best.score = s;
+      }
+    }
+    out[r] = best;
+  }
 }
 
 double MultiInstanceModel::score_of(std::span<const double> x,
@@ -112,8 +167,10 @@ oselm::Autoencoder& MultiInstanceModel::instance_mutable(std::size_t label) {
 }
 
 std::size_t MultiInstanceModel::memory_bytes() const {
+  // num_labels() doubles account for the per-sample score scratch predict()
+  // keeps on the stack — still part of the device working set.
   std::size_t bytes = projection_->memory_bytes() +
-                      score_scratch_.capacity() * sizeof(double);
+                      num_labels() * sizeof(double);
   for (const auto& inst : instances_) {
     bytes += inst.memory_bytes(/*include_projection=*/false);
   }

@@ -20,18 +20,29 @@ OsElmConfig autoencoder_config(const ProjectionPtr& projection,
 Autoencoder::Autoencoder(ProjectionPtr projection, double reg_lambda,
                          double forgetting_factor)
     : net_(projection,
-           autoencoder_config(projection, reg_lambda, forgetting_factor)),
-      recon_scratch_(projection->input_dim()) {}
+           autoencoder_config(projection, reg_lambda, forgetting_factor)) {}
 
 void Autoencoder::init_train(const linalg::Matrix& x) {
   net_.init_train(x, x);
 }
 
 double Autoencoder::score(std::span<const double> x) const {
-  net_.predict(x, recon_scratch_);
+  // Reconstruction scratch on the stack (heap fallback for wide inputs) so
+  // concurrent score() calls on a frozen model never share state.
+  constexpr std::size_t kStackDim = 256;
+  double stack_buf[kStackDim];
+  std::vector<double> heap_buf;
+  std::span<double> recon;
+  if (x.size() <= kStackDim) {
+    recon = std::span<double>(stack_buf, x.size());
+  } else {
+    heap_buf.resize(x.size());
+    recon = heap_buf;
+  }
+  net_.predict(x, recon);
   double acc = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - recon_scratch_[i];
+    const double d = x[i] - recon[i];
     acc += d * d;
   }
   return acc / static_cast<double>(x.size());

@@ -110,8 +110,21 @@ void OsElm::predict(std::span<const double> x, std::span<double> y) const {
   EDGEDRIFT_ASSERT(initialized_, "predict() before initialization");
   EDGEDRIFT_ASSERT(x.size() == input_dim(), "x size mismatch");
   EDGEDRIFT_ASSERT(y.size() == output_dim(), "y size mismatch");
-  hidden(x, h_scratch_);
-  linalg::matvec_transposed(beta_, h_scratch_, y);
+  // The hidden activation lives on the stack (heap only for unusually wide
+  // hidden layers) so concurrent predict() calls on a frozen model never
+  // share scratch.
+  constexpr std::size_t kStackHidden = 256;
+  double stack_buf[kStackHidden];
+  std::vector<double> heap_buf;
+  std::span<double> h;
+  if (hidden_dim() <= kStackHidden) {
+    h = std::span<double>(stack_buf, hidden_dim());
+  } else {
+    heap_buf.resize(hidden_dim());
+    h = heap_buf;
+  }
+  hidden(x, h);
+  linalg::matvec_transposed(beta_, h, y);
 }
 
 linalg::Matrix OsElm::predict_batch(const linalg::Matrix& x) const {

@@ -38,14 +38,20 @@ void Projection::hidden(std::span<const double> x,
 }
 
 linalg::Matrix Projection::hidden_batch(const linalg::Matrix& x) const {
+  linalg::Matrix h;
+  hidden_batch_into(x, h);
+  return h;
+}
+
+void Projection::hidden_batch_into(const linalg::Matrix& x,
+                                   linalg::Matrix& h) const {
   EDGEDRIFT_ASSERT(x.cols() == input_dim(), "projection batch size mismatch");
-  linalg::Matrix h = linalg::matmul_parallel(x, alpha_);
+  linalg::matmul_parallel_into(x, alpha_, h);
   for (std::size_t r = 0; r < h.rows(); ++r) {
     auto row = h.row(r);
     for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias_[j];
     apply_activation(act_, row);
   }
-  return h;
 }
 
 std::size_t Projection::memory_bytes() const {

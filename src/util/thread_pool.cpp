@@ -3,6 +3,15 @@
 #include <algorithm>
 
 namespace edgedrift::util {
+namespace {
+
+// Set while a thread is executing inside worker_loop(). Used to run nested
+// parallel_for calls inline instead of deadlocking the pool.
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_in_worker; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -41,7 +50,7 @@ void ThreadPool::parallel_for(
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t workers = size();
-  if (workers <= 1 || n <= min_chunk) {
+  if (workers <= 1 || n <= min_chunk || t_in_worker) {
     body(begin, end);
     return;
   }
@@ -64,6 +73,7 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop() {
+  t_in_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {

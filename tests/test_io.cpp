@@ -140,8 +140,8 @@ TEST(Checkpoint, RoundTripPreservesPredictions) {
   ASSERT_TRUE(restored.has_value());
   EXPECT_TRUE(restored->fitted());
   EXPECT_DOUBLE_EQ(restored->theta_error(), original.theta_error());
-  EXPECT_DOUBLE_EQ(restored->detector().theta_drift(),
-                   original.detector().theta_drift());
+  EXPECT_DOUBLE_EQ(restored->centroid_detector()->theta_drift(),
+                   original.centroid_detector()->theta_drift());
 
   // Every prediction and score must be bit-identical.
   for (std::size_t i = 0; i < scenario.stream.size(); ++i) {

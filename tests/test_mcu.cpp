@@ -79,7 +79,7 @@ class StaticPipelineNsl : public ::testing::Test {
 TEST_F(StaticPipelineNsl, LoadCopiesThresholds) {
   EXPECT_TRUE(device_.loaded());
   EXPECT_NEAR(device_.theta_error(), reference_->theta_error(), 1e-6);
-  EXPECT_NEAR(device_.theta_drift(), reference_->detector().theta_drift(),
+  EXPECT_NEAR(device_.theta_drift(), reference_->centroid_detector()->theta_drift(),
               1e-4);
 }
 

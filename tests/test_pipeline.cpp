@@ -79,7 +79,7 @@ TEST(Pipeline, FitCalibratesThresholds) {
   pipeline.fit(scenario.train.x, scenario.train.labels);
   EXPECT_TRUE(pipeline.fitted());
   EXPECT_GT(pipeline.theta_error(), 0.0);
-  EXPECT_GT(pipeline.detector().theta_drift(), 0.0);
+  EXPECT_GT(pipeline.centroid_detector()->theta_drift(), 0.0);
 }
 
 TEST(Pipeline, AccurateAndQuietBeforeDrift) {
