@@ -7,10 +7,14 @@
 // process_batch() is bit-identical to process() (tested), so any speedup
 // is free, and manager throughput should scale with streams until the
 // pool saturates.
+// Pass `--json <path>` to also write an edgedrift-bench-v1 record file
+// (see bench_json.hpp); ns_per_op is per processed sample.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "edgedrift/core/pipeline.hpp"
 #include "edgedrift/core/pipeline_manager.hpp"
 #include "edgedrift/data/nsl_kdd_like.hpp"
@@ -27,9 +31,22 @@ double samples_per_second(std::size_t samples, double seconds) {
   return seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0;
 }
 
+bench::KernelRecord make_record(const std::string& name, std::size_t samples,
+                                double seconds) {
+  bench::KernelRecord rec;
+  rec.name = name;
+  rec.samples_per_second = samples_per_second(samples, seconds);
+  rec.ns_per_op = samples > 0
+                      ? seconds * 1e9 / static_cast<double>(samples)
+                      : 0.0;
+  return rec;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::extract_json_path(argc, argv);
+  std::vector<bench::KernelRecord> records;
   std::printf("=== Streaming engine throughput (NSL-KDD-like) ===\n\n");
 
   data::NslKddLike generator;
@@ -55,6 +72,8 @@ int main() {
                    util::fmt(single_seconds * 1e3, 1),
                    util::fmt(samples_per_second(stream.size(),
                                                 single_seconds) / 1e3, 1)});
+    records.push_back(
+        make_record("process", stream.size(), single_seconds));
   }
 
   // Block-wise batched loop (whole stream handed over in blocks; the
@@ -78,6 +97,8 @@ int main() {
                    std::to_string(produced), util::fmt(seconds * 1e3, 1),
                    util::fmt(samples_per_second(produced, seconds) / 1e3,
                              1)});
+    records.push_back(make_record(
+        "process_batch/block=" + std::to_string(block), produced, seconds));
   }
 
   // Multi-stream manager: N copies of the stream, one pipeline each.
@@ -96,9 +117,17 @@ int main() {
     table.add_row({"manager(" + std::to_string(streams) + " streams)",
                    std::to_string(total), util::fmt(seconds * 1e3, 1),
                    util::fmt(samples_per_second(total, seconds) / 1e3, 1)});
+    records.push_back(make_record(
+        "manager/streams=" + std::to_string(streams), total, seconds));
   }
 
   std::printf("%s\n", table.str().c_str());
   std::printf("pool workers: %zu\n", util::ThreadPool::global().size());
+  if (!json_path.empty() &&
+      !bench::write_kernel_json(json_path, "bench_batch_throughput",
+                                records)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,82 @@
+// Machine-readable benchmark output (the `--json <path>` reporter).
+//
+// Both perf binaries (bench_microkernels, bench_batch_throughput) emit the
+// same "edgedrift-bench-v1" schema so CI can diff runs across commits:
+//   {
+//     "schema": "edgedrift-bench-v1",
+//     "binary": "...",                // which harness produced the file
+//     "simd": "avx2-fma|neon|portable",
+//     "build_flags": "...",           // compiler flags baked in by CMake
+//     "git_sha": "...",               // commit baked in by CMake
+//     "results": [ {"name", "ns_per_op", "samples_per_second", "gflops"} ]
+//   }
+// gflops is 0 when a record has no meaningful flop count (e.g. whole-
+// pipeline samples/s rows). A committed example lives at BENCH_kernels.json.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "edgedrift/linalg/simd.hpp"
+
+// Stamped by bench/CMakeLists.txt; fall back to "unknown" when absent so
+// the header stays usable outside the CMake build.
+#ifndef EDGEDRIFT_GIT_SHA
+#define EDGEDRIFT_GIT_SHA "unknown"
+#endif
+#ifndef EDGEDRIFT_BUILD_FLAGS
+#define EDGEDRIFT_BUILD_FLAGS "unknown"
+#endif
+
+namespace edgedrift::bench {
+
+/// One benchmark result row of the v1 schema.
+struct KernelRecord {
+  std::string name;
+  double ns_per_op = 0.0;
+  double samples_per_second = 0.0;
+  double gflops = 0.0;
+};
+
+/// Pulls `--json <path>` out of argv (removing both tokens). Returns an
+/// empty string when the flag is absent.
+inline std::string extract_json_path(int& argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return path;
+    }
+  }
+  return {};
+}
+
+/// Writes the v1 schema. Returns false when the file cannot be opened.
+inline bool write_kernel_json(const std::string& path,
+                              const std::string& binary,
+                              const std::vector<KernelRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"edgedrift-bench-v1\",\n");
+  std::fprintf(f, "  \"binary\": \"%s\",\n", binary.c_str());
+  std::fprintf(f, "  \"simd\": \"%s\",\n", linalg::simd::kLevelName);
+  std::fprintf(f, "  \"build_flags\": \"%s\",\n", EDGEDRIFT_BUILD_FLAGS);
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n", EDGEDRIFT_GIT_SHA);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const KernelRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                 "\"samples_per_second\": %.1f, \"gflops\": %.3f}%s\n",
+                 r.name.c_str(), r.ns_per_op, r.samples_per_second, r.gflops,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace edgedrift::bench

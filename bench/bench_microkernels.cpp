@@ -5,8 +5,14 @@
 // cost at O(h^2) and batch paths amortize through the blocked GEMM.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
 #include "edgedrift/core/pipeline.hpp"
 #include "edgedrift/linalg/gemm.hpp"
+#include "edgedrift/linalg/naive.hpp"
 #include "edgedrift/linalg/solve.hpp"
 #include "edgedrift/linalg/updates.hpp"
 #include "edgedrift/linalg/vector_ops.hpp"
@@ -19,6 +25,15 @@ namespace {
 using namespace edgedrift;
 using linalg::Matrix;
 
+/// 2*m*n*k GEMM flops as a rate counter; the JSON reporter turns it into
+/// the gflops column.
+void set_flops(benchmark::State& state, std::size_t flops_per_iter) {
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(flops_per_iter) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(1);
@@ -28,8 +43,110 @@ void BM_Matmul(benchmark::State& state) {
     benchmark::DoNotOptimize(linalg::matmul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  set_flops(state, 2 * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(128)->Arg(256);
+
+// The pre-SIMD scalar GEMM, kept in-tree (linalg/naive.hpp) so the
+// optimized-vs-scalar ratio is reproducible from one binary.
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const Matrix a = Matrix::random_gaussian(n, n, rng);
+  const Matrix b = Matrix::random_gaussian(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::naive::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  set_flops(state, 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(128)->Arg(256);
+
+// Paper-scale projection GEMM: a 256-sample batch through d=128 inputs and
+// h=128 hidden units (hidden_batch's H = X * A shape).
+void BM_MatmulBatchProjection(benchmark::State& state) {
+  util::Rng rng(1);
+  const Matrix x = Matrix::random_gaussian(256, 128, rng);
+  const Matrix a = Matrix::random_gaussian(128, 128, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::matmul(x, a));
+  }
+  set_flops(state, 2 * 256 * 128 * 128);
+}
+BENCHMARK(BM_MatmulBatchProjection)->Name("matmul 256x128x128");
+
+void BM_MatmulBatchProjectionNaive(benchmark::State& state) {
+  util::Rng rng(1);
+  const Matrix x = Matrix::random_gaussian(256, 128, rng);
+  const Matrix a = Matrix::random_gaussian(128, 128, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::naive::matmul(x, a));
+  }
+  set_flops(state, 2 * 256 * 128 * 128);
+}
+BENCHMARK(BM_MatmulBatchProjectionNaive)->Name("matmul 256x128x128 naive");
+
+// Paper-scale matvec: the per-sample projection (rows = hidden, cols =
+// input dim) and its transposed twin (beta^T h).
+void BM_Matvec(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(10);
+  const Matrix a = Matrix::random_gaussian(m, n, rng);
+  std::vector<double> x(n), y(m);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    linalg::matvec(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  set_flops(state, 2 * m * n);
+}
+BENCHMARK(BM_Matvec)->Args({64, 128})->Args({128, 128});
+
+void BM_MatvecNaive(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(10);
+  const Matrix a = Matrix::random_gaussian(m, n, rng);
+  std::vector<double> x(n), y(m);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    linalg::naive::matvec(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  set_flops(state, 2 * m * n);
+}
+BENCHMARK(BM_MatvecNaive)->Args({64, 128})->Args({128, 128});
+
+void BM_MatvecTransposed(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(11);
+  const Matrix a = Matrix::random_gaussian(m, n, rng);
+  std::vector<double> x(m), y(n);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    linalg::matvec_transposed(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  set_flops(state, 2 * m * n);
+}
+BENCHMARK(BM_MatvecTransposed)->Args({64, 128})->Args({128, 128});
+
+void BM_MatvecTransposedNaive(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(11);
+  const Matrix a = Matrix::random_gaussian(m, n, rng);
+  std::vector<double> x(m), y(n);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    linalg::naive::matvec_transposed(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  set_flops(state, 2 * m * n);
+}
+BENCHMARK(BM_MatvecTransposedNaive)->Args({64, 128})->Args({128, 128});
 
 void BM_MatmulAtB(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -191,6 +308,47 @@ void BM_PipelineProcessFloat32(benchmark::State& state) {
 BENCHMARK(BM_PipelineProcessFloat32)
     ->Name("pipeline process/sample (float32, MCU profile)");
 
+/// Console output as usual, plus a record per run for the --json reporter.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      edgedrift::bench::KernelRecord rec;
+      rec.name = run.benchmark_name();
+      rec.ns_per_op = run.GetAdjustedRealTime();  // Default unit: ns.
+      const auto items = run.counters.find("items_per_second");
+      rec.samples_per_second = items != run.counters.end()
+                                   ? static_cast<double>(items->second)
+                                   : (rec.ns_per_op > 0.0
+                                          ? 1e9 / rec.ns_per_op
+                                          : 0.0);
+      const auto flops = run.counters.find("flops");
+      if (flops != run.counters.end()) {
+        rec.gflops = static_cast<double>(flops->second) / 1e9;
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+
+  std::vector<edgedrift::bench::KernelRecord> records;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = edgedrift::bench::extract_json_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() &&
+      !edgedrift::bench::write_kernel_json(json_path, "bench_microkernels",
+                                           reporter.records)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -211,7 +211,7 @@ class Pipeline {
            state_ == RecoveryState::kCollectingReference;
   }
 
-  model::Prediction timed_predict(std::span<const double> x) const;
+  model::Prediction timed_predict(std::span<const double> x);
   PipelineStep frozen_step(std::span<const double> x,
                            const model::Prediction& pred, int true_label);
   PipelineStep recovery_step(std::span<const double> x);
@@ -251,6 +251,11 @@ class Pipeline {
   linalg::Matrix chunk_input_;
   model::BatchWorkspace batch_ws_;
   std::vector<model::Prediction> chunk_preds_;
+
+  // Per-sample kernel scratch: the pipeline is the thread of control, so
+  // one workspace serves every predict()/score() it issues and keeps the
+  // steady-state process() loop free of heap allocations.
+  linalg::KernelWorkspace kernel_ws_;
 };
 
 }  // namespace edgedrift::core

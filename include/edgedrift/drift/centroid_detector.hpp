@@ -126,6 +126,11 @@ class CentroidDetector : public Detector {
   bool check_ = false;
   std::size_t win_ = 0;
   double last_distance_ = 0.0;
+
+  // calibrate() scratch, reused across re-calibrations (a recovery may
+  // calibrate many times over a long stream).
+  std::vector<std::size_t> calib_counts_scratch_;
+  std::vector<double> calib_distances_scratch_;
 };
 
 }  // namespace edgedrift::drift

@@ -26,6 +26,7 @@
 #include <span>
 
 #include "edgedrift/cluster/sequential_kmeans.hpp"
+#include "edgedrift/linalg/workspace.hpp"
 #include "edgedrift/model/multi_instance.hpp"
 
 namespace edgedrift::drift {
@@ -86,6 +87,10 @@ class Reconstructor {
   cluster::SequentialKMeans coords_;
   ReconstructionPhase phase_ = ReconstructionPhase::kIdle;
   std::size_t count_ = 0;
+  // Scratch for the self-labeling predictions of phase 4. The
+  // reconstructor is single-threaded per pipeline, so one workspace keeps
+  // step() allocation-free.
+  linalg::KernelWorkspace ws_;
 
   // Welford accumulator over sample-to-own-coordinate L1 distances.
   std::size_t dist_count_ = 0;

@@ -15,6 +15,9 @@ Matrix matmul(const Matrix& a, const Matrix& b);
 /// C = A^T * B without materializing A^T.
 Matrix matmul_at_b(const Matrix& a, const Matrix& b);
 
+/// matmul_at_b into a caller-provided matrix (resized if needed).
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c);
+
 /// C = A * B^T without materializing B^T.
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
 

@@ -1,0 +1,239 @@
+// SIMD abstraction for the dense kernels (gemm.cpp / vector_ops.cpp /
+// updates.cpp).
+//
+// Three backends, chosen at configure time (see the EDGEDRIFT_SIMD and
+// EDGEDRIFT_NATIVE CMake options):
+//   - AVX2/FMA  when the translation unit is compiled with -mavx2 -mfma
+//     (or -march=native on such a host),
+//   - NEON      on AArch64 (part of the baseline ABI there),
+//   - portable  otherwise: a 4-wide unrolled-scalar struct the compiler can
+//     autovectorize, with no ISA assumptions beyond plain doubles.
+// Defining EDGEDRIFT_SIMD_FORCE_PORTABLE pins the portable backend even when
+// the compiler flags would allow a vector ISA.
+//
+// Numerics policy (docs/ARCHITECTURE.md, "Kernel layer & numerics policy"):
+// every per-element accumulation in the kernels is one `madd()` — a fused
+// multiply-add on the SIMD backends, an unfused multiply-then-add on the
+// portable backend. Kernels that must stay bit-identical across the scalar
+// and batch paths of one build (matvec_transposed vs. the GEMM microkernel)
+// accumulate each output element as a single ascending-k madd chain, so the
+// result is independent of lane arrangement and tail handling. Reductions
+// (dot, distances) use multiple accumulators and are only tolerance-
+// comparable to a naive loop.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#if !defined(EDGEDRIFT_SIMD_FORCE_PORTABLE)
+#if defined(__AVX2__) && defined(__FMA__)
+#define EDGEDRIFT_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#define EDGEDRIFT_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define EDGEDRIFT_RESTRICT __restrict__
+#define EDGEDRIFT_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define EDGEDRIFT_RESTRICT
+#define EDGEDRIFT_ALWAYS_INLINE inline
+#endif
+
+namespace edgedrift::linalg::simd {
+
+#if defined(EDGEDRIFT_SIMD_AVX2)
+inline constexpr const char* kLevelName = "avx2-fma";
+#elif defined(EDGEDRIFT_SIMD_NEON)
+inline constexpr const char* kLevelName = "neon";
+#else
+inline constexpr const char* kLevelName = "portable";
+#endif
+
+/// The one per-element accumulation op of the kernel layer: acc + a*b,
+/// fused on the SIMD backends so scalar tails round exactly like the vector
+/// body (vfmadd/vfma have the same single rounding as std::fma).
+EDGEDRIFT_ALWAYS_INLINE double madd(double a, double b, double acc) {
+#if defined(EDGEDRIFT_SIMD_AVX2) || defined(EDGEDRIFT_SIMD_NEON)
+  return std::fma(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+#if defined(EDGEDRIFT_SIMD_AVX2)
+
+using VDouble = __m256d;
+inline constexpr std::size_t kLanes = 4;
+
+EDGEDRIFT_ALWAYS_INLINE VDouble vzero() { return _mm256_setzero_pd(); }
+EDGEDRIFT_ALWAYS_INLINE VDouble vbroadcast(double x) {
+  return _mm256_set1_pd(x);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vload(const double* p) {
+  return _mm256_loadu_pd(p);
+}
+EDGEDRIFT_ALWAYS_INLINE void vstore(double* p, VDouble v) {
+  _mm256_storeu_pd(p, v);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vadd(VDouble a, VDouble b) {
+  return _mm256_add_pd(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vsub(VDouble a, VDouble b) {
+  return _mm256_sub_pd(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vmul(VDouble a, VDouble b) {
+  return _mm256_mul_pd(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vmax(VDouble a, VDouble b) {
+  return _mm256_max_pd(a, b);
+}
+/// a*b + acc with one rounding — the vector form of madd().
+EDGEDRIFT_ALWAYS_INLINE VDouble vfmadd(VDouble a, VDouble b, VDouble acc) {
+  return _mm256_fmadd_pd(a, b, acc);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vabs(VDouble a) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+}
+EDGEDRIFT_ALWAYS_INLINE double vreduce_add(VDouble v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  const __m128d sum1 = _mm_add_sd(sum2, _mm_unpackhi_pd(sum2, sum2));
+  return _mm_cvtsd_f64(sum1);
+}
+
+#elif defined(EDGEDRIFT_SIMD_NEON)
+
+using VDouble = float64x2_t;
+inline constexpr std::size_t kLanes = 2;
+
+EDGEDRIFT_ALWAYS_INLINE VDouble vzero() { return vdupq_n_f64(0.0); }
+EDGEDRIFT_ALWAYS_INLINE VDouble vbroadcast(double x) { return vdupq_n_f64(x); }
+EDGEDRIFT_ALWAYS_INLINE VDouble vload(const double* p) { return vld1q_f64(p); }
+EDGEDRIFT_ALWAYS_INLINE void vstore(double* p, VDouble v) { vst1q_f64(p, v); }
+EDGEDRIFT_ALWAYS_INLINE VDouble vadd(VDouble a, VDouble b) {
+  return vaddq_f64(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vsub(VDouble a, VDouble b) {
+  return vsubq_f64(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vmul(VDouble a, VDouble b) {
+  return vmulq_f64(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vmax(VDouble a, VDouble b) {
+  return vmaxq_f64(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vfmadd(VDouble a, VDouble b, VDouble acc) {
+  return vfmaq_f64(acc, a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vabs(VDouble a) { return vabsq_f64(a); }
+EDGEDRIFT_ALWAYS_INLINE double vreduce_add(VDouble v) {
+  return vaddvq_f64(v);
+}
+
+#else  // portable: 4-wide unrolled scalar, autovectorizable, no ISA deps.
+
+struct VDouble {
+  double lane[4];
+};
+inline constexpr std::size_t kLanes = 4;
+
+EDGEDRIFT_ALWAYS_INLINE VDouble vzero() { return VDouble{{0.0, 0.0, 0.0, 0.0}}; }
+EDGEDRIFT_ALWAYS_INLINE VDouble vbroadcast(double x) {
+  return VDouble{{x, x, x, x}};
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vload(const double* p) {
+  return VDouble{{p[0], p[1], p[2], p[3]}};
+}
+EDGEDRIFT_ALWAYS_INLINE void vstore(double* p, VDouble v) {
+  p[0] = v.lane[0];
+  p[1] = v.lane[1];
+  p[2] = v.lane[2];
+  p[3] = v.lane[3];
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vadd(VDouble a, VDouble b) {
+  VDouble r;
+  for (std::size_t i = 0; i < 4; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vsub(VDouble a, VDouble b) {
+  VDouble r;
+  for (std::size_t i = 0; i < 4; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vmul(VDouble a, VDouble b) {
+  VDouble r;
+  for (std::size_t i = 0; i < 4; ++i) r.lane[i] = a.lane[i] * b.lane[i];
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vmax(VDouble a, VDouble b) {
+  VDouble r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lane[i] = a.lane[i] > b.lane[i] ? a.lane[i] : b.lane[i];
+  }
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vfmadd(VDouble a, VDouble b, VDouble acc) {
+  VDouble r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lane[i] = madd(a.lane[i], b.lane[i], acc.lane[i]);
+  }
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE VDouble vabs(VDouble a) {
+  VDouble r;
+  for (std::size_t i = 0; i < 4; ++i) r.lane[i] = std::abs(a.lane[i]);
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE double vreduce_add(VDouble v) {
+  return (v.lane[0] + v.lane[1]) + (v.lane[2] + v.lane[3]);
+}
+
+#endif
+
+/// y[0:n] += s * x[0:n], one madd-chain link per element. The shared body of
+/// matvec_transposed / ger / axpy and the GEMM reference semantics: per
+/// element this is exactly `y[j] = madd(s, x[j], y[j])`, so any kernel built
+/// from repeated scaled_accumulate calls (ascending k) rounds identically to
+/// the register-tiled microkernel.
+EDGEDRIFT_ALWAYS_INLINE void scaled_accumulate(
+    double s, const double* EDGEDRIFT_RESTRICT x, double* EDGEDRIFT_RESTRICT y,
+    std::size_t n) {
+  const VDouble vs = vbroadcast(s);
+  std::size_t j = 0;
+  for (; j + 2 * kLanes <= n; j += 2 * kLanes) {
+    vstore(y + j, vfmadd(vs, vload(x + j), vload(y + j)));
+    vstore(y + j + kLanes,
+           vfmadd(vs, vload(x + j + kLanes), vload(y + j + kLanes)));
+  }
+  for (; j + kLanes <= n; j += kLanes) {
+    vstore(y + j, vfmadd(vs, vload(x + j), vload(y + j)));
+  }
+  for (; j < n; ++j) y[j] = madd(s, x[j], y[j]);
+}
+
+/// Multi-accumulator dot product. NOT order-compatible with a naive scalar
+/// loop — callers relying on dot() live outside the bit-identity contract.
+EDGEDRIFT_ALWAYS_INLINE double dot_product(const double* EDGEDRIFT_RESTRICT a,
+                                           const double* EDGEDRIFT_RESTRICT b,
+                                           std::size_t n) {
+  VDouble acc0 = vzero();
+  VDouble acc1 = vzero();
+  std::size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    acc0 = vfmadd(vload(a + i), vload(b + i), acc0);
+    acc1 = vfmadd(vload(a + i + kLanes), vload(b + i + kLanes), acc1);
+  }
+  for (; i + kLanes <= n; i += kLanes) {
+    acc0 = vfmadd(vload(a + i), vload(b + i), acc0);
+  }
+  double acc = vreduce_add(vadd(acc0, acc1));
+  for (; i < n; ++i) acc = madd(a[i], b[i], acc);
+  return acc;
+}
+
+}  // namespace edgedrift::linalg::simd

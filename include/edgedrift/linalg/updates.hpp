@@ -18,6 +18,14 @@ namespace edgedrift::linalg {
 /// (A + u v^T)^-1 = P - (P u)(v^T P) / (1 + v^T P u).
 /// Returns false (leaving P untouched) when the denominator is ~0, i.e. the
 /// update would make A singular.
+///
+/// The scratch overload is the per-sample hot path: `pu_scratch` and
+/// `vtp_scratch` must each have length n and are clobbered. The
+/// convenience overload allocates them per call — never use it per sample.
+bool sherman_morrison_update(Matrix& p, std::span<const double> u,
+                             std::span<const double> v,
+                             std::span<double> pu_scratch,
+                             std::span<double> vtp_scratch);
 bool sherman_morrison_update(Matrix& p, std::span<const double> u,
                              std::span<const double> v);
 
@@ -33,9 +41,24 @@ bool sherman_morrison_update(Matrix& p, std::span<const double> u,
 bool oselm_p_update(Matrix& p, std::span<const double> h, double alpha,
                     std::span<double> ph_scratch);
 
+/// Reusable intermediates of woodbury_update(). Matrices grow on first use
+/// and are reused across calls, keeping repeated block updates (OS-ELM
+/// train_batch) free of per-call GEMM-output allocations.
+struct WoodburyWorkspace {
+  Matrix pu;            ///< P U: n x k.
+  Matrix core;          ///< I + V^T P U: k x k.
+  Matrix vtp;           ///< V^T P: k x n.
+  Matrix core_inv_vtp;  ///< core^-1 V^T P: k x n.
+  Matrix delta;         ///< PU core^-1 V^T P: n x n.
+};
+
 /// Woodbury identity for a rank-k block update:
 ///   (A + U V^T)^-1 = P - P U (I + V^T P U)^-1 V^T P,  with P = A^-1.
 /// U is n x k, V is n x k. Returns false when the k x k core is singular.
+/// The workspace overload reuses `ws` across calls; the convenience
+/// overload allocates a fresh workspace per call.
+bool woodbury_update(Matrix& p, const Matrix& u, const Matrix& v,
+                     WoodburyWorkspace& ws);
 bool woodbury_update(Matrix& p, const Matrix& u, const Matrix& v);
 
 }  // namespace edgedrift::linalg

@@ -1,0 +1,51 @@
+// Per-pipeline scratch for the per-sample scoring path.
+//
+// Ownership rule (docs/ARCHITECTURE.md, "Kernel layer & numerics policy"):
+// the workspace belongs to the CALLER — one per pipeline / per thread of
+// control — and is threaded down through predict()/score() so those methods
+// can stay const and safe for concurrent use on a frozen model (each caller
+// brings its own buffers; the model itself holds no mutable scratch).
+// Buffers grow on first use and are then reused, which is what makes the
+// steady-state Pipeline::process() loop perform zero heap allocations
+// per sample (locked in by tests/test_allocation_free.cpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace edgedrift::linalg {
+
+/// Grow-only named scratch buffers for the per-sample kernel stack. The
+/// three buffers are distinct because one prediction uses them
+/// simultaneously: scores(num_labels) while each instance fills
+/// recon(input_dim) from hidden(hidden_dim).
+class KernelWorkspace {
+ public:
+  /// Hidden-activation scratch (length = hidden_dim).
+  std::span<double> hidden(std::size_t n) { return ensure(hidden_, n); }
+
+  /// Reconstruction / model-output scratch (length = output_dim).
+  std::span<double> recon(std::size_t n) { return ensure(recon_, n); }
+
+  /// Per-label score scratch (length = num_labels).
+  std::span<double> scores(std::size_t n) { return ensure(scores_, n); }
+
+  /// Heap bytes held (memory-audit accounting).
+  std::size_t memory_bytes() const {
+    return (hidden_.capacity() + recon_.capacity() + scores_.capacity()) *
+           sizeof(double);
+  }
+
+ private:
+  static std::span<double> ensure(std::vector<double>& buf, std::size_t n) {
+    if (buf.size() < n) buf.resize(n);
+    return {buf.data(), n};
+  }
+
+  std::vector<double> hidden_;
+  std::vector<double> recon_;
+  std::vector<double> scores_;
+};
+
+}  // namespace edgedrift::linalg

@@ -49,10 +49,17 @@ class MultiInstanceModel {
   void init_sequential();
 
   /// Anomaly score of every instance; `out` must have length num_labels().
+  /// The workspace overload is the allocation-free hot path.
+  void scores(std::span<const double> x, std::span<double> out,
+              linalg::KernelWorkspace& ws) const;
   void scores(std::span<const double> x, std::span<double> out) const;
 
   /// Label = argmin instance score (Algorithm 1 lines 6–7). Thread-safe on
-  /// a frozen model: uses no shared scratch.
+  /// a frozen model: uses no shared scratch. The workspace overload is the
+  /// allocation-free hot path — `ws` is caller-owned, one per thread of
+  /// control.
+  Prediction predict(std::span<const double> x,
+                     linalg::KernelWorkspace& ws) const;
   Prediction predict(std::span<const double> x) const;
 
   /// Scores every instance on every row of X via the GEMM kernels:
@@ -65,10 +72,14 @@ class MultiInstanceModel {
                      std::span<Prediction> out) const;
 
   /// Anomaly score of one specific instance.
+  double score_of(std::span<const double> x, std::size_t label,
+                  linalg::KernelWorkspace& ws) const;
   double score_of(std::span<const double> x, std::size_t label) const;
 
   /// Predicts, then sequentially trains the winning instance; returns the
   /// prediction made before training.
+  Prediction train_closest(std::span<const double> x,
+                           linalg::KernelWorkspace& ws);
   Prediction train_closest(std::span<const double> x);
 
   /// Sequentially trains the given instance on x.

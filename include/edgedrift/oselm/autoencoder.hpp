@@ -33,7 +33,10 @@ class Autoencoder {
   /// One sequential training step on sample x.
   void train(std::span<const double> x) { net_.train(x, x); }
 
-  /// Mean squared reconstruction error of x — the anomaly score.
+  /// Mean squared reconstruction error of x — the anomaly score. The
+  /// workspace overload is the allocation-free hot path; the convenience
+  /// overload keeps the reconstruction on the stack.
+  double score(std::span<const double> x, linalg::KernelWorkspace& ws) const;
   double score(std::span<const double> x) const;
 
   /// Writes the reconstruction of x into `out` (length input_dim()).

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "edgedrift/linalg/matrix.hpp"
+#include "edgedrift/linalg/updates.hpp"
+#include "edgedrift/linalg/workspace.hpp"
 #include "edgedrift/oselm/projection.hpp"
 
 namespace edgedrift::oselm {
@@ -56,7 +58,14 @@ class OsElm {
   /// calling train() row by row when forgetting_factor == 1.
   void train_batch(const linalg::Matrix& x, const linalg::Matrix& t);
 
-  /// y = prediction for x. `y` must have length output_dim().
+  /// y = prediction for x. `y` must have length output_dim(). The
+  /// workspace overload is the allocation-free hot path: the hidden
+  /// activation lives in `ws`, owned by the caller, so concurrent
+  /// predict() calls on a frozen model never share scratch. The
+  /// convenience overload keeps the activation on the stack (heap only
+  /// for unusually wide hidden layers).
+  void predict(std::span<const double> x, std::span<double> y,
+               linalg::KernelWorkspace& ws) const;
   void predict(std::span<const double> x, std::span<double> y) const;
 
   /// Batch prediction; rows of the result are predictions.
@@ -102,6 +111,8 @@ class OsElm {
   std::vector<double> h_scratch_;
   std::vector<double> ph_scratch_;
   std::vector<double> err_scratch_;
+  // Block-update intermediates, reused across train_batch() calls.
+  linalg::WoodburyWorkspace woodbury_ws_;
 };
 
 }  // namespace edgedrift::oselm

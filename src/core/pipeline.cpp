@@ -74,8 +74,8 @@ void Pipeline::fit(const linalg::Matrix& x, std::span<const int> labels) {
     // should open only for samples the trained model reconstructs badly.
     std::vector<double> scores(x.rows());
     for (std::size_t i = 0; i < x.rows(); ++i) {
-      scores[i] =
-          model_->score_of(x.row(i), static_cast<std::size_t>(labels[i]));
+      scores[i] = model_->score_of(
+          x.row(i), static_cast<std::size_t>(labels[i]), kernel_ws_);
     }
     theta_error_ = linalg::mean(scores) +
                    config_.theta_error_z * linalg::stddev_population(scores);
@@ -164,12 +164,12 @@ std::vector<PipelineStep> Pipeline::process_batch(
   return steps;
 }
 
-model::Prediction Pipeline::timed_predict(std::span<const double> x) const {
+model::Prediction Pipeline::timed_predict(std::span<const double> x) {
   if (stages_ != nullptr) {
     util::StageTimer::Scope scope(*stages_, kStagePredict);
-    return model_->predict(x);
+    return model_->predict(x, kernel_ws_);
   }
-  return model_->predict(x);
+  return model_->predict(x, kernel_ws_);
 }
 
 PipelineStep Pipeline::frozen_step(std::span<const double> x,
@@ -248,7 +248,7 @@ PipelineStep Pipeline::recovery_step(std::span<const double> x) {
     }
     // Even while reconstructing, report the model's current prediction so
     // accuracy accounting stays per-sample.
-    step.prediction = model_->predict(x);
+    step.prediction = model_->predict(x, kernel_ws_);
     if (tracker_enabled_) update_tracker(step.prediction.label, x);
     if (!still_running) {
       finish_reconstruction();
@@ -281,12 +281,12 @@ PipelineStep Pipeline::recovery_step(std::span<const double> x) {
     } else {
       model_->train_label(x, nearest);
     }
-    step.prediction = model_->predict(x);
+    step.prediction = model_->predict(x, kernel_ws_);
   } else if (stages_ != nullptr) {
     util::StageTimer::Scope scope(*stages_, kStageRetrainPredict);
-    step.prediction = model_->train_closest(x);
+    step.prediction = model_->train_closest(x, kernel_ws_);
   } else {
-    step.prediction = model_->train_closest(x);
+    step.prediction = model_->train_closest(x, kernel_ws_);
   }
   if (tracker_enabled_) update_tracker(step.prediction.label, x);
   linalg::running_mean_update(recal_.centroids.row(step.prediction.label), x,

@@ -28,7 +28,8 @@ void CentroidDetector::calibrate(const linalg::Matrix& x,
   EDGEDRIFT_ASSERT(x.rows() == labels.size(), "X/label row mismatch");
   EDGEDRIFT_ASSERT(x.cols() == config_.dim, "dim mismatch");
   trained_.fill(0.0);
-  std::vector<std::size_t> counts(config_.num_labels, 0);
+  std::vector<std::size_t>& counts = calib_counts_scratch_;
+  counts.assign(config_.num_labels, 0);
   for (std::size_t i = 0; i < x.rows(); ++i) {
     const int c = labels[i];
     EDGEDRIFT_ASSERT(
@@ -44,7 +45,8 @@ void CentroidDetector::calibrate(const linalg::Matrix& x,
     for (auto& v : row) v *= inv;
   }
 
-  std::vector<double> distances(x.rows());
+  std::vector<double>& distances = calib_distances_scratch_;
+  distances.resize(x.rows());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     distances[i] = linalg::l1_distance(x.row(i), trained_.row(labels[i]));
   }

@@ -79,7 +79,7 @@ bool Reconstructor::step(std::span<const double> x,
       break;
     }
     case ReconstructionPhase::kTrainPredict: {
-      const model::Prediction pred = model.predict(x);
+      const model::Prediction pred = model.predict(x, ws_);
       model.train_label(x, pred.label);
       const double d = linalg::l1_distance(x, coords_.centroid(pred.label));
       ++dist_count_;
@@ -117,7 +117,8 @@ double Reconstructor::suggested_theta_drift(double z) const {
 }
 
 std::size_t Reconstructor::memory_bytes() const {
-  return coords_.memory_bytes() + sizeof(*this) - sizeof(coords_);
+  return coords_.memory_bytes() + ws_.memory_bytes() + sizeof(*this) -
+         sizeof(coords_);
 }
 
 }  // namespace edgedrift::drift

@@ -1,35 +1,132 @@
+// Vectorized matrix kernels over the simd.hpp backend layer.
+//
+// The GEMM is a register-blocked microkernel: B is packed once per call
+// into k-major panels of NR columns (NR = two SIMD vectors), and each
+// MR x NR output tile is held in registers across the whole k loop —
+// MR*2 accumulator vectors, two B loads and one A broadcast per k step,
+// every update a fused multiply-add on the SIMD backends.
+//
+// Bit-identity contract (docs/ARCHITECTURE.md): each C element is a single
+// ascending-k madd chain seeded from the existing C value. That makes the
+// microkernel round exactly like matvec_transposed()'s per-element chain,
+// which is what keeps Pipeline::process_batch() bit-identical to
+// process() within a build. Scalar row/column tails use simd::madd(), the
+// scalar op with the same rounding as the vector lanes.
 #include "edgedrift/linalg/gemm.hpp"
 
 #include <algorithm>
+#include <vector>
 
+#include "edgedrift/linalg/simd.hpp"
 #include "edgedrift/util/assert.hpp"
 #include "edgedrift/util/thread_pool.hpp"
 
 namespace edgedrift::linalg {
 namespace {
 
-// Tile edge chosen so three tiles of doubles fit comfortably in a 32 kB L1.
-constexpr std::size_t kBlock = 64;
+using simd::VDouble;
 
-// Computes C[row_lo:row_hi) += A * B for row-major operands, i-k-j loop order
-// so the innermost loop streams contiguously over B and C.
+constexpr std::size_t kMr = 4;                  // Register-tile rows.
+constexpr std::size_t kNr = 2 * simd::kLanes;   // Register-tile columns.
+
+/// Grow-only packing scratch. One per thread: concurrent GEMMs (distinct
+/// PipelineManager streams) each pack into their own buffer, and the pool
+/// workers of one parallel GEMM only read the caller's packed panels.
+std::vector<double>& pack_buffer() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+
+/// Packs the full-width column panels of B (k x n) into `packed`:
+/// packed[p*(k*kNr) + kk*kNr + lane] = B[kk][p*kNr + lane]. The n % kNr
+/// tail columns are not packed; they run through the strided scalar path.
+const double* pack_b(const Matrix& b) {
+  const std::size_t k_dim = b.rows();
+  const std::size_t n = b.cols();
+  const std::size_t panels = n / kNr;
+  std::vector<double>& buf = pack_buffer();
+  if (buf.size() < panels * k_dim * kNr) buf.resize(panels * k_dim * kNr);
+  double* EDGEDRIFT_RESTRICT out = buf.data();
+  for (std::size_t p = 0; p < panels; ++p) {
+    const double* EDGEDRIFT_RESTRICT src = b.data() + p * kNr;
+    for (std::size_t kk = 0; kk < k_dim; ++kk) {
+      const double* EDGEDRIFT_RESTRICT row = src + kk * n;
+      for (std::size_t lane = 0; lane < kNr; ++lane) *out++ = row[lane];
+    }
+  }
+  return buf.data();
+}
+
+/// C[0:MR_, 0:kNr] += A[0:MR_, 0:k] * panel. Accumulators live in registers
+/// for the whole k loop; per element this is one ascending-k madd chain
+/// seeded from the C value already in memory.
+template <std::size_t MR_>
+void micro_kernel(std::size_t k_dim, const double* EDGEDRIFT_RESTRICT a,
+                  std::size_t lda, const double* EDGEDRIFT_RESTRICT panel,
+                  double* EDGEDRIFT_RESTRICT c, std::size_t ldc) {
+  VDouble acc[MR_][2];
+  for (std::size_t r = 0; r < MR_; ++r) {
+    acc[r][0] = simd::vload(c + r * ldc);
+    acc[r][1] = simd::vload(c + r * ldc + simd::kLanes);
+  }
+  for (std::size_t kk = 0; kk < k_dim; ++kk) {
+    const VDouble b0 = simd::vload(panel);
+    const VDouble b1 = simd::vload(panel + simd::kLanes);
+    panel += kNr;
+    for (std::size_t r = 0; r < MR_; ++r) {
+      const VDouble ar = simd::vbroadcast(a[r * lda + kk]);
+      acc[r][0] = simd::vfmadd(ar, b0, acc[r][0]);
+      acc[r][1] = simd::vfmadd(ar, b1, acc[r][1]);
+    }
+  }
+  for (std::size_t r = 0; r < MR_; ++r) {
+    simd::vstore(c + r * ldc, acc[r][0]);
+    simd::vstore(c + r * ldc + simd::kLanes, acc[r][1]);
+  }
+}
+
+/// C[row_lo:row_hi) += A * B with B pre-packed by pack_b(). The packed
+/// panels cover the first (n / kNr) * kNr columns; tail columns use the
+/// original B with the same per-element madd chain.
 void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c,
-                 std::size_t row_lo, std::size_t row_hi) {
+                 std::size_t row_lo, std::size_t row_hi,
+                 const double* packed) {
   const std::size_t k_dim = a.cols();
   const std::size_t n = b.cols();
-  for (std::size_t i0 = row_lo; i0 < row_hi; i0 += kBlock) {
-    const std::size_t i1 = std::min(row_hi, i0 + kBlock);
-    for (std::size_t k0 = 0; k0 < k_dim; k0 += kBlock) {
-      const std::size_t k1 = std::min(k_dim, k0 + kBlock);
-      for (std::size_t i = i0; i < i1; ++i) {
-        const double* arow = a.data() + i * k_dim;
-        double* crow = c.data() + i * n;
-        for (std::size_t k = k0; k < k1; ++k) {
-          const double aik = arow[k];
-          if (aik == 0.0) continue;
-          const double* brow = b.data() + k * n;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  const std::size_t panels = n / kNr;
+  const std::size_t tail_j = panels * kNr;
+  for (std::size_t i = row_lo; i < row_hi; i += kMr) {
+    const std::size_t mr = std::min(kMr, row_hi - i);
+    const double* arow = a.data() + i * k_dim;
+    double* crow = c.data() + i * n;
+    for (std::size_t p = 0; p < panels; ++p) {
+      const double* panel = packed + p * k_dim * kNr;
+      double* ctile = crow + p * kNr;
+      switch (mr) {
+        case 4:
+          micro_kernel<4>(k_dim, arow, k_dim, panel, ctile, n);
+          break;
+        case 3:
+          micro_kernel<3>(k_dim, arow, k_dim, panel, ctile, n);
+          break;
+        case 2:
+          micro_kernel<2>(k_dim, arow, k_dim, panel, ctile, n);
+          break;
+        default:
+          micro_kernel<1>(k_dim, arow, k_dim, panel, ctile, n);
+          break;
+      }
+    }
+    for (std::size_t r = 0; r < mr; ++r) {
+      const double* EDGEDRIFT_RESTRICT ar = arow + r * k_dim;
+      double* EDGEDRIFT_RESTRICT cr = crow + r * n;
+      for (std::size_t j = tail_j; j < n; ++j) {
+        double acc = cr[j];
+        const double* EDGEDRIFT_RESTRICT bcol = b.data() + j;
+        for (std::size_t kk = 0; kk < k_dim; ++kk) {
+          acc = simd::madd(ar[kk], bcol[kk * n], acc);
         }
+        cr[j] = acc;
       }
     }
   }
@@ -40,29 +137,31 @@ void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c,
 Matrix matmul(const Matrix& a, const Matrix& b) {
   EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
   Matrix c(a.rows(), b.cols());
-  matmul_rows(a, b, c, 0, a.rows());
+  matmul_rows(a, b, c, 0, a.rows(), pack_b(b));
   return c;
 }
 
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_at_b_into(a, b, c);
+  return c;
+}
+
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
   EDGEDRIFT_ASSERT(a.rows() == b.rows(), "matmul_at_b shape mismatch");
   const std::size_t m = a.cols();
   const std::size_t n = b.cols();
   const std::size_t k_dim = a.rows();
-  Matrix c(m, n);
-  // Accumulate outer products row-by-row of A and B; contiguous access on
-  // both inputs and the output.
+  c.resize_zero(m, n);
+  // Outer-product accumulation: contiguous on both inputs and the output,
+  // one scaled_accumulate per (k, i) so every C element is a madd chain.
   for (std::size_t k = 0; k < k_dim; ++k) {
     const double* arow = a.data() + k * m;
     const double* brow = b.data() + k * n;
     for (std::size_t i = 0; i < m; ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+      simd::scaled_accumulate(arow[i], brow, c.data() + i * n, n);
     }
   }
-  return c;
 }
 
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
@@ -75,10 +174,7 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
     const double* arow = a.data() + i * k_dim;
     double* crow = c.data() + i * n;
     for (std::size_t j = 0; j < n; ++j) {
-      const double* brow = b.data() + j * k_dim;
-      double acc = 0.0;
-      for (std::size_t k = 0; k < k_dim; ++k) acc += arow[k] * brow[k];
-      crow[j] = acc;
+      crow[j] = simd::dot_product(arow, b.data() + j * k_dim, k_dim);
     }
   }
   return c;
@@ -93,33 +189,35 @@ Matrix matmul_parallel(const Matrix& a, const Matrix& b) {
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
   c.resize_zero(a.rows(), b.cols());
-  matmul_rows(a, b, c, 0, a.rows());
+  matmul_rows(a, b, c, 0, a.rows(), pack_b(b));
 }
 
 void matmul_parallel_into(const Matrix& a, const Matrix& b, Matrix& c) {
   EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
   c.resize_zero(a.rows(), b.cols());
-  // Heuristic: below ~1M multiply-adds the pool dispatch costs more than it
-  // saves.
+  // B is packed once by the caller; workers only read the panels. Below
+  // ~1M multiply-adds the pool dispatch costs more than it saves.
+  const double* packed = pack_b(b);
   const std::size_t flops = a.rows() * a.cols() * b.cols();
   if (flops < (1u << 20)) {
-    matmul_rows(a, b, c, 0, a.rows());
+    matmul_rows(a, b, c, 0, a.rows(), packed);
     return;
   }
   util::ThreadPool::global().parallel_for(
       0, a.rows(),
-      [&](std::size_t lo, std::size_t hi) { matmul_rows(a, b, c, lo, hi); },
+      [&](std::size_t lo, std::size_t hi) {
+        matmul_rows(a, b, c, lo, hi, packed);
+      },
       /*min_chunk=*/16);
 }
 
 void matvec(const Matrix& a, std::span<const double> x, std::span<double> y) {
   EDGEDRIFT_ASSERT(a.cols() == x.size(), "matvec input size mismatch");
   EDGEDRIFT_ASSERT(a.rows() == y.size(), "matvec output size mismatch");
+  const std::size_t n = a.cols();
+  const double* EDGEDRIFT_RESTRICT xp = x.data();
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.data() + i * a.cols();
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x[j];
-    y[i] = acc;
+    y[i] = simd::dot_product(a.data() + i * n, xp, n);
   }
 }
 
@@ -128,11 +226,13 @@ void matvec_transposed(const Matrix& a, std::span<const double> x,
   EDGEDRIFT_ASSERT(a.rows() == x.size(), "matvec_t input size mismatch");
   EDGEDRIFT_ASSERT(a.cols() == y.size(), "matvec_t output size mismatch");
   std::fill(y.begin(), y.end(), 0.0);
+  const std::size_t n = a.cols();
+  double* EDGEDRIFT_RESTRICT yp = y.data();
+  // Per element of y this is an ascending-i madd chain — the scalar twin of
+  // the GEMM microkernel's accumulation, which keeps hidden()/predict()
+  // bit-identical to hidden_batch()/score_batch() rows.
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    const double* arow = a.data() + i * a.cols();
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * arow[j];
+    simd::scaled_accumulate(x[i], a.data() + i * n, yp, n);
   }
 }
 
@@ -140,11 +240,10 @@ void ger(Matrix& a, double alpha, std::span<const double> u,
          std::span<const double> v) {
   EDGEDRIFT_ASSERT(a.rows() == u.size() && a.cols() == v.size(),
                    "ger shape mismatch");
+  const std::size_t n = a.cols();
+  const double* EDGEDRIFT_RESTRICT vp = v.data();
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double scale = alpha * u[i];
-    if (scale == 0.0) continue;
-    double* arow = a.data() + i * a.cols();
-    for (std::size_t j = 0; j < a.cols(); ++j) arow[j] += scale * v[j];
+    simd::scaled_accumulate(alpha * u[i], vp, a.data() + i * n, n);
   }
 }
 

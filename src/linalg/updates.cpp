@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "edgedrift/linalg/gemm.hpp"
+#include "edgedrift/linalg/simd.hpp"
 #include "edgedrift/linalg/solve.hpp"
 #include "edgedrift/linalg/vector_ops.hpp"
 #include "edgedrift/util/assert.hpp"
@@ -11,19 +12,28 @@
 namespace edgedrift::linalg {
 
 bool sherman_morrison_update(Matrix& p, std::span<const double> u,
-                             std::span<const double> v) {
+                             std::span<const double> v,
+                             std::span<double> pu_scratch,
+                             std::span<double> vtp_scratch) {
   const std::size_t n = p.rows();
   EDGEDRIFT_ASSERT(p.cols() == n, "P must be square");
   EDGEDRIFT_ASSERT(u.size() == n && v.size() == n,
                    "sherman_morrison size mismatch");
-  std::vector<double> pu(n), vtp(n);
-  matvec(p, u, pu);
-  matvec_transposed(p, v, vtp);
-  const double denom = 1.0 + dot(v, pu);
+  EDGEDRIFT_ASSERT(pu_scratch.size() == n && vtp_scratch.size() == n,
+                   "sherman_morrison scratch size mismatch");
+  matvec(p, u, pu_scratch);
+  matvec_transposed(p, v, vtp_scratch);
+  const double denom = 1.0 + dot(v, pu_scratch);
   if (std::abs(denom) < 1e-13) return false;
   const double scale = -1.0 / denom;
-  ger(p, scale, pu, vtp);
+  ger(p, scale, pu_scratch, vtp_scratch);
   return true;
+}
+
+bool sherman_morrison_update(Matrix& p, std::span<const double> u,
+                             std::span<const double> v) {
+  std::vector<double> pu(p.rows()), vtp(p.rows());
+  return sherman_morrison_update(p, u, v, pu, vtp);
 }
 
 bool oselm_p_update(Matrix& p, std::span<const double> h, double alpha,
@@ -39,37 +49,53 @@ bool oselm_p_update(Matrix& p, std::span<const double> h, double alpha,
   const double hph = dot(h, ph_scratch);
   const double denom = alpha + hph;
   if (!(denom > 0.0) || !std::isfinite(denom)) return false;
-  // P <- (P - ph ph^T / denom) / alpha, fused into one pass.
+  // P <- (P - ph ph^T / denom) / alpha, fused into one vectorized pass:
+  // prow[j] = inv_alpha * prow[j] + (-scale * phi) * ph[j].
   const double inv_alpha = 1.0 / alpha;
   const double scale = inv_alpha / denom;
+  const double* EDGEDRIFT_RESTRICT ph = ph_scratch.data();
+  const simd::VDouble va = simd::vbroadcast(inv_alpha);
   for (std::size_t i = 0; i < n; ++i) {
-    const double phi = ph_scratch[i];
-    double* prow = p.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      prow[j] = inv_alpha * prow[j] - scale * phi * ph_scratch[j];
+    const double neg_scale_phi = -scale * ph[i];
+    double* EDGEDRIFT_RESTRICT prow = p.data() + i * n;
+    const simd::VDouble vp = simd::vbroadcast(neg_scale_phi);
+    std::size_t j = 0;
+    for (; j + simd::kLanes <= n; j += simd::kLanes) {
+      simd::vstore(prow + j,
+                   simd::vfmadd(vp, simd::vload(ph + j),
+                                simd::vmul(va, simd::vload(prow + j))));
+    }
+    for (; j < n; ++j) {
+      prow[j] = simd::madd(neg_scale_phi, ph[j], inv_alpha * prow[j]);
     }
   }
   return true;
 }
 
-bool woodbury_update(Matrix& p, const Matrix& u, const Matrix& v) {
+bool woodbury_update(Matrix& p, const Matrix& u, const Matrix& v,
+                     WoodburyWorkspace& ws) {
   const std::size_t n = p.rows();
   const std::size_t k = u.cols();
   EDGEDRIFT_ASSERT(p.cols() == n, "P must be square");
   EDGEDRIFT_ASSERT(u.rows() == n && v.rows() == n && v.cols() == k,
                    "woodbury shape mismatch");
   // PU: n x k, core = I + V^T P U: k x k.
-  Matrix pu = matmul(p, u);
-  Matrix core = matmul_at_b(v, pu);
-  for (std::size_t i = 0; i < k; ++i) core(i, i) += 1.0;
-  auto f = lu_factor(core);
+  matmul_into(p, u, ws.pu);
+  matmul_at_b_into(v, ws.pu, ws.core);
+  for (std::size_t i = 0; i < k; ++i) ws.core(i, i) += 1.0;
+  auto f = lu_factor(ws.core);
   if (!f) return false;
   // P -= PU * core^-1 * (V^T P) = PU * core^-1 * (P^T V)^T.
-  Matrix vtp = matmul_at_b(v, p);              // k x n
-  Matrix core_inv_vtp = lu_solve_matrix(*f, vtp);  // k x n
-  Matrix delta = matmul(pu, core_inv_vtp);     // n x n
-  p -= delta;
+  matmul_at_b_into(v, p, ws.vtp);                   // k x n
+  ws.core_inv_vtp = lu_solve_matrix(*f, ws.vtp);    // k x n
+  matmul_into(ws.pu, ws.core_inv_vtp, ws.delta);    // n x n
+  p -= ws.delta;
   return true;
+}
+
+bool woodbury_update(Matrix& p, const Matrix& u, const Matrix& v) {
+  WoodburyWorkspace ws;
+  return woodbury_update(p, u, v, ws);
 }
 
 }  // namespace edgedrift::linalg

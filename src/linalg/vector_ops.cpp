@@ -1,25 +1,40 @@
+// Vectorized span kernels over the simd.hpp backend. The per-sample
+// detector primitives (distances, running means) are the hottest scalar
+// loops in the system, so they run on the same lane layer as the GEMM.
+//
+// Reductions (dot, distances, mean) use multiple accumulators and are
+// tolerance-comparable — not bit-identical — to a naive ascending loop.
+// Elementwise updates (axpy, running means) are exact per element, so their
+// vectorization is rounding-neutral.
 #include "edgedrift/linalg/vector_ops.hpp"
 
 #include <algorithm>
 #include <cmath>
 
+#include "edgedrift/linalg/simd.hpp"
 #include "edgedrift/util/assert.hpp"
 
 namespace edgedrift::linalg {
 
 double dot(std::span<const double> a, std::span<const double> b) {
   EDGEDRIFT_DASSERT(a.size() == b.size(), "dot size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::dot_product(a.data(), b.data(), a.size());
 }
 
 double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
 
 double norm1(std::span<const double> a) {
-  double acc = 0.0;
-  for (double v : a) acc += std::abs(v);
-  return acc;
+  using simd::VDouble;
+  const double* EDGEDRIFT_RESTRICT p = a.data();
+  const std::size_t n = a.size();
+  VDouble acc = simd::vzero();
+  std::size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    acc = simd::vadd(acc, simd::vabs(simd::vload(p + i)));
+  }
+  double total = simd::vreduce_add(acc);
+  for (; i < n; ++i) total += std::abs(p[i]);
+  return total;
 }
 
 double l2_distance(std::span<const double> a, std::span<const double> b) {
@@ -29,24 +44,60 @@ double l2_distance(std::span<const double> a, std::span<const double> b) {
 double squared_l2_distance(std::span<const double> a,
                            std::span<const double> b) {
   EDGEDRIFT_DASSERT(a.size() == b.size(), "distance size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
+  using simd::VDouble;
+  const double* EDGEDRIFT_RESTRICT pa = a.data();
+  const double* EDGEDRIFT_RESTRICT pb = b.data();
+  const std::size_t n = a.size();
+  VDouble acc0 = simd::vzero();
+  VDouble acc1 = simd::vzero();
+  std::size_t i = 0;
+  for (; i + 2 * simd::kLanes <= n; i += 2 * simd::kLanes) {
+    const VDouble d0 = simd::vsub(simd::vload(pa + i), simd::vload(pb + i));
+    const VDouble d1 = simd::vsub(simd::vload(pa + i + simd::kLanes),
+                                  simd::vload(pb + i + simd::kLanes));
+    acc0 = simd::vfmadd(d0, d0, acc0);
+    acc1 = simd::vfmadd(d1, d1, acc1);
+  }
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const VDouble d = simd::vsub(simd::vload(pa + i), simd::vload(pb + i));
+    acc0 = simd::vfmadd(d, d, acc0);
+  }
+  double acc = simd::vreduce_add(simd::vadd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = pa[i] - pb[i];
+    acc = simd::madd(d, d, acc);
   }
   return acc;
 }
 
 double l1_distance(std::span<const double> a, std::span<const double> b) {
   EDGEDRIFT_DASSERT(a.size() == b.size(), "distance size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
-  return acc;
+  using simd::VDouble;
+  const double* EDGEDRIFT_RESTRICT pa = a.data();
+  const double* EDGEDRIFT_RESTRICT pb = b.data();
+  const std::size_t n = a.size();
+  VDouble acc0 = simd::vzero();
+  VDouble acc1 = simd::vzero();
+  std::size_t i = 0;
+  for (; i + 2 * simd::kLanes <= n; i += 2 * simd::kLanes) {
+    acc0 = simd::vadd(
+        acc0, simd::vabs(simd::vsub(simd::vload(pa + i), simd::vload(pb + i))));
+    acc1 = simd::vadd(
+        acc1, simd::vabs(simd::vsub(simd::vload(pa + i + simd::kLanes),
+                                    simd::vload(pb + i + simd::kLanes))));
+  }
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    acc0 = simd::vadd(
+        acc0, simd::vabs(simd::vsub(simd::vload(pa + i), simd::vload(pb + i))));
+  }
+  double total = simd::vreduce_add(simd::vadd(acc0, acc1));
+  for (; i < n; ++i) total += std::abs(pa[i] - pb[i]);
+  return total;
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   EDGEDRIFT_DASSERT(x.size() == y.size(), "axpy size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::scaled_accumulate(alpha, x.data(), y.data(), x.size());
 }
 
 void copy(std::span<const double> src, std::span<double> dst) {
@@ -63,8 +114,10 @@ void running_mean_update(std::span<double> mean, std::span<const double> x,
   EDGEDRIFT_DASSERT(mean.size() == x.size(), "running mean size mismatch");
   const double n = static_cast<double>(count);
   const double inv = 1.0 / (n + 1.0);
+  double* EDGEDRIFT_RESTRICT m = mean.data();
+  const double* EDGEDRIFT_RESTRICT xs = x.data();
   for (std::size_t i = 0; i < mean.size(); ++i) {
-    mean[i] = (mean[i] * n + x[i]) * inv;
+    m[i] = (m[i] * n + xs[i]) * inv;
   }
 }
 
@@ -72,8 +125,11 @@ void ewma_update(std::span<double> mean, std::span<const double> x,
                  double decay) {
   EDGEDRIFT_DASSERT(mean.size() == x.size(), "ewma size mismatch");
   EDGEDRIFT_DASSERT(decay >= 0.0 && decay <= 1.0, "decay must be in [0,1]");
+  const double w = 1.0 - decay;
+  double* EDGEDRIFT_RESTRICT m = mean.data();
+  const double* EDGEDRIFT_RESTRICT xs = x.data();
   for (std::size_t i = 0; i < mean.size(); ++i) {
-    mean[i] = decay * mean[i] + (1.0 - decay) * x[i];
+    m[i] = decay * m[i] + w * xs[i];
   }
 }
 

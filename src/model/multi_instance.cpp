@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "edgedrift/linalg/gemm.hpp"
+#include "edgedrift/linalg/vector_ops.hpp"
 #include "edgedrift/util/assert.hpp"
 
 namespace edgedrift::model {
@@ -48,11 +49,42 @@ void MultiInstanceModel::init_sequential() {
 }
 
 void MultiInstanceModel::scores(std::span<const double> x,
+                                std::span<double> out,
+                                linalg::KernelWorkspace& ws) const {
+  EDGEDRIFT_ASSERT(out.size() == num_labels(), "score buffer size mismatch");
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    out[i] = instances_[i].score(x, ws);
+  }
+}
+
+void MultiInstanceModel::scores(std::span<const double> x,
                                 std::span<double> out) const {
   EDGEDRIFT_ASSERT(out.size() == num_labels(), "score buffer size mismatch");
   for (std::size_t i = 0; i < instances_.size(); ++i) {
     out[i] = instances_[i].score(x);
   }
+}
+
+namespace {
+
+Prediction argmin_score(std::span<const double> s) {
+  Prediction best{0, std::numeric_limits<double>::infinity()};
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] < best.score) {
+      best.label = i;
+      best.score = s[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Prediction MultiInstanceModel::predict(std::span<const double> x,
+                                       linalg::KernelWorkspace& ws) const {
+  const std::span<double> s = ws.scores(num_labels());
+  scores(x, s, ws);
+  return argmin_score(s);
 }
 
 Prediction MultiInstanceModel::predict(std::span<const double> x) const {
@@ -69,14 +101,7 @@ Prediction MultiInstanceModel::predict(std::span<const double> x) const {
     s = heap_buf;
   }
   scores(x, s);
-  Prediction best{0, std::numeric_limits<double>::infinity()};
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] < best.score) {
-      best.label = i;
-      best.score = s[i];
-    }
-  }
-  return best;
+  return argmin_score(s);
 }
 
 void MultiInstanceModel::score_batch(const linalg::Matrix& x,
@@ -90,15 +115,14 @@ void MultiInstanceModel::score_batch(const linalg::Matrix& x,
     // R = H * beta: each row is bit-identical to the scalar reconstruction
     // (same ascending-k accumulation order in both kernels).
     linalg::matmul_parallel_into(ws.hidden, net.beta(), ws.recon);
+    // Same squared_l2_distance kernel as the scalar score() — one shared
+    // MSE reduction, so batch and scalar scores agree bit-for-bit.
+    const std::size_t n = x.cols();
     for (std::size_t r = 0; r < x.rows(); ++r) {
-      const double* xr = x.data() + r * x.cols();
-      const double* rr = ws.recon.data() + r * ws.recon.cols();
-      double acc = 0.0;
-      for (std::size_t j = 0; j < x.cols(); ++j) {
-        const double d = xr[j] - rr[j];
-        acc += d * d;
-      }
-      ws.scores(r, label) = acc / static_cast<double>(x.cols());
+      const std::span<const double> xr{x.data() + r * n, n};
+      const std::span<const double> rr{ws.recon.data() + r * n, n};
+      ws.scores(r, label) =
+          linalg::squared_l2_distance(xr, rr) / static_cast<double>(n);
     }
   }
 }
@@ -122,9 +146,23 @@ void MultiInstanceModel::predict_batch(const linalg::Matrix& x,
 }
 
 double MultiInstanceModel::score_of(std::span<const double> x,
+                                    std::size_t label,
+                                    linalg::KernelWorkspace& ws) const {
+  EDGEDRIFT_ASSERT(label < num_labels(), "label out of range");
+  return instances_[label].score(x, ws);
+}
+
+double MultiInstanceModel::score_of(std::span<const double> x,
                                     std::size_t label) const {
   EDGEDRIFT_ASSERT(label < num_labels(), "label out of range");
   return instances_[label].score(x);
+}
+
+Prediction MultiInstanceModel::train_closest(std::span<const double> x,
+                                             linalg::KernelWorkspace& ws) {
+  const Prediction pred = predict(x, ws);
+  instances_[pred.label].train(x);
+  return pred;
 }
 
 Prediction MultiInstanceModel::train_closest(std::span<const double> x) {

@@ -1,20 +1,37 @@
 #include "edgedrift/oselm/activation.hpp"
 
 #include <cmath>
+#include <cstddef>
+
+#include "edgedrift/linalg/simd.hpp"
 
 namespace edgedrift::oselm {
 
 void apply_activation(Activation act, std::span<double> values) {
+  namespace simd = linalg::simd;
+  double* EDGEDRIFT_RESTRICT v = values.data();
+  const std::size_t n = values.size();
   switch (act) {
     case Activation::kSigmoid:
-      for (auto& v : values) v = 1.0 / (1.0 + std::exp(-v));
+      // exp() stays scalar libm: vectorizing it would change rounding, and
+      // the projection output must be identical across the batch and
+      // per-sample paths.
+      for (std::size_t i = 0; i < n; ++i) v[i] = 1.0 / (1.0 + std::exp(-v[i]));
       break;
     case Activation::kTanh:
-      for (auto& v : values) v = std::tanh(v);
+      for (std::size_t i = 0; i < n; ++i) v[i] = std::tanh(v[i]);
       break;
-    case Activation::kRelu:
-      for (auto& v : values) v = v > 0.0 ? v : 0.0;
+    case Activation::kRelu: {
+      // max(v, 0) is exact in every backend, so the vector path is safe
+      // under the bit-identity contract.
+      const simd::VDouble zero = simd::vzero();
+      std::size_t i = 0;
+      for (; i + simd::kLanes <= n; i += simd::kLanes) {
+        simd::vstore(v + i, simd::vmax(simd::vload(v + i), zero));
+      }
+      for (; i < n; ++i) v[i] = v[i] > 0.0 ? v[i] : 0.0;
       break;
+    }
     case Activation::kIdentity:
       break;
   }

@@ -1,5 +1,6 @@
 #include "edgedrift/oselm/autoencoder.hpp"
 
+#include "edgedrift/linalg/vector_ops.hpp"
 #include "edgedrift/util/assert.hpp"
 
 namespace edgedrift::oselm {
@@ -26,6 +27,16 @@ void Autoencoder::init_train(const linalg::Matrix& x) {
   net_.init_train(x, x);
 }
 
+double Autoencoder::score(std::span<const double> x,
+                          linalg::KernelWorkspace& ws) const {
+  const std::span<double> recon = ws.recon(x.size());
+  net_.predict(x, recon, ws);
+  // squared_l2_distance is the one MSE kernel shared with the batch scorer,
+  // which keeps score() bit-identical to score_batch() rows within a build.
+  return linalg::squared_l2_distance(x, recon) /
+         static_cast<double>(x.size());
+}
+
 double Autoencoder::score(std::span<const double> x) const {
   // Reconstruction scratch on the stack (heap fallback for wide inputs) so
   // concurrent score() calls on a frozen model never share state.
@@ -40,12 +51,8 @@ double Autoencoder::score(std::span<const double> x) const {
     recon = heap_buf;
   }
   net_.predict(x, recon);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - recon[i];
-    acc += d * d;
-  }
-  return acc / static_cast<double>(x.size());
+  return linalg::squared_l2_distance(x, recon) /
+         static_cast<double>(x.size());
 }
 
 }  // namespace edgedrift::oselm

@@ -97,13 +97,23 @@ void OsElm::train_batch(const linalg::Matrix& x, const linalg::Matrix& t) {
   const linalg::Matrix h = projection_->hidden_batch(x);
   // P <- (P^-1 + H^T H)^-1 via Woodbury with U = V = H^T.
   const linalg::Matrix ht = h.transposed();
-  const bool ok = linalg::woodbury_update(p_, ht, ht);
+  const bool ok = linalg::woodbury_update(p_, ht, ht, woodbury_ws_);
   EDGEDRIFT_ASSERT(ok, "Woodbury core singular in train_batch");
   // beta <- beta + P H^T (T - H beta).
   linalg::Matrix residual = t;
   residual -= linalg::matmul(h, beta_);
   beta_ += linalg::matmul(p_, linalg::matmul_at_b(h, residual));
   samples_seen_ += x.rows();
+}
+
+void OsElm::predict(std::span<const double> x, std::span<double> y,
+                    linalg::KernelWorkspace& ws) const {
+  EDGEDRIFT_ASSERT(initialized_, "predict() before initialization");
+  EDGEDRIFT_ASSERT(x.size() == input_dim(), "x size mismatch");
+  EDGEDRIFT_ASSERT(y.size() == output_dim(), "y size mismatch");
+  const std::span<double> h = ws.hidden(hidden_dim());
+  hidden(x, h);
+  linalg::matvec_transposed(beta_, h, y);
 }
 
 void OsElm::predict(std::span<const double> x, std::span<double> y) const {
@@ -157,6 +167,10 @@ std::size_t OsElm::memory_bytes(bool include_projection) const {
                       (h_scratch_.capacity() + ph_scratch_.capacity() +
                        err_scratch_.capacity()) *
                           sizeof(double);
+  bytes += woodbury_ws_.pu.memory_bytes() + woodbury_ws_.core.memory_bytes() +
+           woodbury_ws_.vtp.memory_bytes() +
+           woodbury_ws_.core_inv_vtp.memory_bytes() +
+           woodbury_ws_.delta.memory_bytes();
   if (include_projection) bytes += projection_->memory_bytes();
   return bytes;
 }

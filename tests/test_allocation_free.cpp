@@ -1,0 +1,130 @@
+// Locks in the allocation-free steady state of Pipeline::process(): after
+// fit() and a short warm-up (grow-only workspaces reach their high-water
+// mark), processing a sample performs ZERO heap allocations. This is the
+// on-device property the kernel-workspace plumbing exists for — a
+// Pico-class target cannot afford a malloc per sample, and a regression
+// here silently reintroduces one.
+//
+// Mechanism: counting replacements of the global operator new/delete,
+// enabled only around the measured loop. The dimensions are chosen ABOVE
+// the stack-buffer thresholds of the convenience overloads (256 doubles in
+// OsElm::predict / Autoencoder::score), so the test fails if the pipeline
+// ever falls back from its KernelWorkspace to those heap-fallback paths.
+//
+// Sanitizer builds replace the allocator themselves; the hooks would fight
+// them, so the whole counting apparatus is compiled out and the test skips.
+#include <gtest/gtest.h>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define EDGEDRIFT_ALLOC_HOOKS_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define EDGEDRIFT_ALLOC_HOOKS_DISABLED 1
+#endif
+#endif
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/linalg/matrix.hpp"
+#include "edgedrift/util/rng.hpp"
+
+#if !defined(EDGEDRIFT_ALLOC_HOOKS_DISABLED)
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+// Global replacements: every new in the test binary funnels through
+// counted_alloc; deletes must therefore free() unconditionally.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // !EDGEDRIFT_ALLOC_HOOKS_DISABLED
+
+namespace {
+
+using edgedrift::core::Pipeline;
+using edgedrift::core::PipelineConfig;
+using edgedrift::linalg::Matrix;
+using edgedrift::util::Rng;
+
+TEST(AllocationFree, SteadyStateProcessDoesNotAllocate) {
+#if defined(EDGEDRIFT_ALLOC_HOOKS_DISABLED)
+  GTEST_SKIP() << "allocation hooks disabled under sanitizers";
+#else
+  // Dimensions above the 256-double stack thresholds of the convenience
+  // overloads: the workspace plumbing, not the stack buffers, must carry
+  // the hot path.
+  constexpr std::size_t kDim = 300;
+  constexpr std::size_t kHidden = 280;
+  constexpr std::size_t kTrainRows = 200;
+
+  PipelineConfig config;
+  config.num_labels = 2;
+  config.input_dim = kDim;
+  config.hidden_dim = kHidden;
+
+  Rng rng(7);
+  Matrix train(kTrainRows, kDim);
+  std::vector<int> labels(kTrainRows);
+  for (std::size_t i = 0; i < kTrainRows; ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    const double mean = labels[i] == 0 ? 0.2 : 1.2;
+    for (std::size_t j = 0; j < kDim; ++j) {
+      train(i, j) = rng.gaussian(mean, 0.2);
+    }
+  }
+
+  Pipeline pipeline(config);
+  pipeline.fit(train, labels);
+
+  // Stationary stream, materialized before counting starts.
+  constexpr std::size_t kWarmup = 300;
+  constexpr std::size_t kMeasured = 200;
+  Matrix stream(kWarmup + kMeasured, kDim);
+  for (std::size_t i = 0; i < stream.rows(); ++i) {
+    const double mean = i % 2 == 0 ? 0.2 : 1.2;
+    for (std::size_t j = 0; j < kDim; ++j) {
+      stream(i, j) = rng.gaussian(mean, 0.2);
+    }
+  }
+
+  // Warm-up: grow-only workspaces reach their steady-state capacity.
+  for (std::size_t i = 0; i < kWarmup; ++i) {
+    pipeline.process(stream.row(i));
+  }
+  ASSERT_FALSE(pipeline.recovering())
+      << "stationary stream should not trigger a recovery";
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (std::size_t i = kWarmup; i < kWarmup + kMeasured; ++i) {
+    pipeline.process(stream.row(i));
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
+      << "steady-state process() must not touch the heap";
+#endif
+}
+
+}  // namespace
