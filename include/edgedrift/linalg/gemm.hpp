@@ -45,4 +45,13 @@ void matvec_transposed(const Matrix& a, std::span<const double> x,
 void ger(Matrix& a, double alpha, std::span<const double> u,
          std::span<const double> v);
 
+/// Rank-1 update of a column block: A[:, col_begin : col_begin + v.size())
+/// += alpha * u * v^T. Per element this is the same madd as ger() on a
+/// dense matrix of the block's shape, so a column block updated through
+/// ger_block stays bit-identical to a standalone matrix updated through
+/// ger() with the same vectors — the invariant the packed ensemble beta
+/// relies on (model/multi_instance.cpp).
+void ger_block(Matrix& a, std::size_t col_begin, double alpha,
+               std::span<const double> u, std::span<const double> v);
+
 }  // namespace edgedrift::linalg

@@ -67,7 +67,10 @@ class Matrix {
   std::span<double> flat() { return {data_.data(), data_.size()}; }
   std::span<const double> flat() const { return {data_.data(), data_.size()}; }
 
-  /// Resizes to rows x cols, zeroing all content.
+  /// Resizes to rows x cols, zeroing all content. Grow-only on the heap:
+  /// shrinking or re-sizing within the high-water capacity never
+  /// reallocates, so workspace matrices stay allocation-free across
+  /// varying batch shapes.
   void resize_zero(std::size_t rows, std::size_t cols);
 
   /// Sets every element to `value`.

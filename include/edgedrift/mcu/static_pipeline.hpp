@@ -84,6 +84,16 @@ class StaticPipeline {
  private:
   void hidden_of(std::span<const float> x,
                  std::array<float, kHidden>& h) const;
+
+  /// Anomaly score of one instance from an already-projected hidden vector
+  /// (the fused predict() projects once and scores every label from it).
+  float score_from_hidden(const std::array<float, kHidden>& h,
+                          std::span<const float> x, std::size_t label) const;
+
+  /// OS-ELM step assuming h_scratch_ already holds the projection of x
+  /// (valid right after predict()/score_of() on the same sample).
+  void train_with_current_hidden(std::span<const float> x, std::size_t label);
+
   float recent_distance_sum() const;
   std::size_t nearest_coord(std::span<const float> x) const;
   float coord_spread() const;
@@ -209,15 +219,15 @@ void StaticPipeline<kDim, kHidden, kLabels>::hidden_of(
 }
 
 template <std::size_t kDim, std::size_t kHidden, std::size_t kLabels>
-float StaticPipeline<kDim, kHidden, kLabels>::score_of(
-    std::span<const float> x, std::size_t label) const {
-  hidden_of(x, h_scratch_);
+float StaticPipeline<kDim, kHidden, kLabels>::score_from_hidden(
+    const std::array<float, kHidden>& h, std::span<const float> x,
+    std::size_t label) const {
   const float* beta = beta_.data() + label * kHidden * kDim;
   float acc = 0.0f;
   for (std::size_t d = 0; d < kDim; ++d) recon_scratch_[d] = 0.0f;
-  for (std::size_t h = 0; h < kHidden; ++h) {
-    const float hv = h_scratch_[h];
-    const float* brow = beta + h * kDim;
+  for (std::size_t hi = 0; hi < kHidden; ++hi) {
+    const float hv = h[hi];
+    const float* brow = beta + hi * kDim;
     for (std::size_t d = 0; d < kDim; ++d) {
       recon_scratch_[d] += hv * brow[d];
     }
@@ -230,12 +240,24 @@ float StaticPipeline<kDim, kHidden, kLabels>::score_of(
 }
 
 template <std::size_t kDim, std::size_t kHidden, std::size_t kLabels>
+float StaticPipeline<kDim, kHidden, kLabels>::score_of(
+    std::span<const float> x, std::size_t label) const {
+  hidden_of(x, h_scratch_);
+  return score_from_hidden(h_scratch_, x, label);
+}
+
+template <std::size_t kDim, std::size_t kHidden, std::size_t kLabels>
 std::size_t StaticPipeline<kDim, kHidden, kLabels>::predict(
     std::span<const float> x, float& score_out) const {
+  // Fused ensemble scoring: the projection is shared by every instance, so
+  // compute it once and score all kLabels instances from it (the per-label
+  // path recomputed it kLabels times). h_scratch_ still holds the sample's
+  // hidden vector afterwards, which the training path reuses.
+  hidden_of(x, h_scratch_);
   std::size_t best = 0;
-  float best_score = score_of(x, 0);
+  float best_score = score_from_hidden(h_scratch_, x, 0);
   for (std::size_t c = 1; c < kLabels; ++c) {
-    const float s = score_of(x, c);
+    const float s = score_from_hidden(h_scratch_, x, c);
     if (s < best_score) {
       best_score = s;
       best = c;
@@ -249,6 +271,12 @@ template <std::size_t kDim, std::size_t kHidden, std::size_t kLabels>
 void StaticPipeline<kDim, kHidden, kLabels>::train_label(
     std::span<const float> x, std::size_t label) {
   hidden_of(x, h_scratch_);
+  train_with_current_hidden(x, label);
+}
+
+template <std::size_t kDim, std::size_t kHidden, std::size_t kLabels>
+void StaticPipeline<kDim, kHidden, kLabels>::train_with_current_hidden(
+    std::span<const float> x, std::size_t label) {
   float* p = p_.data() + label * kHidden * kHidden;
   // ph = P h; hph = h^T P h.
   float hph = 0.0f;
@@ -463,15 +491,18 @@ StaticStep StaticPipeline<kDim, kHidden, kLabels>::process(
       ++coord_counts_[c];
     } else {
       // Algorithm 2 lines 8-12: retrain, by nearest coord for the first
-      // half, by model prediction afterwards.
+      // half, by model prediction afterwards. Either way the sample is
+      // projected exactly once: predict() leaves its hidden vector in
+      // h_scratch_ and the training step picks it up from there.
       std::size_t label;
       if (count < n_total_ / 2) {
         label = nearest_coord(x);
+        hidden_of(x, h_scratch_);
       } else {
         float ignored;
         label = predict(x, ignored);
       }
-      train_label(x, label);
+      train_with_current_hidden(x, label);
       // Eq. 1 accumulators against the rebuilt coordinates.
       const float* coord = coords_.data() + label * kDim;
       float d = 0.0f;

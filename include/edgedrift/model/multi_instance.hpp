@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -22,11 +23,23 @@ struct Prediction {
 
 /// Preallocated buffers for the batch scoring path. Reuse one workspace
 /// across calls to keep the hot loop allocation-free; the matrices are
-/// resized on demand.
+/// grow-only (Matrix::resize_zero never reallocates within the high-water
+/// capacity), so after reserve() — or after the first batch — repeat
+/// batches of any shape up to the high-water mark touch the heap zero
+/// times.
 struct BatchWorkspace {
   linalg::Matrix hidden;  ///< rows x hidden_dim: shared hidden activations.
-  linalg::Matrix recon;   ///< rows x input_dim: per-instance reconstruction.
+  linalg::Matrix recon;   ///< rows x (num_labels * input_dim): fused recon.
   linalg::Matrix scores;  ///< rows x num_labels: per-instance MSE scores.
+
+  /// Pre-grows every buffer to the given batch geometry so the first
+  /// score_batch() call is already allocation-free.
+  void reserve(std::size_t rows, std::size_t input_dim,
+               std::size_t hidden_dim, std::size_t num_labels) {
+    hidden.resize_zero(rows, hidden_dim);
+    recon.resize_zero(rows, num_labels * input_dim);
+    scores.resize_zero(rows, num_labels);
+  }
 };
 
 /// Per-label OS-ELM autoencoder bank.
@@ -49,7 +62,12 @@ class MultiInstanceModel {
   void init_sequential();
 
   /// Anomaly score of every instance; `out` must have length num_labels().
-  /// The workspace overload is the allocation-free hot path.
+  /// The workspace overload is the fused allocation-free hot path: one
+  /// shared hidden projection plus a single matvec against the packed
+  /// ensemble beta reconstructs all instances at once. The convenience
+  /// overload is the retained per-instance reference path — it walks the
+  /// instances one by one; tests/test_fused_scoring.cpp pins the two
+  /// bit-identical within a build.
   void scores(std::span<const double> x, std::span<double> out,
               linalg::KernelWorkspace& ws) const;
   void scores(std::span<const double> x, std::span<double> out) const;
@@ -62,7 +80,9 @@ class MultiInstanceModel {
                      linalg::KernelWorkspace& ws) const;
   Prediction predict(std::span<const double> x) const;
 
-  /// Scores every instance on every row of X via the GEMM kernels:
+  /// Scores every instance on every row of X with one fused
+  /// [rows x (num_labels * input_dim)] GEMM against the packed ensemble
+  /// beta, then a vectorized per-label MSE reduction:
   /// ws.scores(r, l) is bit-identical to instance(l).score(x.row(r)).
   void score_batch(const linalg::Matrix& x, BatchWorkspace& ws) const;
 
@@ -77,7 +97,9 @@ class MultiInstanceModel {
   double score_of(std::span<const double> x, std::size_t label) const;
 
   /// Predicts, then sequentially trains the winning instance; returns the
-  /// prediction made before training.
+  /// prediction made before training. The workspace overload projects the
+  /// sample once and shares the hidden vector between the fused scorer and
+  /// the winner's training step (err = t - beta^T h reuses it).
   Prediction train_closest(std::span<const double> x,
                            linalg::KernelWorkspace& ws);
   Prediction train_closest(std::span<const double> x);
@@ -95,16 +117,55 @@ class MultiInstanceModel {
 
   const oselm::Autoencoder& instance(std::size_t label) const;
 
-  /// Mutable instance access (persistence / state restoration).
+  /// Mutable instance access (persistence / state restoration). Callers
+  /// that mutate an instance's beta through this handle must call
+  /// repack_ensemble() afterwards so the fused scorer sees the new state.
   oselm::Autoencoder& instance_mutable(std::size_t label);
   const oselm::ProjectionPtr& projection() const { return projection_; }
 
+  /// Rebuilds the packed ensemble beta from every instance's beta (exact
+  /// element copies). The model keeps the mirror in sync through its own
+  /// training APIs; this is only needed after out-of-band mutation via
+  /// instance_mutable() (e.g. checkpoint restore).
+  void repack_ensemble();
+
+  /// Column-blocked view of the whole ensemble: packed(i, c * input_dim + j)
+  /// == instance(c).net().beta()(i, j). One matvec/GEMM against it
+  /// reconstructs every instance at once.
+  const linalg::Matrix& packed_beta() const { return packed_beta_; }
+
   /// Bytes: per-instance trainable state plus the shared projection once.
+  /// Deliberately excludes the packed ensemble mirror: the device profile
+  /// (mcu::StaticPipeline) stores beta exactly once, so the mirror is a
+  /// host-side throughput artifact, not part of the Table 4 working set.
   std::size_t memory_bytes() const;
 
  private:
+  /// Fused scorer core: one matvec of the shared hidden activation `h`
+  /// against the packed beta reconstructs every instance into `recon`
+  /// (length num_labels() * input_dim()), then the shared MSE kernel
+  /// reduces each block against x.
+  void scores_from_hidden(std::span<const double> h,
+                          std::span<const double> x, std::span<double> out,
+                          std::span<double> recon) const;
+
+  /// Copies instance c's beta into its column block of the packed mirror.
+  void repack_block(std::size_t c);
+
+  /// Replays the rank-1 step of instance c's most recent sequential train
+  /// into the packed mirror (writes only the owning column block; exactly
+  /// the element-wise madds the dense ger applied to the instance's beta).
+  void sync_block_after_train(std::size_t c);
+
+  /// True when every packed block matches its instance's beta version.
+  bool packed_in_sync() const;
+
   oselm::ProjectionPtr projection_;
   std::vector<oselm::Autoencoder> instances_;
+  /// hidden_dim x (num_labels * input_dim): all betas, column-blocked.
+  linalg::Matrix packed_beta_;
+  /// Per-block OsElm::beta_version() snapshot at the last sync.
+  std::vector<std::uint64_t> packed_versions_;
 };
 
 }  // namespace edgedrift::model

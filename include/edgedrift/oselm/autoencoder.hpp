@@ -33,11 +33,26 @@ class Autoencoder {
   /// One sequential training step on sample x.
   void train(std::span<const double> x) { net_.train(x, x); }
 
+  /// Sequential training step with a precomputed hidden activation of x
+  /// (shared-hidden hot path: the ensemble projects once per sample and
+  /// reuses `h` for scoring and training).
+  void train_from_hidden(std::span<const double> h, std::span<const double> x) {
+    net_.train_from_hidden(h, x);
+  }
+
   /// Mean squared reconstruction error of x — the anomaly score. The
   /// workspace overload is the allocation-free hot path; the convenience
   /// overload keeps the reconstruction on the stack.
   double score(std::span<const double> x, linalg::KernelWorkspace& ws) const;
   double score(std::span<const double> x) const;
+
+  /// Anomaly score of x from its precomputed hidden activation. `recon` is
+  /// caller scratch of length input_dim(). Bit-identical to score() when `h`
+  /// equals this projection of x (same reconstruction chain, same MSE
+  /// kernel).
+  double score_from_hidden(std::span<const double> h,
+                           std::span<const double> x,
+                           std::span<double> recon) const;
 
   /// Writes the reconstruction of x into `out` (length input_dim()).
   void reconstruct(std::span<const double> x, std::span<double> out) const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,13 @@ class OsElm {
   /// Sequential training on one (x, t) pair — the batch-size-1 fast path.
   void train(std::span<const double> x, std::span<const double> t);
 
+  /// Sequential training with a precomputed hidden activation. `h` must be
+  /// this network's projection of the trained sample (bit-equal to what
+  /// hidden() would produce); the ensemble hot path computes it once per
+  /// sample and shares it across prediction and training.
+  void train_from_hidden(std::span<const double> h,
+                         std::span<const double> t);
+
   /// Sequential training on a batch via the Woodbury identity. Equivalent to
   /// calling train() row by row when forgetting_factor == 1.
   void train_batch(const linalg::Matrix& x, const linalg::Matrix& t);
@@ -67,6 +75,13 @@ class OsElm {
   void predict(std::span<const double> x, std::span<double> y,
                linalg::KernelWorkspace& ws) const;
   void predict(std::span<const double> x, std::span<double> y) const;
+
+  /// y = beta^T h for a precomputed hidden activation — the shared-hidden
+  /// entry point of the fused ensemble scorer (and of train()'s own
+  /// prediction-error step). Bit-identical to predict() when `h` equals
+  /// the projection of x.
+  void predict_from_hidden(std::span<const double> h,
+                           std::span<double> y) const;
 
   /// Batch prediction; rows of the result are predictions.
   linalg::Matrix predict_batch(const linalg::Matrix& x) const;
@@ -85,6 +100,19 @@ class OsElm {
   const linalg::Matrix& beta() const { return beta_; }
   const linalg::Matrix& p() const { return p_; }
 
+  /// Monotone counter bumped on every mutation of beta (init, sequential
+  /// and batch training, reset, restore). Ensemble owners that keep a
+  /// packed mirror of beta use it to detect when a block must be re-packed.
+  std::uint64_t beta_version() const { return beta_version_; }
+
+  /// Rank-1 factors of the most recent sequential train step:
+  /// beta_new = beta_old + last_update_ph ⊗ last_update_err. Valid until
+  /// the next training call. Lets an ensemble owner replay the exact
+  /// element-wise update into a packed mirror of beta without recomputing
+  /// it (see MultiInstanceModel's packed ensemble beta).
+  std::span<const double> last_update_ph() const { return ph_scratch_; }
+  std::span<const double> last_update_err() const { return err_scratch_; }
+
   /// Bytes of trainable state (beta + P + scratch). Pass
   /// include_projection=true to add the shared projection weights.
   std::size_t memory_bytes(bool include_projection = false) const;
@@ -98,12 +126,17 @@ class OsElm {
   /// beta (used when the forgetting factor makes P numerically explode).
   void reset_p_to_prior();
 
+  /// Shared body of train()/train_from_hidden(): runs the P update and the
+  /// beta rank-1 step against the activation already in h_scratch_.
+  void train_on_hidden(std::span<const double> t);
+
   ProjectionPtr projection_;
   OsElmConfig config_;
   linalg::Matrix beta_;  ///< hidden_dim x output_dim.
   linalg::Matrix p_;     ///< hidden_dim x hidden_dim.
   bool initialized_ = false;
   std::size_t samples_seen_ = 0;
+  std::uint64_t beta_version_ = 1;  ///< Bumped on every beta mutation.
 
   // Per-sample training scratch, reused to keep the hot path
   // allocation-free. predict() deliberately does not touch these so it is

@@ -106,6 +106,17 @@ void Pipeline::fit(const linalg::Matrix& x, std::span<const int> labels) {
         std::max(detector_->reference_rows(), train_rows_);
     refit_buffer_.resize_zero(rows, config_.input_dim);
   }
+  // Pre-grow the streaming scratch to the steady-state geometry so even the
+  // first process()/process_batch() call after fit() touches the heap zero
+  // times (the buffers are grow-only; pinned by tests/test_allocation_free).
+  batch_ws_.reserve(config_.max_batch_rows, config_.input_dim,
+                    config_.hidden_dim, config_.num_labels);
+  chunk_input_.resize_zero(config_.max_batch_rows, config_.input_dim);
+  chunk_preds_.reserve(config_.max_batch_rows);
+  kernel_ws_.hidden(config_.hidden_dim);
+  kernel_ws_.recon(config_.num_labels * config_.input_dim);
+  kernel_ws_.scores(config_.num_labels);
+
   state_ = RecoveryState::kIdle;
   refit_fill_ = 0;
   fitted_ = true;

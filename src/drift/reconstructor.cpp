@@ -79,8 +79,11 @@ bool Reconstructor::step(std::span<const double> x,
       break;
     }
     case ReconstructionPhase::kTrainPredict: {
-      const model::Prediction pred = model.predict(x, ws_);
-      model.train_label(x, pred.label);
+      // Fused predict-then-train: projects the sample once and shares the
+      // hidden vector between the ensemble scorer and the winning
+      // instance's update (identical semantics to predict + train_label on
+      // the predicted label).
+      const model::Prediction pred = model.train_closest(x, ws_);
       const double d = linalg::l1_distance(x, coords_.centroid(pred.label));
       ++dist_count_;
       const double delta = d - dist_mean_;

@@ -180,6 +180,8 @@ std::optional<core::Pipeline> load_pipeline(std::istream& in) {
     pipeline.model_mutable().instance_mutable(c).restore_state(
         std::move(beta), std::move(p), seen);
   }
+  // Out-of-band beta mutation: rebuild the fused scorer's packed mirror.
+  pipeline.model_mutable().repack_ensemble();
 
   // Detector state.
   linalg::Matrix trained, recent;

@@ -247,4 +247,20 @@ void ger(Matrix& a, double alpha, std::span<const double> u,
   }
 }
 
+void ger_block(Matrix& a, std::size_t col_begin, double alpha,
+               std::span<const double> u, std::span<const double> v) {
+  EDGEDRIFT_ASSERT(a.rows() == u.size(), "ger_block row mismatch");
+  EDGEDRIFT_ASSERT(col_begin + v.size() <= a.cols(),
+                   "ger_block column block out of range");
+  const std::size_t n = a.cols();
+  const std::size_t bn = v.size();
+  const double* EDGEDRIFT_RESTRICT vp = v.data();
+  // Same per-row scaled_accumulate as ger(), applied to the strided block:
+  // each block element receives exactly the madd a dense ger would apply.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    simd::scaled_accumulate(alpha * u[i], vp, a.data() + i * n + col_begin,
+                            bn);
+  }
+}
+
 }  // namespace edgedrift::linalg

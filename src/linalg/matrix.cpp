@@ -26,7 +26,18 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
 void Matrix::resize_zero(std::size_t rows, std::size_t cols) {
   rows_ = rows;
   cols_ = cols;
-  data_.assign(rows * cols, 0.0);
+  const std::size_t n = rows * cols;
+  // Grow-only: once a workspace matrix has reached its high-water capacity,
+  // repeat batches of any size up to it must not touch the heap (the batch
+  // scoring loop relies on this; pinned by tests/test_allocation_free.cpp).
+  // vector::resize never reallocates when n <= capacity; assign() makes no
+  // such guarantee, so it is only used on genuine growth.
+  if (n <= data_.capacity()) {
+    data_.resize(n);
+    std::fill(data_.begin(), data_.end(), 0.0);
+  } else {
+    data_.assign(n, 0.0);
+  }
 }
 
 void Matrix::fill(double value) {

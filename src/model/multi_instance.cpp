@@ -1,5 +1,6 @@
 #include "edgedrift/model/multi_instance.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "edgedrift/linalg/gemm.hpp"
@@ -19,42 +20,74 @@ MultiInstanceModel::MultiInstanceModel(std::size_t num_labels,
   for (std::size_t i = 0; i < num_labels; ++i) {
     instances_.emplace_back(projection_, reg_lambda, forgetting_factor);
   }
+  packed_beta_.resize_zero(projection_->hidden_dim(),
+                           num_labels * projection_->input_dim());
+  packed_versions_.assign(num_labels, 0);
 }
 
 void MultiInstanceModel::init_train(const linalg::Matrix& x,
                                     std::span<const int> labels) {
   EDGEDRIFT_ASSERT(x.rows() == labels.size(), "X/label row mismatch");
-  for (std::size_t label = 0; label < instances_.size(); ++label) {
-    // Gather the rows of this label into a contiguous block.
-    std::size_t count = 0;
-    for (const int l : labels) {
-      EDGEDRIFT_ASSERT(l >= 0 && static_cast<std::size_t>(l) < num_labels(),
-                       "label out of range");
-      if (static_cast<std::size_t>(l) == label) ++count;
-    }
-    EDGEDRIFT_ASSERT(count > 0, "every label needs initial samples");
-    linalg::Matrix block(count, x.cols());
-    std::size_t row = 0;
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      if (static_cast<std::size_t>(labels[r]) == label) {
-        block.set_row(row++, x.row(r));
-      }
-    }
-    instances_[label].init_train(block);
+  // One counting pass over the labels, then one bucketed gather pass over
+  // the rows — O(N + C) bookkeeping instead of rescanning all N labels for
+  // each of the C instances.
+  std::vector<std::size_t> counts(num_labels(), 0);
+  for (const int l : labels) {
+    EDGEDRIFT_ASSERT(l >= 0 && static_cast<std::size_t>(l) < num_labels(),
+                     "label out of range");
+    ++counts[static_cast<std::size_t>(l)];
+  }
+  std::vector<linalg::Matrix> blocks(num_labels());
+  for (std::size_t label = 0; label < num_labels(); ++label) {
+    EDGEDRIFT_ASSERT(counts[label] > 0, "every label needs initial samples");
+    blocks[label].resize_zero(counts[label], x.cols());
+  }
+  std::vector<std::size_t> cursor(num_labels(), 0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::size_t label = static_cast<std::size_t>(labels[r]);
+    blocks[label].set_row(cursor[label]++, x.row(r));
+  }
+  for (std::size_t label = 0; label < num_labels(); ++label) {
+    instances_[label].init_train(blocks[label]);
+    repack_block(label);
   }
 }
 
 void MultiInstanceModel::init_sequential() {
   for (auto& inst : instances_) inst.init_sequential();
+  repack_ensemble();
+}
+
+void MultiInstanceModel::scores_from_hidden(std::span<const double> h,
+                                            std::span<const double> x,
+                                            std::span<double> out,
+                                            std::span<double> recon) const {
+  EDGEDRIFT_DASSERT(packed_in_sync(), "packed ensemble beta out of sync");
+  const std::size_t n = input_dim();
+  // One matvec against the packed [L x C*n] beta reconstructs all C
+  // instances: element c*n+j is the same ascending-i madd chain the
+  // per-instance matvec_transposed produces for instance c's element j
+  // (scaled_accumulate is element-wise, so the strided block rounds exactly
+  // like the dense per-instance run).
+  linalg::matvec_transposed(packed_beta_, h, recon);
+  for (std::size_t c = 0; c < num_labels(); ++c) {
+    // Same squared_l2_distance kernel as the per-instance score() — one
+    // shared MSE reduction keeps the fused path bit-identical.
+    out[c] = linalg::squared_l2_distance(
+                 x, recon.subspan(c * n, n)) /
+             static_cast<double>(n);
+  }
 }
 
 void MultiInstanceModel::scores(std::span<const double> x,
                                 std::span<double> out,
                                 linalg::KernelWorkspace& ws) const {
   EDGEDRIFT_ASSERT(out.size() == num_labels(), "score buffer size mismatch");
-  for (std::size_t i = 0; i < instances_.size(); ++i) {
-    out[i] = instances_[i].score(x, ws);
-  }
+  EDGEDRIFT_ASSERT(instances_.front().initialized(),
+                   "scores() before initialization");
+  const std::span<double> h = ws.hidden(hidden_dim());
+  projection_->hidden(x, h);
+  scores_from_hidden(h, x, out, ws.recon(num_labels() * input_dim()));
 }
 
 void MultiInstanceModel::scores(std::span<const double> x,
@@ -107,20 +140,25 @@ Prediction MultiInstanceModel::predict(std::span<const double> x) const {
 void MultiInstanceModel::score_batch(const linalg::Matrix& x,
                                      BatchWorkspace& ws) const {
   EDGEDRIFT_ASSERT(x.cols() == input_dim(), "batch feature dim mismatch");
+  for (const auto& inst : instances_) {
+    EDGEDRIFT_ASSERT(inst.initialized(), "score_batch() before initialization");
+  }
+  EDGEDRIFT_DASSERT(packed_in_sync(), "packed ensemble beta out of sync");
   projection_->hidden_batch_into(x, ws.hidden);
+  // R = H * packed_beta, one fused [rows x C*n] GEMM: row r, columns
+  // [c*n, (c+1)*n) are bit-identical to instance c's scalar reconstruction
+  // of row r (same ascending-k accumulation order in both kernels).
+  linalg::matmul_parallel_into(ws.hidden, packed_beta_, ws.recon);
   ws.scores.resize_zero(x.rows(), num_labels());
-  for (std::size_t label = 0; label < num_labels(); ++label) {
-    const oselm::OsElm& net = instances_[label].net();
-    EDGEDRIFT_ASSERT(net.initialized(), "score_batch() before initialization");
-    // R = H * beta: each row is bit-identical to the scalar reconstruction
-    // (same ascending-k accumulation order in both kernels).
-    linalg::matmul_parallel_into(ws.hidden, net.beta(), ws.recon);
-    // Same squared_l2_distance kernel as the scalar score() — one shared
-    // MSE reduction, so batch and scalar scores agree bit-for-bit.
-    const std::size_t n = x.cols();
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      const std::span<const double> xr{x.data() + r * n, n};
-      const std::span<const double> rr{ws.recon.data() + r * n, n};
+  const std::size_t n = x.cols();
+  const std::size_t packed_n = packed_beta_.cols();
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::span<const double> xr{x.data() + r * n, n};
+    const double* recon_row = ws.recon.data() + r * packed_n;
+    for (std::size_t label = 0; label < num_labels(); ++label) {
+      // Same squared_l2_distance kernel as the scalar score() — one shared
+      // MSE reduction, so batch and scalar scores agree bit-for-bit.
+      const std::span<const double> rr{recon_row + label * n, n};
       ws.scores(r, label) =
           linalg::squared_l2_distance(xr, rr) / static_cast<double>(n);
     }
@@ -160,14 +198,25 @@ double MultiInstanceModel::score_of(std::span<const double> x,
 
 Prediction MultiInstanceModel::train_closest(std::span<const double> x,
                                              linalg::KernelWorkspace& ws) {
-  const Prediction pred = predict(x, ws);
-  instances_[pred.label].train(x);
+  EDGEDRIFT_ASSERT(instances_.front().initialized(),
+                   "train_closest() before initialization");
+  // Project once; the hidden vector feeds both the fused scorer and the
+  // winning instance's training step (whose err = t - beta^T h would
+  // otherwise recompute the same projection).
+  const std::span<double> h = ws.hidden(hidden_dim());
+  projection_->hidden(x, h);
+  const std::span<double> s = ws.scores(num_labels());
+  scores_from_hidden(h, x, s, ws.recon(num_labels() * input_dim()));
+  const Prediction pred = argmin_score(s);
+  instances_[pred.label].train_from_hidden(h, x);
+  sync_block_after_train(pred.label);
   return pred;
 }
 
 Prediction MultiInstanceModel::train_closest(std::span<const double> x) {
   const Prediction pred = predict(x);
   instances_[pred.label].train(x);
+  sync_block_after_train(pred.label);
   return pred;
 }
 
@@ -175,10 +224,12 @@ void MultiInstanceModel::train_label(std::span<const double> x,
                                      std::size_t label) {
   EDGEDRIFT_ASSERT(label < num_labels(), "label out of range");
   instances_[label].train(x);
+  sync_block_after_train(label);
 }
 
 void MultiInstanceModel::reset() {
   for (auto& inst : instances_) inst.reset();
+  repack_ensemble();
 }
 
 void MultiInstanceModel::apply_permutation(
@@ -191,6 +242,7 @@ void MultiInstanceModel::apply_permutation(
     reordered.push_back(std::move(instances_[src]));
   }
   instances_ = std::move(reordered);
+  repack_ensemble();
 }
 
 const oselm::Autoencoder& MultiInstanceModel::instance(
@@ -204,9 +256,48 @@ oselm::Autoencoder& MultiInstanceModel::instance_mutable(std::size_t label) {
   return instances_[label];
 }
 
+void MultiInstanceModel::repack_block(std::size_t c) {
+  const oselm::OsElm& net = instances_[c].net();
+  const linalg::Matrix& beta = net.beta();
+  const std::size_t n = input_dim();
+  const std::size_t stride = packed_beta_.cols();
+  for (std::size_t i = 0; i < hidden_dim(); ++i) {
+    const double* src = beta.data() + i * n;
+    std::copy(src, src + n, packed_beta_.data() + i * stride + c * n);
+  }
+  packed_versions_[c] = net.beta_version();
+}
+
+void MultiInstanceModel::sync_block_after_train(std::size_t c) {
+  const oselm::OsElm& net = instances_[c].net();
+  EDGEDRIFT_DASSERT(net.beta_version() == packed_versions_[c] + 1,
+                    "packed block missed a beta update");
+  // Replay beta += ph (x) err into the owning column block: ger_block runs
+  // the identical element-wise scaled_accumulate the dense ger applied to
+  // the instance's beta, so the mirror stays bit-equal without a copy.
+  linalg::ger_block(packed_beta_, c * input_dim(), 1.0, net.last_update_ph(),
+                    net.last_update_err());
+  packed_versions_[c] = net.beta_version();
+}
+
+void MultiInstanceModel::repack_ensemble() {
+  for (std::size_t c = 0; c < num_labels(); ++c) repack_block(c);
+}
+
+bool MultiInstanceModel::packed_in_sync() const {
+  for (std::size_t c = 0; c < num_labels(); ++c) {
+    if (packed_versions_[c] != instances_[c].net().beta_version()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::size_t MultiInstanceModel::memory_bytes() const {
   // num_labels() doubles account for the per-sample score scratch predict()
-  // keeps on the stack — still part of the device working set.
+  // keeps on the stack — still part of the device working set. The packed
+  // ensemble mirror is deliberately excluded: the device profile stores
+  // each beta exactly once (see the header comment).
   std::size_t bytes = projection_->memory_bytes() +
                       num_labels() * sizeof(double);
   for (const auto& inst : instances_) {

@@ -37,6 +37,15 @@ double Autoencoder::score(std::span<const double> x,
          static_cast<double>(x.size());
 }
 
+double Autoencoder::score_from_hidden(std::span<const double> h,
+                                      std::span<const double> x,
+                                      std::span<double> recon) const {
+  EDGEDRIFT_ASSERT(recon.size() == x.size(), "recon scratch size mismatch");
+  net_.predict_from_hidden(h, recon);
+  return linalg::squared_l2_distance(x, recon) /
+         static_cast<double>(x.size());
+}
+
 double Autoencoder::score(std::span<const double> x) const {
   // Reconstruction scratch on the stack (heap fallback for wide inputs) so
   // concurrent score() calls on a frozen model never share state.

@@ -1,5 +1,6 @@
 #include "edgedrift/oselm/oselm.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "edgedrift/linalg/gemm.hpp"
@@ -35,6 +36,7 @@ void OsElm::init_train(const linalg::Matrix& x, const linalg::Matrix& t) {
   beta_ = linalg::matmul(p_, linalg::matmul_at_b(h, t));
   initialized_ = true;
   samples_seen_ = x.rows();
+  ++beta_version_;
 }
 
 void OsElm::init_sequential() {
@@ -44,6 +46,7 @@ void OsElm::init_sequential() {
   for (std::size_t i = 0; i < p_.rows(); ++i) p_(i, i) = prior;
   initialized_ = true;
   samples_seen_ = 0;
+  ++beta_version_;
 }
 
 void OsElm::train(std::span<const double> x, std::span<const double> t) {
@@ -51,6 +54,19 @@ void OsElm::train(std::span<const double> x, std::span<const double> t) {
   EDGEDRIFT_ASSERT(x.size() == input_dim(), "x size mismatch");
   EDGEDRIFT_ASSERT(t.size() == output_dim(), "t size mismatch");
   hidden(x, h_scratch_);
+  train_on_hidden(t);
+}
+
+void OsElm::train_from_hidden(std::span<const double> h,
+                              std::span<const double> t) {
+  EDGEDRIFT_ASSERT(initialized_, "train_from_hidden() before initialization");
+  EDGEDRIFT_ASSERT(h.size() == hidden_dim(), "h size mismatch");
+  EDGEDRIFT_ASSERT(t.size() == output_dim(), "t size mismatch");
+  std::copy(h.begin(), h.end(), h_scratch_.begin());
+  train_on_hidden(t);
+}
+
+void OsElm::train_on_hidden(std::span<const double> t) {
   // Covariance-resetting safeguard: with a forgetting factor, P grows like
   // alpha^-t in unexcited directions and eventually overflows (a known RLS
   // failure mode). When the trace explodes or the rank-1 step reports a
@@ -72,17 +88,18 @@ void OsElm::train(std::span<const double> x, std::span<const double> t) {
         p_, h_scratch_, config_.forgetting_factor, ph_scratch_);
     EDGEDRIFT_ASSERT(ok, "P update failed even from the prior");
   }
-  // err = t - beta^T h (prediction error with the pre-update beta).
+  // err = t - beta^T h (prediction error with the pre-update beta). The
+  // beta^T h reconstruction is the same kernel the fused ensemble scorer
+  // uses, so training reuses a vectorized path instead of a strided
+  // column-wise scalar loop.
+  linalg::matvec_transposed(beta_, h_scratch_, err_scratch_);
   for (std::size_t o = 0; o < output_dim(); ++o) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < hidden_dim(); ++j) {
-      acc += beta_(j, o) * h_scratch_[j];
-    }
-    err_scratch_[o] = t[o] - acc;
+    err_scratch_[o] = t[o] - err_scratch_[o];
   }
   // beta <- beta + (P_new h) err^T.
   linalg::matvec(p_, h_scratch_, ph_scratch_);
   linalg::ger(beta_, 1.0, ph_scratch_, err_scratch_);
+  ++beta_version_;
   ++samples_seen_;
 }
 
@@ -104,6 +121,7 @@ void OsElm::train_batch(const linalg::Matrix& x, const linalg::Matrix& t) {
   residual -= linalg::matmul(h, beta_);
   beta_ += linalg::matmul(p_, linalg::matmul_at_b(h, residual));
   samples_seen_ += x.rows();
+  ++beta_version_;
 }
 
 void OsElm::predict(std::span<const double> x, std::span<double> y,
@@ -137,6 +155,14 @@ void OsElm::predict(std::span<const double> x, std::span<double> y) const {
   linalg::matvec_transposed(beta_, h, y);
 }
 
+void OsElm::predict_from_hidden(std::span<const double> h,
+                                std::span<double> y) const {
+  EDGEDRIFT_ASSERT(initialized_, "predict_from_hidden() before initialization");
+  EDGEDRIFT_ASSERT(h.size() == hidden_dim(), "h size mismatch");
+  EDGEDRIFT_ASSERT(y.size() == output_dim(), "y size mismatch");
+  linalg::matvec_transposed(beta_, h, y);
+}
+
 linalg::Matrix OsElm::predict_batch(const linalg::Matrix& x) const {
   EDGEDRIFT_ASSERT(initialized_, "predict_batch() before initialization");
   return linalg::matmul_parallel(projection_->hidden_batch(x), beta_);
@@ -154,6 +180,7 @@ void OsElm::restore_state(linalg::Matrix beta, linalg::Matrix p,
   p_ = std::move(p);
   samples_seen_ = samples_seen;
   initialized_ = true;
+  ++beta_version_;
 }
 
 void OsElm::reset_p_to_prior() {

@@ -31,6 +31,8 @@
 
 #include "edgedrift/core/pipeline.hpp"
 #include "edgedrift/linalg/matrix.hpp"
+#include "edgedrift/linalg/workspace.hpp"
+#include "edgedrift/model/multi_instance.hpp"
 #include "edgedrift/util/rng.hpp"
 
 #if !defined(EDGEDRIFT_ALLOC_HOOKS_DISABLED)
@@ -124,6 +126,114 @@ TEST(AllocationFree, SteadyStateProcessDoesNotAllocate) {
 
   EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
       << "steady-state process() must not touch the heap";
+#endif
+}
+
+TEST(AllocationFree, SteadyStateBatchScoringDoesNotAllocate) {
+#if defined(EDGEDRIFT_ALLOC_HOOKS_DISABLED)
+  GTEST_SKIP() << "allocation hooks disabled under sanitizers";
+#else
+  // The fused batch path: one [rows x C*n] GEMM into a grow-only
+  // BatchWorkspace. Dimensions keep the GEMMs below the thread-pool
+  // dispatch threshold (~1M madds) — the pool's task plumbing allocates,
+  // so the inline kernel must carry batches of this size.
+  constexpr std::size_t kDim = 48;
+  constexpr std::size_t kHidden = 40;
+  constexpr std::size_t kLabels = 3;
+  constexpr std::size_t kRows = 64;
+
+  Rng rng(11);
+  auto projection = edgedrift::oselm::make_projection(
+      kDim, kHidden, edgedrift::oselm::Activation::kSigmoid, rng);
+  edgedrift::model::MultiInstanceModel model(kLabels, projection, 1e-2);
+  Matrix train(kLabels * 50, kDim);
+  std::vector<int> labels(train.rows());
+  for (std::size_t i = 0; i < train.rows(); ++i) {
+    labels[i] = static_cast<int>(i % kLabels);
+    for (std::size_t j = 0; j < kDim; ++j) {
+      train(i, j) = rng.gaussian(0.3 * static_cast<double>(labels[i]), 0.2);
+    }
+  }
+  model.init_train(train, labels);
+
+  Matrix batch(kRows, kDim);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    for (std::size_t j = 0; j < kDim; ++j) {
+      batch(i, j) = rng.gaussian(0.3, 0.2);
+    }
+  }
+  const Matrix small_batch = batch.slice_rows(0, kRows / 4);
+  std::vector<edgedrift::model::Prediction> preds(kRows);
+
+  edgedrift::model::BatchWorkspace ws;
+  ws.reserve(kRows, kDim, kHidden, kLabels);
+
+  // Warm-up one full-size call (the GEMM packing scratch is thread_local
+  // and grow-only, outside the workspace).
+  model.predict_batch(batch, ws, preds);
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) {
+    // Alternate batch shapes: resize_zero within the high-water capacity
+    // must never reallocate.
+    model.score_batch(batch, ws);
+    model.score_batch(small_batch, ws);
+    model.predict_batch(batch, ws, {preds.data(), kRows});
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
+      << "steady-state batch scoring must not touch the heap";
+#endif
+}
+
+TEST(AllocationFree, SteadyStateFusedTrainClosestDoesNotAllocate) {
+#if defined(EDGEDRIFT_ALLOC_HOOKS_DISABLED)
+  GTEST_SKIP() << "allocation hooks disabled under sanitizers";
+#else
+  // The fused predict-then-train step: shared hidden projection, packed
+  // matvec, Sherman–Morrison update, ger_block mirror replay — all against
+  // caller-owned or instance-owned grow-only scratch.
+  constexpr std::size_t kDim = 300;
+  constexpr std::size_t kHidden = 280;
+  constexpr std::size_t kLabels = 2;
+
+  Rng rng(13);
+  auto projection = edgedrift::oselm::make_projection(
+      kDim, kHidden, edgedrift::oselm::Activation::kSigmoid, rng);
+  edgedrift::model::MultiInstanceModel model(kLabels, projection, 1e-2);
+  Matrix train(kLabels * 60, kDim);
+  std::vector<int> labels(train.rows());
+  for (std::size_t i = 0; i < train.rows(); ++i) {
+    labels[i] = static_cast<int>(i % kLabels);
+    for (std::size_t j = 0; j < kDim; ++j) {
+      train(i, j) = rng.gaussian(labels[i] == 0 ? 0.2 : 1.2, 0.2);
+    }
+  }
+  model.init_train(train, labels);
+
+  Matrix stream(80, kDim);
+  for (std::size_t i = 0; i < stream.rows(); ++i) {
+    for (std::size_t j = 0; j < kDim; ++j) {
+      stream(i, j) = rng.gaussian(i % 2 == 0 ? 0.2 : 1.2, 0.2);
+    }
+  }
+
+  edgedrift::linalg::KernelWorkspace ws;
+  for (std::size_t i = 0; i < 20; ++i) {
+    model.train_closest(stream.row(i), ws);
+  }
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (std::size_t i = 20; i < stream.rows(); ++i) {
+    model.train_closest(stream.row(i), ws);
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
+      << "steady-state fused train_closest() must not touch the heap";
 #endif
 }
 

@@ -1,0 +1,236 @@
+// Pins the fused ensemble scorer to the retained per-instance reference
+// path, bit for bit. The model keeps every instance's beta twice — the
+// per-instance matrices (reference) and a packed [L x C*n] column-blocked
+// mirror the fused kernels run against — and the whole design rests on the
+// two never diverging by even one ulp within a build:
+//
+//   - scores(x, out, ws)    fused: shared hidden + one packed matvec
+//   - scores(x, out)        reference: per-instance walk (kept for this test)
+//   - score_batch()         fused: one [rows x C*n] GEMM
+//
+// The sweep covers ensemble widths C in {2, 3, 5, 23} and tail-heavy
+// dimensions (deliberately not multiples of the GEMM register tile), after
+// every mutation path: init_train, init_sequential, N Sherman–Morrison
+// training steps, and apply_permutation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "edgedrift/linalg/matrix.hpp"
+#include "edgedrift/linalg/workspace.hpp"
+#include "edgedrift/model/multi_instance.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace {
+
+using edgedrift::linalg::KernelWorkspace;
+using edgedrift::linalg::Matrix;
+using edgedrift::model::BatchWorkspace;
+using edgedrift::model::MultiInstanceModel;
+using edgedrift::model::Prediction;
+using edgedrift::oselm::Activation;
+using edgedrift::oselm::make_projection;
+using edgedrift::util::Rng;
+
+struct LabeledData {
+  Matrix x;
+  std::vector<int> labels;
+};
+
+/// `per_class` Gaussian samples around a distinct anchor per label.
+LabeledData make_clusters(Rng& rng, std::size_t num_labels,
+                          std::size_t per_class, std::size_t dim) {
+  LabeledData data;
+  data.x.resize_zero(num_labels * per_class, dim);
+  data.labels.resize(num_labels * per_class);
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    const std::size_t label = i % num_labels;
+    data.labels[i] = static_cast<int>(label);
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double center =
+          0.2 + 0.7 * static_cast<double>((label + j) % num_labels);
+      data.x(i, j) = rng.gaussian(center, 0.2);
+    }
+  }
+  return data;
+}
+
+MultiInstanceModel make_model(std::size_t num_labels, std::size_t dim,
+                              std::size_t hidden, std::uint64_t seed) {
+  Rng rng(seed);
+  auto proj = make_projection(dim, hidden, Activation::kSigmoid, rng);
+  return MultiInstanceModel(num_labels, proj, 1e-2);
+}
+
+/// EXPECT bit-exact agreement of the fused and per-instance score paths on
+/// every row of `probes`.
+void expect_fused_matches_reference(const MultiInstanceModel& model,
+                                    const Matrix& probes) {
+  KernelWorkspace ws;
+  std::vector<double> fused(model.num_labels());
+  std::vector<double> reference(model.num_labels());
+  for (std::size_t r = 0; r < probes.rows(); ++r) {
+    model.scores(probes.row(r), fused, ws);
+    model.scores(probes.row(r), reference);
+    for (std::size_t c = 0; c < model.num_labels(); ++c) {
+      EXPECT_EQ(fused[c], reference[c])
+          << "row " << r << " label " << c << " diverged";
+    }
+  }
+}
+
+/// EXPECT the packed mirror to hold exactly the per-instance betas.
+void expect_packed_mirrors_instances(const MultiInstanceModel& model) {
+  const Matrix& packed = model.packed_beta();
+  const std::size_t n = model.input_dim();
+  ASSERT_EQ(packed.rows(), model.hidden_dim());
+  ASSERT_EQ(packed.cols(), model.num_labels() * n);
+  for (std::size_t c = 0; c < model.num_labels(); ++c) {
+    const Matrix& beta = model.instance(c).net().beta();
+    for (std::size_t i = 0; i < packed.rows(); ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(packed(i, c * n + j), beta(i, j))
+            << "block " << c << " element (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+// Tail-heavy geometry: 37 and 23 are coprime to every SIMD tile width, so
+// both the packed-panel and the scalar-tail GEMM paths are exercised.
+constexpr std::size_t kDim = 37;
+constexpr std::size_t kHidden = 23;
+
+class FusedScoringSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FusedScoringSweep, BitIdenticalAfterInitTrain) {
+  const std::size_t num_labels = GetParam();
+  Rng rng(17);
+  auto data = make_clusters(rng, num_labels, 40, kDim);
+  auto model = make_model(num_labels, kDim, kHidden, 101);
+  model.init_train(data.x, data.labels);
+
+  auto probes = make_clusters(rng, num_labels, 6, kDim);
+  expect_fused_matches_reference(model, probes.x);
+  expect_packed_mirrors_instances(model);
+}
+
+TEST_P(FusedScoringSweep, BitIdenticalAfterSequentialUpdates) {
+  const std::size_t num_labels = GetParam();
+  Rng rng(19);
+  auto model = make_model(num_labels, kDim, kHidden, 103);
+  model.init_sequential();
+  expect_packed_mirrors_instances(model);
+
+  // N Sherman–Morrison steps through both fused (train_closest with a
+  // workspace) and explicit-label training.
+  auto stream = make_clusters(rng, num_labels, 30, kDim);
+  KernelWorkspace ws;
+  for (std::size_t i = 0; i < stream.x.rows(); ++i) {
+    if (i % 3 == 0) {
+      model.train_label(stream.x.row(i),
+                        static_cast<std::size_t>(stream.labels[i]));
+    } else {
+      model.train_closest(stream.x.row(i), ws);
+    }
+  }
+
+  auto probes = make_clusters(rng, num_labels, 6, kDim);
+  expect_fused_matches_reference(model, probes.x);
+  expect_packed_mirrors_instances(model);
+}
+
+TEST_P(FusedScoringSweep, BitIdenticalAfterPermutation) {
+  const std::size_t num_labels = GetParam();
+  Rng rng(23);
+  auto data = make_clusters(rng, num_labels, 40, kDim);
+  auto model = make_model(num_labels, kDim, kHidden, 107);
+  model.init_train(data.x, data.labels);
+
+  // Rotate the instances by one position.
+  std::vector<std::size_t> perm(num_labels);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::rotate(perm.begin(), perm.begin() + 1, perm.end());
+  model.apply_permutation(perm);
+
+  auto probes = make_clusters(rng, num_labels, 6, kDim);
+  expect_fused_matches_reference(model, probes.x);
+  expect_packed_mirrors_instances(model);
+}
+
+TEST_P(FusedScoringSweep, BatchScoresBitIdenticalToScalar) {
+  const std::size_t num_labels = GetParam();
+  Rng rng(29);
+  auto data = make_clusters(rng, num_labels, 40, kDim);
+  auto model = make_model(num_labels, kDim, kHidden, 109);
+  model.init_train(data.x, data.labels);
+
+  auto probes = make_clusters(rng, num_labels, 9, kDim);
+  BatchWorkspace ws;
+  model.score_batch(probes.x, ws);
+  for (std::size_t r = 0; r < probes.x.rows(); ++r) {
+    for (std::size_t c = 0; c < num_labels; ++c) {
+      EXPECT_EQ(ws.scores(r, c), model.instance(c).score(probes.x.row(r)))
+          << "row " << r << " label " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EnsembleWidths, FusedScoringSweep,
+                         ::testing::Values<std::size_t>(2, 3, 5, 23));
+
+// The fused predict-then-train step must walk the exact same trajectory as
+// the reference path (per-instance predict, then train the winner): same
+// predictions, same betas, for the whole stream.
+TEST(FusedScoring, TrainClosestMatchesReferenceTrajectory) {
+  constexpr std::size_t kLabels = 5;
+  Rng rng(31);
+  auto fused_model = make_model(kLabels, kDim, kHidden, 113);
+  auto reference_model = make_model(kLabels, kDim, kHidden, 113);
+  auto data = make_clusters(rng, kLabels, 40, kDim);
+  fused_model.init_train(data.x, data.labels);
+  reference_model.init_train(data.x, data.labels);
+
+  auto stream = make_clusters(rng, kLabels, 25, kDim);
+  KernelWorkspace ws;
+  for (std::size_t i = 0; i < stream.x.rows(); ++i) {
+    const Prediction fused = fused_model.train_closest(stream.x.row(i), ws);
+    // Reference: per-instance scoring, then an explicit train of the winner
+    // (recomputes the hidden projection instead of sharing it).
+    const Prediction ref = reference_model.predict(stream.x.row(i));
+    reference_model.train_label(stream.x.row(i), ref.label);
+    ASSERT_EQ(fused.label, ref.label) << "step " << i;
+    ASSERT_EQ(fused.score, ref.score) << "step " << i;
+  }
+  for (std::size_t c = 0; c < kLabels; ++c) {
+    EXPECT_EQ(Matrix::max_abs_diff(fused_model.instance(c).net().beta(),
+                                   reference_model.instance(c).net().beta()),
+              0.0)
+        << "instance " << c << " beta diverged";
+  }
+}
+
+// Reset must clear the packed mirror along with the instances.
+TEST(FusedScoring, ResetKeepsMirrorInSync) {
+  constexpr std::size_t kLabels = 3;
+  Rng rng(37);
+  auto data = make_clusters(rng, kLabels, 40, kDim);
+  auto model = make_model(kLabels, kDim, kHidden, 127);
+  model.init_train(data.x, data.labels);
+  model.reset();
+  expect_packed_mirrors_instances(model);
+
+  auto stream = make_clusters(rng, kLabels, 10, kDim);
+  KernelWorkspace ws;
+  for (std::size_t i = 0; i < stream.x.rows(); ++i) {
+    model.train_closest(stream.x.row(i), ws);
+  }
+  expect_fused_matches_reference(model, stream.x);
+  expect_packed_mirrors_instances(model);
+}
+
+}  // namespace
