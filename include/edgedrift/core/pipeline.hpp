@@ -103,6 +103,8 @@ struct PipelineStats {
   std::size_t drifts = 0;           ///< Detections fired.
   std::size_t recoveries = 0;       ///< Recoveries completed.
   std::size_t recovery_samples = 0; ///< Samples consumed by recoveries.
+  std::size_t batch_chunks = 0;     ///< GEMM pre-scored chunks issued.
+  std::size_t batch_rows = 0;       ///< Samples served by a pre-scored chunk.
 };
 
 /// The detect-and-retrain system behind one object.
@@ -128,6 +130,18 @@ class Pipeline {
   /// `true_labels` is empty or one label per row.
   std::vector<PipelineStep> process_batch(
       const linalg::Matrix& x, std::span<const int> true_labels = {});
+
+  /// Core of process_batch(): appends the steps for rows
+  /// [row_begin, row_end) of `x` to `out` without clearing it. This is the
+  /// drain entry point for PipelineManager's ring buffer — the ring's slab
+  /// is the matrix and a drain burst is a row range, so no per-drain copy
+  /// or allocation happens here (out must have capacity; the internal chunk
+  /// buffers are grow-only). `true_labels` is empty or holds at least
+  /// row_end entries, indexed by absolute row (-1 = no label).
+  void process_batch_range(const linalg::Matrix& x, std::size_t row_begin,
+                           std::size_t row_end,
+                           std::span<const int> true_labels,
+                           std::vector<PipelineStep>& out);
 
   bool fitted() const { return fitted_; }
   bool reconstructing() const {
@@ -247,8 +261,8 @@ class Pipeline {
   linalg::Matrix refit_buffer_;
   std::size_t refit_fill_ = 0;
 
-  // process_batch() workspaces, reused across calls.
-  linalg::Matrix chunk_input_;
+  // process_batch() workspaces, reused across calls. Input chunks are read
+  // in place through ConstMatrixView — no staging matrix.
   model::BatchWorkspace batch_ws_;
   std::vector<model::Prediction> chunk_preds_;
 

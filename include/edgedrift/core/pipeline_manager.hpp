@@ -1,31 +1,104 @@
-// core::PipelineManager — the multi-stream layer: one detect-and-retrain
-// Pipeline per sensor stream, fanned out over the shared thread pool.
+// core::PipelineManager — the multi-stream serving layer: one
+// detect-and-retrain Pipeline per sensor stream, fanned out over the shared
+// thread pool.
 //
 // An edge gateway rarely watches a single signal; it aggregates N sensors,
 // each with its own concept. The manager owns one Pipeline per stream and
 // exposes a submit(stream_id, sample) entry point: samples of one stream
 // are processed strictly in submission order (a stream is never touched by
-// two workers at once), while distinct streams run concurrently. Each
-// stream keeps its own drift/recovery statistics and the per-sample steps
-// in submission order.
+// two workers at once), while distinct streams run concurrently.
 //
-// Thread-safety contract: submit() may be called from any thread. fit(),
-// stream(), steps() and the stats accessors must not race with in-flight
-// samples for the same stream — call drain() first.
+// Ingestion is a fixed-capacity SPSC ring per stream: samples are copied
+// into a preallocated [capacity x dim] row slab (zero per-sample heap
+// allocation on the steady path) and published by a monotonic atomic tail
+// counter; the single consumer advances an atomic head. Producers of one
+// stream are serialized by a per-stream mutex (so submit() stays safe from
+// any thread), but no global lock is taken per sample — the drain
+// bookkeeping is one atomic pending counter, decremented once per drained
+// burst. A full ring either blocks the producer until the consumer frees
+// slots or rejects the sample, per BackpressurePolicy.
+//
+// The consumer drains whatever is queued in contiguous bursts of up to
+// drain_batch_max rows straight out of the slab through
+// Pipeline::process_batch_range() — bit-identical to process() row by row —
+// splitting only at the ring-wrap boundary. DrainMode::kSample retains the
+// old one-process()-per-sample drain — per-sample heap copy, queue-mutex
+// pop, and done-counter locking — as the in-binary baseline for
+// bench_manager_throughput.
+//
+// Thread-safety contract: submit()/submit_batch() may be called from any
+// thread. fit(), stream(), steps(), telemetry() and the stats accessors
+// must not race with in-flight samples for the same stream — drain() first.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
 #include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/linalg/matrix.hpp"
 #include "edgedrift/util/thread_pool.hpp"
 
 namespace edgedrift::core {
+
+/// What submit() does when a stream's ring is full.
+enum class BackpressurePolicy {
+  kBlock,   ///< Wait until the consumer frees slots.
+  kReject,  ///< Drop the sample and count it in telemetry.
+};
+
+/// How the consumer drains a stream's ring.
+enum class DrainMode {
+  kBatch,   ///< Contiguous bursts through Pipeline::process_batch_range().
+  kSample,  ///< The pre-ring drain: one process() per sample with the old
+            ///< path's per-sample allocation and locking, kept as the
+            ///< in-binary baseline for bench_manager_throughput.
+};
+
+/// Who runs the consumer.
+enum class DispatchMode {
+  kPool,    ///< submit() schedules drain tasks on the thread pool.
+  kManual,  ///< submit() only enqueues; the caller drains via poll()/drain().
+};
+
+/// Serving-layer knobs, fixed at construction.
+struct ManagerOptions {
+  std::size_t queue_capacity = 1024;  ///< Ring slots per stream.
+  std::size_t drain_batch_max = 128;  ///< Largest rows per drain burst.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  DrainMode drain = DrainMode::kBatch;
+  DispatchMode dispatch = DispatchMode::kPool;
+};
+
+/// Per-stream serving counters. Written by the consumer (and, for
+/// rejected/blocked, by producers under the stream's produce mutex); read
+/// them only after drain() — the drain-first contract above.
+struct StreamTelemetry {
+  std::size_t submitted = 0;   ///< Samples accepted into the ring.
+  std::size_t rejected = 0;    ///< Samples dropped by kReject backpressure.
+  std::size_t blocked = 0;     ///< submit() calls that had to wait (kBlock).
+  std::size_t processed = 0;   ///< Samples drained through the pipeline.
+  std::size_t drain_bursts = 0;         ///< Contiguous drain segments run.
+  std::size_t queue_high_water = 0;     ///< Max queued depth ever observed.
+  std::uint64_t busy_ns = 0;   ///< Wall time spent inside drain bursts.
+  /// drain_burst_hist[b] counts bursts of size in [2^(b-1)+1, 2^b]
+  /// (bucket 0 = single-sample bursts): the drain-batch-size histogram.
+  std::array<std::size_t, 17> drain_burst_hist{};
+
+  /// Processed samples per second of busy drain time.
+  double samples_per_second() const {
+    return busy_ns == 0
+               ? 0.0
+               : static_cast<double>(processed) * 1e9 /
+                     static_cast<double>(busy_ns);
+  }
+};
 
 /// Owns N per-stream pipelines and schedules their samples over a pool.
 class PipelineManager {
@@ -35,6 +108,9 @@ class PipelineManager {
   /// `pool` defaults to the process-wide pool; it must outlive the manager.
   PipelineManager(const PipelineConfig& config, std::size_t num_streams,
                   util::ThreadPool* pool = nullptr);
+  PipelineManager(const PipelineConfig& config, std::size_t num_streams,
+                  const ManagerOptions& options,
+                  util::ThreadPool* pool = nullptr);
 
   /// Drains all in-flight samples before destruction.
   ~PipelineManager();
@@ -43,6 +119,7 @@ class PipelineManager {
   PipelineManager& operator=(const PipelineManager&) = delete;
 
   std::size_t num_streams() const { return streams_.size(); }
+  const ManagerOptions& options() const { return options_; }
 
   /// The per-stream pipeline. Not safe while samples for this stream are
   /// in flight — drain() first.
@@ -53,52 +130,104 @@ class PipelineManager {
   void fit(std::size_t id, const linalg::Matrix& x,
            std::span<const int> labels);
 
-  /// Enqueues one sample (copied) for the stream. Returns immediately;
-  /// processing happens on the pool, in submission order per stream.
-  void submit(std::size_t id, std::span<const double> x, int true_label = -1);
+  /// Enqueues one sample (copied into the stream's ring slab) and returns
+  /// true. On a full ring: kBlock waits for space (in kManual dispatch the
+  /// submitting thread drains the stream inline instead of deadlocking);
+  /// kReject returns false and counts the drop. Processing happens on the
+  /// pool in submission order per stream (kPool) or when the caller polls
+  /// (kManual).
+  bool submit(std::size_t id, std::span<const double> x, int true_label = -1);
 
-  /// Enqueues every row of a block for the stream.
-  void submit_batch(std::size_t id, const linalg::Matrix& x,
-                    std::span<const int> true_labels = {});
+  /// Enqueues every row of a block under one ring reservation (one producer
+  /// lock, one tail publish per contiguous segment, one scheduling check).
+  /// `true_labels` must be empty or hold exactly one label per row —
+  /// anything else fails the assertion loudly; a partial span is never read
+  /// out of bounds. Returns the number of rows accepted (< x.rows() only
+  /// under kReject backpressure).
+  std::size_t submit_batch(std::size_t id, const linalg::Matrix& x,
+                           std::span<const int> true_labels = {});
 
-  /// Blocks until every submitted sample has been processed.
+  /// Drains the given stream on the calling thread until its ring is empty.
+  /// The kManual dispatch consumer; in kPool mode it is also safe, racing
+  /// pool workers for bursts is prevented by the scheduled flag.
+  void poll(std::size_t id);
+
+  /// Blocks until every submitted sample has been processed. In kManual
+  /// dispatch, drains every stream on the calling thread.
   void drain();
 
   /// Steps produced so far for a stream, in submission order; clears the
   /// stored steps. Call after drain() for a complete, race-free view.
   std::vector<PipelineStep> take_steps(std::size_t id);
 
-  /// One stream's counters (samples, drifts, recoveries). drain() first.
+  /// Appends the steps into `out` (keeping out's capacity) and clears the
+  /// stored steps — the allocation-free twin of take_steps() once `out`
+  /// has reached its high-water capacity.
+  void take_steps(std::size_t id, std::vector<PipelineStep>& out);
+
+  /// One stream's serving counters. drain() first.
+  const StreamTelemetry& telemetry(std::size_t id) const;
+
+  /// One stream's pipeline counters (samples, drifts, ...). drain() first.
   const PipelineStats& stats(std::size_t id) const;
 
   /// Counters summed across all streams. drain() first.
   PipelineStats totals() const;
 
  private:
-  struct QueuedSample {
-    std::vector<double> x;
-    int true_label = -1;
-  };
-
-  /// Per-stream state. The mutex guards queue/steps/scheduled; the pipeline
-  /// itself is only ever touched by the single worker draining the stream.
+  /// Per-stream state. Producers serialize on produce_mutex and publish
+  /// rows via tail; the single consumer owns head, the pipeline, steps and
+  /// telemetry. Consumer handoff between pool tasks goes through the
+  /// seq_cst scheduled flag, which orders each burst's plain-field writes
+  /// before the next burst reads them.
   struct Stream {
     std::unique_ptr<Pipeline> pipeline;
-    std::mutex mutex;
-    std::deque<QueuedSample> queue;
+
+    linalg::Matrix slab;      ///< [capacity x dim] ring row storage.
+    std::vector<int> labels;  ///< [capacity] ring label storage.
+
+    /// Monotonic sample counters; slot = counter % capacity. tail is
+    /// published by producers after the row copy, head by the consumer
+    /// after the row is processed (freeing the slot for reuse).
+    std::atomic<std::uint64_t> head{0};
+    std::atomic<std::uint64_t> tail{0};
+
+    std::atomic<bool> scheduled{false};  ///< A drain task is queued/running.
+
+    std::mutex produce_mutex;  ///< Serializes producers; kBlock cv anchor.
+    std::condition_variable space_cv;
+    std::atomic<std::size_t> space_waiters{0};
+
+    std::mutex steps_mutex;
     std::vector<PipelineStep> steps;
-    bool scheduled = false;  ///< A drain task is queued or running.
+
+    StreamTelemetry telemetry;
   };
 
+  void init_streams(const PipelineConfig& config, std::size_t num_streams);
+  /// Schedules a drain task if none is queued/running (kPool dispatch).
+  void maybe_schedule(Stream& s, std::size_t id);
+  /// Pool-task consumer: drains until empty, with scheduled-flag handoff.
   void run_stream(std::size_t id);
+  /// Processes everything currently published. Returns rows processed.
+  std::size_t drain_burst(Stream& s);
+  /// Wakes kBlock producers after head advanced past `head_before`.
+  void notify_space(Stream& s);
+  /// Wakes drain() waiters when pending and active both reached zero.
+  void notify_done();
 
   util::ThreadPool* pool_;
+  ManagerOptions options_;
   std::vector<std::unique_ptr<Stream>> streams_;
 
+  /// Submitted-not-yet-processed samples (incremented before tail publish,
+  /// decremented once per drained burst) and queued/running drain tasks.
+  /// No lock is held to update these; done_mutex_ only anchors the
+  /// done_cv_ wait in drain().
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> active_{0};
   std::mutex done_mutex_;
   std::condition_variable done_cv_;
-  std::size_t pending_ = 0;  ///< Submitted, not yet processed samples.
-  std::size_t active_ = 0;   ///< Drain tasks queued or running.
 };
 
 }  // namespace edgedrift::core

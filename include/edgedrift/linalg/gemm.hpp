@@ -10,7 +10,9 @@
 namespace edgedrift::linalg {
 
 /// C = A * B (shapes: [m,k] x [k,n] -> [m,n]). Cache-blocked single-thread.
-Matrix matmul(const Matrix& a, const Matrix& b);
+/// A is a row-block view, so callers can multiply a contiguous row range of
+/// a larger matrix without copying it out (Matrix converts implicitly).
+Matrix matmul(ConstMatrixView a, const Matrix& b);
 
 /// C = A^T * B without materializing A^T.
 Matrix matmul_at_b(const Matrix& a, const Matrix& b);
@@ -27,12 +29,13 @@ Matrix matmul_parallel(const Matrix& a, const Matrix& b);
 /// C = A * B into a caller-provided matrix (resized if needed). The
 /// allocation-free variant the batch scoring hot path uses with
 /// preallocated workspaces; per-element results are bit-identical to
-/// matmul().
-void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
+/// matmul(). C is fully overwritten — the kernels seed their accumulators
+/// at zero, so no pre-zeroing pass runs over the output.
+void matmul_into(ConstMatrixView a, const Matrix& b, Matrix& c);
 
 /// matmul_into with the global thread pool for large problems. Row-
 /// partitioned, so per-element results stay bit-identical to matmul().
-void matmul_parallel_into(const Matrix& a, const Matrix& b, Matrix& c);
+void matmul_parallel_into(ConstMatrixView a, const Matrix& b, Matrix& c);
 
 /// y = A * x (shapes: [m,n] x [n] -> [m]). `y` must have length m.
 void matvec(const Matrix& a, std::span<const double> x, std::span<double> y);

@@ -73,6 +73,12 @@ class Matrix {
   /// varying batch shapes.
   void resize_zero(std::size_t rows, std::size_t cols);
 
+  /// resize_zero without the zeroing pass: element values are unspecified
+  /// until written. For outputs a kernel fully overwrites (the GEMM entry
+  /// points), skipping the memset keeps the hot path from writing every
+  /// workspace byte twice. Same grow-only allocation guarantee.
+  void resize_discard(std::size_t rows, std::size_t cols);
+
   /// Sets every element to `value`.
   void fill(double value);
 
@@ -117,6 +123,44 @@ class Matrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;
+};
+
+/// Non-owning const view of a contiguous row-major block — the zero-copy
+/// operand for batch kernels reading rows straight out of a larger matrix
+/// (a PipelineManager ring slab, a chunk of a dataset). Converts implicitly
+/// from Matrix; the viewed storage must outlive the view.
+class ConstMatrixView {
+ public:
+  ConstMatrixView(const Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+
+  /// Rows [row_begin, row_end) of m — contiguous by row-major layout.
+  ConstMatrixView(const Matrix& m, std::size_t row_begin, std::size_t row_end)
+      : data_(m.data() + row_begin * m.cols()),
+        rows_(row_end - row_begin),
+        cols_(m.cols()) {
+    EDGEDRIFT_DASSERT(row_begin <= row_end && row_end <= m.rows(),
+                      "view row range out of bounds");
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const double* data() const { return data_; }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    EDGEDRIFT_DASSERT(r < rows_ && c < cols_, "view index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  std::span<const double> row(std::size_t r) const {
+    EDGEDRIFT_DASSERT(r < rows_, "view row index out of range");
+    return {data_ + r * cols_, cols_};
+  }
+
+ private:
+  const double* data_;
+  std::size_t rows_;
+  std::size_t cols_;
 };
 
 }  // namespace edgedrift::linalg

@@ -84,11 +84,14 @@ class MultiInstanceModel {
   /// [rows x (num_labels * input_dim)] GEMM against the packed ensemble
   /// beta, then a vectorized per-label MSE reduction:
   /// ws.scores(r, l) is bit-identical to instance(l).score(x.row(r)).
-  void score_batch(const linalg::Matrix& x, BatchWorkspace& ws) const;
+  /// X is a row-block view (Matrix converts implicitly), so a contiguous
+  /// row range — a drain burst in a ring slab, a calibration chunk — scores
+  /// in place with zero copies.
+  void score_batch(linalg::ConstMatrixView x, BatchWorkspace& ws) const;
 
   /// Batch prediction: out[r] is identical to predict(x.row(r)). `out`
   /// must have length x.rows().
-  void predict_batch(const linalg::Matrix& x, BatchWorkspace& ws,
+  void predict_batch(linalg::ConstMatrixView x, BatchWorkspace& ws,
                      std::span<Prediction> out) const;
 
   /// Anomaly score of one specific instance.

@@ -43,8 +43,10 @@ class Projection {
   linalg::Matrix hidden_batch(const linalg::Matrix& x) const;
 
   /// hidden_batch into a caller-provided matrix (resized if needed). Each
-  /// row is bit-identical to hidden() on the same sample.
-  void hidden_batch_into(const linalg::Matrix& x, linalg::Matrix& h) const;
+  /// row is bit-identical to hidden() on the same sample. Takes a row-block
+  /// view, so a contiguous row range of a larger matrix projects without
+  /// being copied out first.
+  void hidden_batch_into(linalg::ConstMatrixView x, linalg::Matrix& h) const;
 
   /// Bytes of weight storage.
   std::size_t memory_bytes() const;

@@ -28,6 +28,11 @@ class ThreadPool {
   /// Enqueues a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
+  /// Enqueues a fire-and-forget task: no future, no promise allocation.
+  /// The caller tracks completion itself (PipelineManager counts drain
+  /// tasks with its own atomics) — the cheap dispatch for the serving path.
+  void submit_detached(std::function<void()> task);
+
   /// Runs body(i) for i in [begin, end), split into contiguous chunks across
   /// the pool; blocks until all chunks are done. Runs inline when the range
   /// is small, the pool has a single worker, or the caller is itself a pool
@@ -49,7 +54,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

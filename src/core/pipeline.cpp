@@ -69,13 +69,35 @@ Pipeline::Pipeline(PipelineConfig config)
 void Pipeline::fit(const linalg::Matrix& x, std::span<const int> labels) {
   model_->init_train(x, labels);
 
+  // Pre-grow the streaming scratch to the steady-state geometry up front:
+  // the calibration pass below reuses the batch workspace, and even the
+  // first process()/process_batch() call after fit() touches the heap zero
+  // times (the buffers are grow-only; pinned by tests/test_allocation_free).
+  batch_ws_.reserve(config_.max_batch_rows, config_.input_dim,
+                    config_.hidden_dim, config_.num_labels);
+  chunk_preds_.reserve(config_.max_batch_rows);
+  kernel_ws_.hidden(config_.hidden_dim);
+  kernel_ws_.recon(config_.num_labels * config_.input_dim);
+  kernel_ws_.scores(config_.num_labels);
+
   if (config_.theta_error <= 0.0) {
     // Auto-calibrate the anomaly gate from the training scores: a window
     // should open only for samples the trained model reconstructs badly.
+    // Score through the fused batch GEMM path in max_batch_rows chunks —
+    // score_batch rows are bit-identical to per-sample score_of (pinned by
+    // tests/test_fused_scoring), so the calibrated gate is unchanged.
     std::vector<double> scores(x.rows());
-    for (std::size_t i = 0; i < x.rows(); ++i) {
-      scores[i] = model_->score_of(
-          x.row(i), static_cast<std::size_t>(labels[i]), kernel_ws_);
+    std::size_t i = 0;
+    while (i < x.rows()) {
+      const std::size_t chunk =
+          std::min(x.rows() - i, config_.max_batch_rows);
+      // Rows [i, i+chunk) are contiguous in x — score them in place.
+      model_->score_batch({x, i, i + chunk}, batch_ws_);
+      for (std::size_t r = 0; r < chunk; ++r) {
+        scores[i + r] =
+            batch_ws_.scores(r, static_cast<std::size_t>(labels[i + r]));
+      }
+      i += chunk;
     }
     theta_error_ = linalg::mean(scores) +
                    config_.theta_error_z * linalg::stddev_population(scores);
@@ -106,17 +128,6 @@ void Pipeline::fit(const linalg::Matrix& x, std::span<const int> labels) {
         std::max(detector_->reference_rows(), train_rows_);
     refit_buffer_.resize_zero(rows, config_.input_dim);
   }
-  // Pre-grow the streaming scratch to the steady-state geometry so even the
-  // first process()/process_batch() call after fit() touches the heap zero
-  // times (the buffers are grow-only; pinned by tests/test_allocation_free).
-  batch_ws_.reserve(config_.max_batch_rows, config_.input_dim,
-                    config_.hidden_dim, config_.num_labels);
-  chunk_input_.resize_zero(config_.max_batch_rows, config_.input_dim);
-  chunk_preds_.reserve(config_.max_batch_rows);
-  kernel_ws_.hidden(config_.hidden_dim);
-  kernel_ws_.recon(config_.num_labels * config_.input_dim);
-  kernel_ws_.scores(config_.num_labels);
-
   state_ = RecoveryState::kIdle;
   refit_fill_ = 0;
   fitted_ = true;
@@ -130,49 +141,60 @@ PipelineStep Pipeline::process(std::span<const double> x, int true_label) {
 
 std::vector<PipelineStep> Pipeline::process_batch(
     const linalg::Matrix& x, std::span<const int> true_labels) {
-  EDGEDRIFT_ASSERT(fitted_, "process_batch() before fit()");
   EDGEDRIFT_ASSERT(true_labels.empty() || true_labels.size() == x.rows(),
                    "true_labels must be empty or one per row");
   std::vector<PipelineStep> steps;
-  steps.reserve(x.rows());
-  std::size_t i = 0;
-  while (i < x.rows()) {
+  process_batch_range(x, 0, x.rows(), true_labels, steps);
+  return steps;
+}
+
+void Pipeline::process_batch_range(const linalg::Matrix& x,
+                                   std::size_t row_begin, std::size_t row_end,
+                                   std::span<const int> true_labels,
+                                   std::vector<PipelineStep>& out) {
+  EDGEDRIFT_ASSERT(fitted_, "process_batch() before fit()");
+  EDGEDRIFT_ASSERT(row_begin <= row_end && row_end <= x.rows(),
+                   "row range out of bounds");
+  EDGEDRIFT_ASSERT(true_labels.empty() || true_labels.size() >= row_end,
+                   "true_labels must be empty or cover the row range");
+  out.reserve(out.size() + (row_end - row_begin));
+  std::size_t i = row_begin;
+  while (i < row_end) {
     if (!model_frozen()) {
       // A recovery is training the model; predictions depend on every
       // intervening update, so fall back to the sequential path.
-      steps.push_back(recovery_step(x.row(i)));
+      out.push_back(recovery_step(x.row(i)));
       ++i;
       continue;
     }
     // While frozen, predictions are a pure per-sample function of the
     // model: pre-score a whole chunk through the GEMM kernels (bit-identical
-    // to the scalar path), then run the detector sequentially over it.
-    const std::size_t chunk =
-        std::min(x.rows() - i, config_.max_batch_rows);
-    chunk_input_.resize_zero(chunk, config_.input_dim);
-    for (std::size_t r = 0; r < chunk; ++r) {
-      chunk_input_.set_row(r, x.row(i + r));
-    }
+    // to the scalar path), then run the detector sequentially over it. The
+    // chunk rows are contiguous in x (row-major), so they feed the kernels
+    // as a view — no staging copy, whether x is a caller batch or a
+    // PipelineManager ring slab.
+    const std::size_t chunk = std::min(row_end - i, config_.max_batch_rows);
+    const linalg::ConstMatrixView chunk_view{x, i, i + chunk};
     chunk_preds_.resize(chunk);
     if (stages_ != nullptr) {
       util::StageTimer::Scope scope(*stages_, kStagePredict);
-      model_->predict_batch(chunk_input_, batch_ws_, chunk_preds_);
+      model_->predict_batch(chunk_view, batch_ws_, chunk_preds_);
     } else {
-      model_->predict_batch(chunk_input_, batch_ws_, chunk_preds_);
+      model_->predict_batch(chunk_view, batch_ws_, chunk_preds_);
     }
+    ++stats_.batch_chunks;
     std::size_t consumed = 0;
     for (std::size_t r = 0; r < chunk; ++r) {
-      const int tl =
-          true_labels.empty() ? -1 : true_labels[i + r];
-      steps.push_back(frozen_step(x.row(i + r), chunk_preds_[r], tl));
+      const int tl = true_labels.empty() ? -1 : true_labels[i + r];
+      out.push_back(frozen_step(x.row(i + r), chunk_preds_[r], tl));
       ++consumed;
       // A detection just started a recovery: the remaining pre-scored
       // predictions are stale (the model is about to retrain).
       if (!model_frozen()) break;
     }
+    stats_.batch_rows += consumed;
     i += consumed;
   }
-  return steps;
 }
 
 model::Prediction Pipeline::timed_predict(std::span<const double> x) {

@@ -1,20 +1,58 @@
 #include "edgedrift/core/pipeline_manager.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
 #include "edgedrift/util/assert.hpp"
 
 namespace edgedrift::core {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Histogram bucket for a drain burst of `n` rows: bucket 0 holds
+/// single-sample bursts, bucket b holds sizes (2^(b-1), 2^b].
+std::size_t burst_bucket(std::size_t n) {
+  const std::size_t b = n <= 1 ? 0 : std::bit_width(n - 1);
+  return std::min<std::size_t>(b, 16);
+}
+
+}  // namespace
 
 PipelineManager::PipelineManager(const PipelineConfig& config,
                                  std::size_t num_streams,
                                  util::ThreadPool* pool)
-    : pool_(pool != nullptr ? pool : &util::ThreadPool::global()) {
+    : PipelineManager(config, num_streams, ManagerOptions{}, pool) {}
+
+PipelineManager::PipelineManager(const PipelineConfig& config,
+                                 std::size_t num_streams,
+                                 const ManagerOptions& options,
+                                 util::ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &util::ThreadPool::global()),
+      options_(options) {
   EDGEDRIFT_ASSERT(num_streams > 0, "need at least one stream");
+  EDGEDRIFT_ASSERT(options_.queue_capacity > 0, "queue_capacity must be > 0");
+  EDGEDRIFT_ASSERT(options_.drain_batch_max > 0,
+                   "drain_batch_max must be > 0");
+  init_streams(config, num_streams);
+}
+
+void PipelineManager::init_streams(const PipelineConfig& config,
+                                   std::size_t num_streams) {
   streams_.reserve(num_streams);
   for (std::size_t i = 0; i < num_streams; ++i) {
     PipelineConfig stream_config = config;
     stream_config.seed = config.seed + i;
     auto stream = std::make_unique<Stream>();
     stream->pipeline = std::make_unique<Pipeline>(stream_config);
+    stream->slab.resize_zero(options_.queue_capacity, config.input_dim);
+    stream->labels.assign(options_.queue_capacity, -1);
     streams_.push_back(std::move(stream));
   }
 }
@@ -36,57 +74,301 @@ void PipelineManager::fit(std::size_t id, const linalg::Matrix& x,
   stream(id).fit(x, labels);
 }
 
-void PipelineManager::submit(std::size_t id, std::span<const double> x,
+bool PipelineManager::submit(std::size_t id, std::span<const double> x,
                              int true_label) {
   EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
   Stream& s = *streams_[id];
-  QueuedSample sample;
-  sample.x.assign(x.begin(), x.end());
-  sample.true_label = true_label;
-
-  bool need_schedule = false;
+  EDGEDRIFT_ASSERT(x.size() == s.slab.cols(), "sample dimension mismatch");
+  const std::uint64_t capacity = options_.queue_capacity;
   {
-    std::lock_guard lock(done_mutex_);
-    ++pending_;
-  }
-  {
-    std::lock_guard lock(s.mutex);
-    s.queue.push_back(std::move(sample));
-    if (!s.scheduled) {
-      s.scheduled = true;
-      need_schedule = true;
+    std::unique_lock lock(s.produce_mutex);
+    bool counted_block = false;
+    for (;;) {
+      const std::uint64_t tail = s.tail.load();
+      if (tail - s.head.load() < capacity) break;
+      if (options_.backpressure == BackpressurePolicy::kReject) {
+        ++s.telemetry.rejected;
+        return false;
+      }
+      if (!counted_block) {
+        ++s.telemetry.blocked;
+        counted_block = true;
+      }
+      if (options_.dispatch == DispatchMode::kManual) {
+        // No consumer exists to free slots: drain the stream on this
+        // thread (manual mode is single-threaded operation by design).
+        lock.unlock();
+        poll(id);
+        lock.lock();
+        continue;
+      }
+      // Make sure a consumer is actually running before sleeping on it.
+      maybe_schedule(s, id);
+      s.space_waiters.fetch_add(1);
+      s.space_cv.wait(lock, [&] {
+        return s.tail.load() - s.head.load() < capacity;
+      });
+      s.space_waiters.fetch_sub(1);
     }
-  }
-  if (need_schedule) {
-    {
-      std::lock_guard lock(done_mutex_);
-      ++active_;
+    const std::uint64_t tail = s.tail.load();
+    const std::size_t pos = static_cast<std::size_t>(tail % capacity);
+    if (options_.drain == DrainMode::kSample) {
+      // The pre-ring submit() heap-allocated the sample copy and took the
+      // global done mutex for the pending increment on every call — the
+      // baseline mode keeps both ingestion costs, not just the drain side.
+      std::vector<double> copy(x.begin(), x.end());
+      s.slab.set_row(pos, copy);
+      s.labels[pos] = true_label;
+      std::lock_guard done_lock(done_mutex_);
+      pending_.fetch_add(1);
+    } else {
+      s.slab.set_row(pos, x);
+      s.labels[pos] = true_label;
+      // pending_ rises before the row is published so the consumer's
+      // burst-sized decrement can never run ahead of it.
+      pending_.fetch_add(1);
     }
-    pool_->submit([this, id] { run_stream(id); });
+    s.tail.store(tail + 1);
+    ++s.telemetry.submitted;
+    const std::size_t depth =
+        static_cast<std::size_t>(tail + 1 - s.head.load());
+    s.telemetry.queue_high_water =
+        std::max(s.telemetry.queue_high_water, depth);
   }
+  maybe_schedule(s, id);
+  return true;
 }
 
-void PipelineManager::submit_batch(std::size_t id, const linalg::Matrix& x,
-                                   std::span<const int> true_labels) {
+std::size_t PipelineManager::submit_batch(std::size_t id,
+                                          const linalg::Matrix& x,
+                                          std::span<const int> true_labels) {
+  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  // A partial label span would silently pair rows with the wrong labels (or
+  // read past the span) — only all-or-nothing is accepted, loudly.
   EDGEDRIFT_ASSERT(true_labels.empty() || true_labels.size() == x.rows(),
-                   "true_labels must be empty or one per row");
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    submit(id, x.row(r), true_labels.empty() ? -1 : true_labels[r]);
+                   "true_labels must be empty or exactly one per row");
+  Stream& s = *streams_[id];
+  EDGEDRIFT_ASSERT(x.cols() == s.slab.cols(), "sample dimension mismatch");
+  const std::uint64_t capacity = options_.queue_capacity;
+  std::size_t accepted = 0;
+  {
+    std::unique_lock lock(s.produce_mutex);
+    bool counted_block = false;
+    std::size_t r = 0;
+    while (r < x.rows()) {
+      const std::uint64_t tail = s.tail.load();
+      const std::uint64_t avail = capacity - (tail - s.head.load());
+      if (avail == 0) {
+        if (options_.backpressure == BackpressurePolicy::kReject) {
+          s.telemetry.rejected += x.rows() - r;
+          break;
+        }
+        if (!counted_block) {
+          ++s.telemetry.blocked;
+          counted_block = true;
+        }
+        if (options_.dispatch == DispatchMode::kManual) {
+          lock.unlock();
+          poll(id);
+          lock.lock();
+          continue;
+        }
+        maybe_schedule(s, id);
+        s.space_waiters.fetch_add(1);
+        s.space_cv.wait(lock, [&] {
+          return s.tail.load() - s.head.load() < capacity;
+        });
+        s.space_waiters.fetch_sub(1);
+        continue;
+      }
+      // One reservation covers every row that fits right now: copy them
+      // all, then publish with a single tail store.
+      const std::size_t take =
+          static_cast<std::size_t>(std::min<std::uint64_t>(avail,
+                                                           x.rows() - r));
+      pending_.fetch_add(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        const std::size_t pos =
+            static_cast<std::size_t>((tail + i) % capacity);
+        s.slab.set_row(pos, x.row(r + i));
+        s.labels[pos] = true_labels.empty() ? -1 : true_labels[r + i];
+      }
+      s.tail.store(tail + take);
+      s.telemetry.submitted += take;
+      const std::size_t depth =
+          static_cast<std::size_t>(tail + take - s.head.load());
+      s.telemetry.queue_high_water =
+          std::max(s.telemetry.queue_high_water, depth);
+      accepted += take;
+      r += take;
+    }
   }
+  if (accepted > 0) maybe_schedule(s, id);
+  return accepted;
+}
+
+void PipelineManager::maybe_schedule(Stream& s, std::size_t id) {
+  if (options_.dispatch == DispatchMode::kManual) return;
+  if (s.scheduled.exchange(true)) return;  // A drain task already owns it.
+  active_.fetch_add(1);
+  pool_->submit_detached([this, id] { run_stream(id); });
+}
+
+void PipelineManager::run_stream(std::size_t id) {
+  Stream& s = *streams_[id];
+  for (;;) {
+    drain_burst(s);
+    // Handoff: clear the flag, then re-check for rows published in the
+    // gap. exchange(true) == false means we won the flag back and keep
+    // draining; true means a producer already scheduled a successor task.
+    s.scheduled.store(false);
+    if (s.tail.load() == s.head.load()) break;
+    if (s.scheduled.exchange(true)) break;
+  }
+  // The final decrement happens under done_mutex_ so a drain() waiter can
+  // only observe active_ == 0 after this task is past its last member
+  // access — the manager may be destroyed the moment the wait returns.
+  std::lock_guard lock(done_mutex_);
+  active_.fetch_sub(1);
+  if (pending_.load() == 0 && active_.load() == 0) done_cv_.notify_all();
+}
+
+std::size_t PipelineManager::drain_burst(Stream& s) {
+  const std::size_t capacity = options_.queue_capacity;
+  std::uint64_t head = s.head.load();
+  std::uint64_t tail = s.tail.load();
+  std::size_t total = 0;
+  while (head != tail) {
+    const std::size_t queued = static_cast<std::size_t>(tail - head);
+    const std::size_t pos = static_cast<std::size_t>(head % capacity);
+    // The largest contiguous slab range: stop at the ring-wrap boundary
+    // (the wrapped remainder is the next burst, itself contiguous from
+    // slot 0) and at the drain_batch_max chunk bound.
+    const std::size_t burst = std::min(
+        {queued, capacity - pos, options_.drain_batch_max});
+    const std::uint64_t t0 = now_ns();
+    if (options_.drain == DrainMode::kBatch) {
+      {
+        std::lock_guard lock(s.steps_mutex);
+        if (burst > 1) {
+          s.pipeline->process_batch_range(s.slab, pos, pos + burst,
+                                          s.labels, s.steps);
+        } else {
+          s.steps.push_back(
+              s.pipeline->process(s.slab.row(pos), s.labels[pos]));
+        }
+      }
+      head += burst;
+      s.head.store(head);
+      pending_.fetch_sub(burst);
+      notify_space(s);
+      ++s.telemetry.drain_bursts;
+      ++s.telemetry.drain_burst_hist[burst_bucket(burst)];
+    } else {
+      // DrainMode::kSample — the pre-ring drain, kept as the in-binary
+      // baseline for bench_manager_throughput with its full per-sample cost
+      // profile: the old run_stream() popped a heap-allocated QueuedSample
+      // from a deque under the stream mutex, processed it, pushed the step
+      // under the mutex again, and decremented the global pending counter
+      // under done_mutex_ — one allocation and three lock rounds per sample.
+      for (std::size_t i = 0; i < burst; ++i) {
+        std::vector<double> sample;
+        int label;
+        {
+          std::lock_guard lock(s.produce_mutex);
+          const std::span<const double> row = s.slab.row(pos + i);
+          sample.assign(row.begin(), row.end());
+          label = s.labels[pos + i];
+          ++head;
+          s.head.store(head);  // The old pop freed the slot before process.
+        }
+        notify_space(s);
+        const PipelineStep step = s.pipeline->process(sample, label);
+        {
+          std::lock_guard lock(s.steps_mutex);
+          s.steps.push_back(step);
+        }
+        {
+          std::lock_guard lock(done_mutex_);
+          pending_.fetch_sub(1);
+        }
+      }
+      s.telemetry.drain_bursts += burst;
+      s.telemetry.drain_burst_hist[0] += burst;
+    }
+    s.telemetry.busy_ns += now_ns() - t0;
+    s.telemetry.processed += burst;
+    s.telemetry.queue_high_water =
+        std::max(s.telemetry.queue_high_water, queued);
+    total += burst;
+    tail = s.tail.load();
+  }
+  return total;
+}
+
+void PipelineManager::notify_space(Stream& s) {
+  if (s.space_waiters.load() == 0) return;
+  // Taking the produce mutex pins any producer either before its full-ring
+  // check (it will see the new head) or inside the cv wait (it will get
+  // this notify) — no missed wakeup.
+  { std::lock_guard lock(s.produce_mutex); }
+  s.space_cv.notify_all();
+}
+
+void PipelineManager::notify_done() {
+  if (pending_.load() != 0 || active_.load() != 0) return;
+  std::lock_guard lock(done_mutex_);
+  done_cv_.notify_all();
+}
+
+void PipelineManager::poll(std::size_t id) {
+  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  Stream& s = *streams_[id];
+  for (;;) {
+    // Take the consumer role through the same flag the pool tasks use, so
+    // poll() never violates the one-consumer-per-stream invariant.
+    if (s.scheduled.exchange(true)) break;
+    drain_burst(s);
+    s.scheduled.store(false);
+    if (s.tail.load() == s.head.load()) break;
+  }
+  notify_done();
 }
 
 void PipelineManager::drain() {
+  if (options_.dispatch == DispatchMode::kManual) {
+    while (pending_.load() != 0) {
+      for (std::size_t id = 0; id < streams_.size(); ++id) poll(id);
+    }
+    return;
+  }
   std::unique_lock lock(done_mutex_);
-  done_cv_.wait(lock, [this] { return pending_ == 0 && active_ == 0; });
+  done_cv_.wait(lock, [this] {
+    return pending_.load() == 0 && active_.load() == 0;
+  });
 }
 
 std::vector<PipelineStep> PipelineManager::take_steps(std::size_t id) {
   EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
   Stream& s = *streams_[id];
-  std::lock_guard lock(s.mutex);
+  std::lock_guard lock(s.steps_mutex);
   std::vector<PipelineStep> steps = std::move(s.steps);
   s.steps.clear();
   return steps;
+}
+
+void PipelineManager::take_steps(std::size_t id,
+                                 std::vector<PipelineStep>& out) {
+  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  Stream& s = *streams_[id];
+  std::lock_guard lock(s.steps_mutex);
+  out.insert(out.end(), s.steps.begin(), s.steps.end());
+  s.steps.clear();
+}
+
+const StreamTelemetry& PipelineManager::telemetry(std::size_t id) const {
+  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  return streams_[id]->telemetry;
 }
 
 const PipelineStats& PipelineManager::stats(std::size_t id) const {
@@ -101,44 +383,10 @@ PipelineStats PipelineManager::totals() const {
     totals.drifts += st.drifts;
     totals.recoveries += st.recoveries;
     totals.recovery_samples += st.recovery_samples;
+    totals.batch_chunks += st.batch_chunks;
+    totals.batch_rows += st.batch_rows;
   }
   return totals;
-}
-
-void PipelineManager::run_stream(std::size_t id) {
-  Stream& s = *streams_[id];
-  for (;;) {
-    QueuedSample sample;
-    {
-      std::lock_guard lock(s.mutex);
-      if (s.queue.empty()) {
-        s.scheduled = false;
-        break;
-      }
-      sample = std::move(s.queue.front());
-      s.queue.pop_front();
-    }
-    // The pipeline is touched only here, by the single task draining this
-    // stream — per-stream ordering needs no further locking. Any nested
-    // parallel_for in the batch kernels runs inline (ThreadPool::in_worker).
-    const PipelineStep step =
-        s.pipeline->process(sample.x, sample.true_label);
-    {
-      std::lock_guard lock(s.mutex);
-      s.steps.push_back(step);
-    }
-    {
-      // The exit path below notifies once this task winds down; a waiter
-      // only cares about pending_ == 0 && active_ == 0.
-      std::lock_guard lock(done_mutex_);
-      --pending_;
-    }
-  }
-  {
-    std::lock_guard lock(done_mutex_);
-    --active_;
-    if (pending_ == 0 && active_ == 0) done_cv_.notify_all();
-  }
 }
 
 }  // namespace edgedrift::core

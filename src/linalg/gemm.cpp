@@ -37,15 +37,20 @@ std::vector<double>& pack_buffer() {
   return buf;
 }
 
-/// Packs the full-width column panels of B (k x n) into `packed`:
-/// packed[p*(k*kNr) + kk*kNr + lane] = B[kk][p*kNr + lane]. The n % kNr
-/// tail columns are not packed; they run through the strided scalar path.
+/// Packs the column panels of B (k x n) into `packed`: first the full-width
+/// kNr panels (packed[p*(k*kNr) + kk*kNr + lane] = B[kk][p*kNr + lane]),
+/// then — when the n % kNr tail still holds a whole vector — one narrow
+/// kLanes-wide panel in the same k-major layout. Only the final n % kLanes
+/// columns run through the strided scalar path.
 const double* pack_b(const Matrix& b) {
   const std::size_t k_dim = b.rows();
   const std::size_t n = b.cols();
   const std::size_t panels = n / kNr;
+  const bool narrow = (n - panels * kNr) >= simd::kLanes;
   std::vector<double>& buf = pack_buffer();
-  if (buf.size() < panels * k_dim * kNr) buf.resize(panels * k_dim * kNr);
+  const std::size_t need =
+      panels * k_dim * kNr + (narrow ? k_dim * simd::kLanes : 0);
+  if (buf.size() < need) buf.resize(need);
   double* EDGEDRIFT_RESTRICT out = buf.data();
   for (std::size_t p = 0; p < panels; ++p) {
     const double* EDGEDRIFT_RESTRICT src = b.data() + p * kNr;
@@ -54,20 +59,28 @@ const double* pack_b(const Matrix& b) {
       for (std::size_t lane = 0; lane < kNr; ++lane) *out++ = row[lane];
     }
   }
+  if (narrow) {
+    const double* EDGEDRIFT_RESTRICT src = b.data() + panels * kNr;
+    for (std::size_t kk = 0; kk < k_dim; ++kk) {
+      const double* EDGEDRIFT_RESTRICT row = src + kk * n;
+      for (std::size_t lane = 0; lane < simd::kLanes; ++lane) *out++ = row[lane];
+    }
+  }
   return buf.data();
 }
 
-/// C[0:MR_, 0:kNr] += A[0:MR_, 0:k] * panel. Accumulators live in registers
+/// C[0:MR_, 0:kNr] = A[0:MR_, 0:k] * panel. Accumulators live in registers
 /// for the whole k loop; per element this is one ascending-k madd chain
-/// seeded from the C value already in memory.
+/// seeded at zero — identical to accumulating into a pre-zeroed C, without
+/// the memset traffic of zeroing the output first.
 template <std::size_t MR_>
 void micro_kernel(std::size_t k_dim, const double* EDGEDRIFT_RESTRICT a,
                   std::size_t lda, const double* EDGEDRIFT_RESTRICT panel,
                   double* EDGEDRIFT_RESTRICT c, std::size_t ldc) {
   VDouble acc[MR_][2];
   for (std::size_t r = 0; r < MR_; ++r) {
-    acc[r][0] = simd::vload(c + r * ldc);
-    acc[r][1] = simd::vload(c + r * ldc + simd::kLanes);
+    acc[r][0] = simd::vzero();
+    acc[r][1] = simd::vzero();
   }
   for (std::size_t kk = 0; kk < k_dim; ++kk) {
     const VDouble b0 = simd::vload(panel);
@@ -85,16 +98,42 @@ void micro_kernel(std::size_t k_dim, const double* EDGEDRIFT_RESTRICT a,
   }
 }
 
-/// C[row_lo:row_hi) += A * B with B pre-packed by pack_b(). The packed
-/// panels cover the first (n / kNr) * kNr columns; tail columns use the
-/// original B with the same per-element madd chain.
-void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c,
+/// C[0:MR_, 0:kLanes] = A[0:MR_, 0:k] * narrow panel (one vector wide).
+/// Same ascending-k per-element madd chain as micro_kernel, half the tile
+/// width — covers the kNr-remainder columns that would otherwise fall to
+/// the strided scalar tail.
+template <std::size_t MR_>
+void micro_kernel_narrow(std::size_t k_dim, const double* EDGEDRIFT_RESTRICT a,
+                         std::size_t lda,
+                         const double* EDGEDRIFT_RESTRICT panel,
+                         double* EDGEDRIFT_RESTRICT c, std::size_t ldc) {
+  VDouble acc[MR_];
+  for (std::size_t r = 0; r < MR_; ++r) acc[r] = simd::vzero();
+  for (std::size_t kk = 0; kk < k_dim; ++kk) {
+    const VDouble b0 = simd::vload(panel);
+    panel += simd::kLanes;
+    for (std::size_t r = 0; r < MR_; ++r) {
+      acc[r] = simd::vfmadd(simd::vbroadcast(a[r * lda + kk]), b0, acc[r]);
+    }
+  }
+  for (std::size_t r = 0; r < MR_; ++r) simd::vstore(c + r * ldc, acc[r]);
+}
+
+/// C[row_lo:row_hi) = A * B with B pre-packed by pack_b(). Every element of
+/// the range is fully overwritten (kernels seed their accumulators at
+/// zero), so C needs no pre-zeroing. The packed panels cover the first
+/// (n / kNr) * kNr columns plus one kLanes-wide narrow panel when the
+/// remainder holds a whole vector; only the final n % kLanes columns use
+/// the original B, with the same per-element madd chain.
+void matmul_rows(ConstMatrixView a, const Matrix& b, Matrix& c,
                  std::size_t row_lo, std::size_t row_hi,
                  const double* packed) {
   const std::size_t k_dim = a.cols();
   const std::size_t n = b.cols();
   const std::size_t panels = n / kNr;
-  const std::size_t tail_j = panels * kNr;
+  const bool narrow = (n - panels * kNr) >= simd::kLanes;
+  const double* narrow_panel = packed + panels * k_dim * kNr;
+  const std::size_t tail_j = panels * kNr + (narrow ? simd::kLanes : 0);
   for (std::size_t i = row_lo; i < row_hi; i += kMr) {
     const std::size_t mr = std::min(kMr, row_hi - i);
     const double* arow = a.data() + i * k_dim;
@@ -117,11 +156,28 @@ void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c,
           break;
       }
     }
+    if (narrow) {
+      double* ctile = crow + panels * kNr;
+      switch (mr) {
+        case 4:
+          micro_kernel_narrow<4>(k_dim, arow, k_dim, narrow_panel, ctile, n);
+          break;
+        case 3:
+          micro_kernel_narrow<3>(k_dim, arow, k_dim, narrow_panel, ctile, n);
+          break;
+        case 2:
+          micro_kernel_narrow<2>(k_dim, arow, k_dim, narrow_panel, ctile, n);
+          break;
+        default:
+          micro_kernel_narrow<1>(k_dim, arow, k_dim, narrow_panel, ctile, n);
+          break;
+      }
+    }
     for (std::size_t r = 0; r < mr; ++r) {
       const double* EDGEDRIFT_RESTRICT ar = arow + r * k_dim;
       double* EDGEDRIFT_RESTRICT cr = crow + r * n;
       for (std::size_t j = tail_j; j < n; ++j) {
-        double acc = cr[j];
+        double acc = 0.0;
         const double* EDGEDRIFT_RESTRICT bcol = b.data() + j;
         for (std::size_t kk = 0; kk < k_dim; ++kk) {
           acc = simd::madd(ar[kk], bcol[kk * n], acc);
@@ -134,9 +190,10 @@ void matmul_rows(const Matrix& a, const Matrix& b, Matrix& c,
 
 }  // namespace
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+Matrix matmul(ConstMatrixView a, const Matrix& b) {
   EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
-  Matrix c(a.rows(), b.cols());
+  Matrix c;
+  c.resize_discard(a.rows(), b.cols());
   matmul_rows(a, b, c, 0, a.rows(), pack_b(b));
   return c;
 }
@@ -186,15 +243,15 @@ Matrix matmul_parallel(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
+void matmul_into(ConstMatrixView a, const Matrix& b, Matrix& c) {
   EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
-  c.resize_zero(a.rows(), b.cols());
+  c.resize_discard(a.rows(), b.cols());
   matmul_rows(a, b, c, 0, a.rows(), pack_b(b));
 }
 
-void matmul_parallel_into(const Matrix& a, const Matrix& b, Matrix& c) {
+void matmul_parallel_into(ConstMatrixView a, const Matrix& b, Matrix& c) {
   EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
-  c.resize_zero(a.rows(), b.cols());
+  c.resize_discard(a.rows(), b.cols());
   // B is packed once by the caller; workers only read the panels. Below
   // ~1M multiply-adds the pool dispatch costs more than it saves.
   const double* packed = pack_b(b);

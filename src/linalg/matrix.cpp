@@ -40,6 +40,15 @@ void Matrix::resize_zero(std::size_t rows, std::size_t cols) {
   }
 }
 
+void Matrix::resize_discard(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  // Same grow-only guarantee as resize_zero; newly exposed elements keep
+  // whatever value the storage held (zero only on genuine growth, where
+  // vector::resize value-initializes the tail).
+  data_.resize(rows * cols);
+}
+
 void Matrix::fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
 }

@@ -6,6 +6,7 @@
 #include "edgedrift/linalg/gemm.hpp"
 #include "edgedrift/linalg/vector_ops.hpp"
 #include "edgedrift/util/assert.hpp"
+#include "edgedrift/util/thread_pool.hpp"
 
 namespace edgedrift::model {
 
@@ -47,10 +48,22 @@ void MultiInstanceModel::init_train(const linalg::Matrix& x,
     const std::size_t label = static_cast<std::size_t>(labels[r]);
     blocks[label].set_row(cursor[label]++, x.row(r));
   }
-  for (std::size_t label = 0; label < num_labels(); ++label) {
-    instances_[label].init_train(blocks[label]);
-    repack_block(label);
-  }
+  // The per-instance solves are independent — instance state is disjoint,
+  // the shared projection is only read, and repack_block() writes disjoint
+  // column blocks of the mirror — so fan them over the pool. Each solve's
+  // result is a pure function of its block; the fan-out changes which
+  // thread runs a solve, never its operand order, so the trained state is
+  // bit-identical to the sequential loop. Nested parallel_for inside the
+  // solves runs inline on the workers (ThreadPool::in_worker).
+  util::ThreadPool::global().parallel_for(
+      0, num_labels(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t label = lo; label < hi; ++label) {
+          instances_[label].init_train(blocks[label]);
+          repack_block(label);
+        }
+      },
+      /*min_chunk=*/1);
 }
 
 void MultiInstanceModel::init_sequential() {
@@ -137,7 +150,7 @@ Prediction MultiInstanceModel::predict(std::span<const double> x) const {
   return argmin_score(s);
 }
 
-void MultiInstanceModel::score_batch(const linalg::Matrix& x,
+void MultiInstanceModel::score_batch(linalg::ConstMatrixView x,
                                      BatchWorkspace& ws) const {
   EDGEDRIFT_ASSERT(x.cols() == input_dim(), "batch feature dim mismatch");
   for (const auto& inst : instances_) {
@@ -149,7 +162,7 @@ void MultiInstanceModel::score_batch(const linalg::Matrix& x,
   // [c*n, (c+1)*n) are bit-identical to instance c's scalar reconstruction
   // of row r (same ascending-k accumulation order in both kernels).
   linalg::matmul_parallel_into(ws.hidden, packed_beta_, ws.recon);
-  ws.scores.resize_zero(x.rows(), num_labels());
+  ws.scores.resize_discard(x.rows(), num_labels());  // Fully written below.
   const std::size_t n = x.cols();
   const std::size_t packed_n = packed_beta_.cols();
   for (std::size_t r = 0; r < x.rows(); ++r) {
@@ -165,7 +178,7 @@ void MultiInstanceModel::score_batch(const linalg::Matrix& x,
   }
 }
 
-void MultiInstanceModel::predict_batch(const linalg::Matrix& x,
+void MultiInstanceModel::predict_batch(linalg::ConstMatrixView x,
                                        BatchWorkspace& ws,
                                        std::span<Prediction> out) const {
   EDGEDRIFT_ASSERT(out.size() == x.rows(), "prediction buffer size mismatch");

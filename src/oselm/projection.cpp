@@ -43,7 +43,7 @@ linalg::Matrix Projection::hidden_batch(const linalg::Matrix& x) const {
   return h;
 }
 
-void Projection::hidden_batch_into(const linalg::Matrix& x,
+void Projection::hidden_batch_into(linalg::ConstMatrixView x,
                                    linalg::Matrix& h) const {
   EDGEDRIFT_ASSERT(x.cols() == input_dim(), "projection batch size mismatch");
   linalg::matmul_parallel_into(x, alpha_, h);

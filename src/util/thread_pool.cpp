@@ -33,14 +33,25 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  auto future = packaged.get_future();
+  auto promise = std::make_shared<std::promise<void>>();
+  auto future = promise->get_future();
+  submit_detached([promise = std::move(promise), task = std::move(task)] {
+    try {
+      task();
+      promise->set_value();
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+void ThreadPool::submit_detached(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
-    tasks_.push(std::move(packaged));
+    tasks_.push(std::move(task));
   }
   cv_.notify_one();
-  return future;
 }
 
 void ThreadPool::parallel_for(
@@ -75,7 +86,7 @@ ThreadPool& ThreadPool::global() {
 void ThreadPool::worker_loop() {
   t_in_worker = true;
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/core/pipeline_manager.hpp"
 #include "edgedrift/linalg/matrix.hpp"
 #include "edgedrift/linalg/workspace.hpp"
 #include "edgedrift/model/multi_instance.hpp"
@@ -234,6 +235,83 @@ TEST(AllocationFree, SteadyStateFusedTrainClosestDoesNotAllocate) {
 
   EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
       << "steady-state fused train_closest() must not touch the heap";
+#endif
+}
+
+TEST(AllocationFree, SteadyStateManagerSubmitDrainDoesNotAllocate) {
+#if defined(EDGEDRIFT_ALLOC_HOOKS_DISABLED)
+  GTEST_SKIP() << "allocation hooks disabled under sanitizers";
+#else
+  // The serving path: submit_batch() copies rows into the preallocated ring
+  // slab, the drain feeds contiguous slab ranges straight through
+  // process_batch_range(), and take_steps(out) recycles both step buffers.
+  // Manual dispatch keeps the whole loop on this thread — the pool's task
+  // queue is the one part of kPool dispatch that touches the heap (once per
+  // scheduled burst, never per sample).
+  constexpr std::size_t kDim = 48;
+  constexpr std::size_t kHidden = 22;
+  constexpr std::size_t kRows = 48;  // > drain_batch_max and wraps the ring.
+
+  edgedrift::core::PipelineConfig config;
+  config.num_labels = 2;
+  config.input_dim = kDim;
+  config.hidden_dim = kHidden;
+
+  edgedrift::core::ManagerOptions options;
+  options.queue_capacity = 64;
+  options.drain_batch_max = 32;
+  options.dispatch = edgedrift::core::DispatchMode::kManual;
+
+  edgedrift::core::PipelineManager manager(config, 1, options);
+
+  Rng rng(17);
+  Matrix train(200, kDim);
+  std::vector<int> labels(train.rows());
+  for (std::size_t i = 0; i < train.rows(); ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    const double mean = labels[i] == 0 ? 0.2 : 1.2;
+    for (std::size_t j = 0; j < kDim; ++j) {
+      train(i, j) = rng.gaussian(mean, 0.2);
+    }
+  }
+  manager.fit(0, train, labels);
+
+  // A stationary block, reused every round (48 rows into a 64-slot ring:
+  // the drain crosses the wrap boundary constantly).
+  Matrix block(kRows, kDim);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    const double mean = i % 2 == 0 ? 0.2 : 1.2;
+    for (std::size_t j = 0; j < kDim; ++j) {
+      block(i, j) = rng.gaussian(mean, 0.2);
+    }
+  }
+
+  std::vector<edgedrift::core::PipelineStep> steps;
+  steps.reserve(kRows);
+
+  // Warm-up: ring slab is preallocated, but the pipeline's grow-only chunk
+  // buffers and the steps vectors reach their high-water marks here.
+  for (int round = 0; round < 3; ++round) {
+    manager.submit_batch(0, block);
+    manager.poll(0);
+    manager.take_steps(0, steps);
+    steps.clear();
+  }
+  ASSERT_FALSE(manager.stream(0).recovering())
+      << "stationary stream should not trigger a recovery";
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) {
+    manager.submit_batch(0, block);
+    manager.poll(0);
+    manager.take_steps(0, steps);
+    steps.clear();
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
+      << "steady-state submit()/drain must not touch the heap";
 #endif
 }
 

@@ -1,0 +1,361 @@
+// Serving-layer ingestion semantics (core::PipelineManager ring buffers):
+// per-stream FIFO and step-for-step equality against a sequential Pipeline
+// reference under chunked drain, ring-wrap tails, backpressure kBlock vs
+// kReject, manual dispatch (submit-then-poll), multi-producer submission
+// into distinct streams, telemetry accounting, and the loud failure on a
+// partial true_labels span.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "edgedrift/core/pipeline_manager.hpp"
+#include "edgedrift/data/drift_stream.hpp"
+#include "edgedrift/data/gaussian_concept.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace {
+
+using edgedrift::core::BackpressurePolicy;
+using edgedrift::core::DispatchMode;
+using edgedrift::core::DrainMode;
+using edgedrift::core::ManagerOptions;
+using edgedrift::core::Pipeline;
+using edgedrift::core::PipelineConfig;
+using edgedrift::core::PipelineManager;
+using edgedrift::core::PipelineStep;
+using edgedrift::core::StreamTelemetry;
+using edgedrift::data::Dataset;
+using edgedrift::data::GaussianClass;
+using edgedrift::data::GaussianConcept;
+using edgedrift::util::Rng;
+
+GaussianConcept pre_concept() {
+  GaussianClass a;
+  a.mean.assign(8, 0.2);
+  a.stddev = {0.15};
+  GaussianClass b;
+  b.mean.assign(8, 1.2);
+  b.stddev = {0.15};
+  return GaussianConcept({a, b});
+}
+
+GaussianConcept post_concept() {
+  GaussianClass a;
+  a.mean.assign(8, 0.2);
+  for (std::size_t j = 0; j < 8; j += 2) a.mean[j] += 0.9;
+  a.stddev = {0.2};
+  GaussianClass b;
+  b.mean.assign(8, 0.55);
+  for (std::size_t j = 0; j < 8; j += 2) b.mean[j] += 0.9;
+  b.stddev = {0.2};
+  return GaussianConcept({a, b});
+}
+
+PipelineConfig make_config() {
+  PipelineConfig config;
+  config.num_labels = 2;
+  config.input_dim = 8;
+  config.hidden_dim = 12;
+  config.window_size = 40;
+  config.detector_initial_count = 0;
+  config.reconstruction.n_search = 20;
+  config.reconstruction.n_update = 100;
+  config.reconstruction.n_total = 400;
+  config.seed = 7;
+  return config;
+}
+
+struct StreamData {
+  Dataset train;
+  Dataset test;
+};
+
+std::vector<StreamData> make_streams(std::size_t n, std::size_t samples = 1500) {
+  std::vector<StreamData> streams;
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng(100 + i);
+    StreamData s;
+    s.train = edgedrift::data::draw(pre_concept(), 600, rng);
+    s.test = edgedrift::data::make_sudden_drift(pre_concept(), post_concept(),
+                                                samples, samples / 2, rng);
+    streams.push_back(std::move(s));
+  }
+  return streams;
+}
+
+std::vector<PipelineStep> sequential_reference(const PipelineConfig& config,
+                                               const StreamData& data) {
+  Pipeline reference(config);
+  reference.fit(data.train.x, data.train.labels);
+  std::vector<PipelineStep> steps;
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    steps.push_back(reference.process(data.test.x.row(i)));
+  }
+  return steps;
+}
+
+void expect_steps_equal(const std::vector<PipelineStep>& actual,
+                        const std::vector<PipelineStep>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE("sample " + std::to_string(i));
+    EXPECT_EQ(actual[i].prediction.label, expected[i].prediction.label);
+    EXPECT_EQ(actual[i].prediction.score, expected[i].prediction.score);
+    EXPECT_EQ(actual[i].drift_detected, expected[i].drift_detected);
+    EXPECT_EQ(actual[i].reconstructing, expected[i].reconstructing);
+    EXPECT_EQ(actual[i].reconstruction_finished,
+              expected[i].reconstruction_finished);
+  }
+}
+
+// A tiny, odd ring capacity with a drain chunk that never divides it: every
+// few bursts the drain hits the ring-wrap boundary, so the wrap-tail path
+// (contiguous [pos, capacity) segment, then the wrapped remainder from slot
+// 0) is exercised constantly. The steps must still be bit-identical to the
+// sequential reference.
+TEST(Ingestion, ChunkedDrainWithRingWrapsMatchesSequential) {
+  const auto data = make_streams(1);
+  ManagerOptions options;
+  options.queue_capacity = 7;
+  options.drain_batch_max = 3;
+  options.backpressure = BackpressurePolicy::kBlock;
+
+  PipelineManager manager(make_config(), 1, options);
+  manager.fit(0, data[0].train.x, data[0].train.labels);
+  const auto expected = sequential_reference(manager.stream(0).config(),
+                                             data[0]);
+
+  for (std::size_t i = 0; i < data[0].test.size(); ++i) {
+    EXPECT_TRUE(manager.submit(0, data[0].test.x.row(i)));
+  }
+  manager.drain();
+  expect_steps_equal(manager.take_steps(0), expected);
+
+  const StreamTelemetry& t = manager.telemetry(0);
+  EXPECT_EQ(t.submitted, data[0].test.size());
+  EXPECT_EQ(t.processed, data[0].test.size());
+  EXPECT_EQ(t.rejected, 0u);
+  EXPECT_LE(t.queue_high_water, options.queue_capacity);
+}
+
+// submit_batch publishes whole blocks under one reservation; the steps must
+// match both the per-sample submit path and the sequential reference, even
+// when the block is far larger than the ring.
+TEST(Ingestion, SubmitBatchBlocksUntilDrainedAndMatchesSequential) {
+  const auto data = make_streams(1);
+  ManagerOptions options;
+  options.queue_capacity = 32;
+  options.drain_batch_max = 16;
+  options.backpressure = BackpressurePolicy::kBlock;
+
+  PipelineManager manager(make_config(), 1, options);
+  manager.fit(0, data[0].train.x, data[0].train.labels);
+  const auto expected = sequential_reference(manager.stream(0).config(),
+                                             data[0]);
+
+  const std::size_t accepted =
+      manager.submit_batch(0, data[0].test.x, data[0].test.labels);
+  EXPECT_EQ(accepted, data[0].test.size());
+  manager.drain();
+  expect_steps_equal(manager.take_steps(0), expected);
+  // The block dwarfs the 32-slot ring, so the producer must have waited at
+  // least once for the consumer to free slots.
+  EXPECT_GE(manager.telemetry(0).blocked, 1u);
+}
+
+// kReject must drop loudly-counted samples instead of blocking: with no
+// consumer (manual dispatch, never polled), exactly queue_capacity samples
+// fit and the rest are rejected.
+TEST(Ingestion, RejectPolicyCountsDropsInsteadOfBlocking) {
+  const auto data = make_streams(1);
+  ManagerOptions options;
+  options.queue_capacity = 16;
+  options.backpressure = BackpressurePolicy::kReject;
+  options.dispatch = DispatchMode::kManual;
+
+  PipelineManager manager(make_config(), 1, options);
+  manager.fit(0, data[0].train.x, data[0].train.labels);
+
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (manager.submit(0, data[0].test.x.row(i))) ++accepted;
+  }
+  EXPECT_EQ(accepted, options.queue_capacity);
+  EXPECT_EQ(manager.telemetry(0).rejected, 50 - options.queue_capacity);
+
+  // Batch submit on the full ring rejects every row.
+  EXPECT_EQ(manager.submit_batch(0, data[0].test.x), 0u);
+  EXPECT_EQ(manager.telemetry(0).rejected,
+            50 - options.queue_capacity + data[0].test.size());
+
+  // Draining frees the ring; the accepted samples come out in FIFO order.
+  manager.drain();
+  EXPECT_EQ(manager.telemetry(0).processed, accepted);
+  EXPECT_EQ(manager.take_steps(0).size(), accepted);
+  EXPECT_TRUE(manager.submit(0, data[0].test.x.row(0)));
+}
+
+// Manual dispatch: submit only enqueues; poll() drains on the calling
+// thread. The single-threaded submit -> poll -> take_steps loop must match
+// the sequential reference exactly.
+TEST(Ingestion, ManualDispatchPollMatchesSequential) {
+  const auto data = make_streams(1, 800);
+  ManagerOptions options;
+  options.queue_capacity = 32;
+  options.drain_batch_max = 16;
+  options.dispatch = DispatchMode::kManual;
+
+  PipelineManager manager(make_config(), 1, options);
+  manager.fit(0, data[0].train.x, data[0].train.labels);
+  const auto expected = sequential_reference(manager.stream(0).config(),
+                                             data[0]);
+
+  std::vector<PipelineStep> steps;
+  steps.reserve(data[0].test.size());
+  std::size_t i = 0;
+  while (i < data[0].test.size()) {
+    const std::size_t burst = std::min<std::size_t>(48, data[0].test.size() - i);
+    for (std::size_t r = 0; r < burst; ++r) {
+      // 48 > the 32-slot capacity with kBlock: the submitting thread
+      // drains inline instead of deadlocking (there is no other consumer).
+      EXPECT_TRUE(manager.submit(0, data[0].test.x.row(i + r)));
+    }
+    manager.poll(0);
+    manager.take_steps(0, steps);
+    i += burst;
+  }
+  manager.drain();
+  manager.take_steps(0, steps);
+  expect_steps_equal(steps, expected);
+  EXPECT_EQ(manager.telemetry(0).processed, data[0].test.size());
+}
+
+// The retained sample-wise drain baseline must produce the identical step
+// stream — it is the same pipeline at a different drain granularity.
+TEST(Ingestion, SampleDrainModeMatchesBatchDrainMode) {
+  const auto data = make_streams(1, 800);
+  ManagerOptions batch_options;
+  batch_options.drain = DrainMode::kBatch;
+  ManagerOptions sample_options;
+  sample_options.drain = DrainMode::kSample;
+
+  std::vector<std::vector<PipelineStep>> steps;
+  for (const ManagerOptions& options : {batch_options, sample_options}) {
+    PipelineManager manager(make_config(), 1, options);
+    manager.fit(0, data[0].train.x, data[0].train.labels);
+    manager.submit_batch(0, data[0].test.x);
+    manager.drain();
+    steps.push_back(manager.take_steps(0));
+  }
+  expect_steps_equal(steps[1], steps[0]);
+}
+
+// Several producer threads, each feeding its own stream through batch
+// submits against a small ring: per-stream FIFO and bit-identity must hold
+// for every stream.
+TEST(Ingestion, MultiProducerDistinctStreamsStayIndependent) {
+  constexpr std::size_t kStreams = 4;
+  const auto data = make_streams(kStreams, 900);
+  ManagerOptions options;
+  options.queue_capacity = 48;
+  options.drain_batch_max = 16;
+
+  PipelineManager manager(make_config(), kStreams, options);
+  std::vector<std::vector<PipelineStep>> expected(kStreams);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    manager.fit(s, data[s].train.x, data[s].train.labels);
+    expected[s] =
+        sequential_reference(manager.stream(s).config(), data[s]);
+  }
+
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    producers.emplace_back([&, s] {
+      // Mix batch and single-sample submits from the same producer.
+      const std::size_t half = data[s].test.size() / 2;
+      for (std::size_t i = 0; i < half; ++i) {
+        manager.submit(s, data[s].test.x.row(i));
+      }
+      edgedrift::linalg::Matrix rest(data[s].test.size() - half, 8);
+      for (std::size_t i = half; i < data[s].test.size(); ++i) {
+        rest.set_row(i - half, data[s].test.x.row(i));
+      }
+      manager.submit_batch(s, rest);
+    });
+  }
+  for (auto& t : producers) t.join();
+  manager.drain();
+
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    SCOPED_TRACE("stream " + std::to_string(s));
+    expect_steps_equal(manager.take_steps(s), expected[s]);
+    EXPECT_EQ(manager.telemetry(s).processed, data[s].test.size());
+    EXPECT_EQ(manager.telemetry(s).rejected, 0u);
+  }
+}
+
+// Telemetry invariants after a drained run: the burst histogram accounts
+// for every burst, processed == submitted, and the busy clock ran.
+TEST(Ingestion, TelemetryAccountsForEveryBurst) {
+  const auto data = make_streams(1, 800);
+  ManagerOptions options;
+  options.queue_capacity = 64;
+  options.drain_batch_max = 32;
+
+  PipelineManager manager(make_config(), 1, options);
+  manager.fit(0, data[0].train.x, data[0].train.labels);
+  manager.submit_batch(0, data[0].test.x);
+  manager.drain();
+
+  const StreamTelemetry& t = manager.telemetry(0);
+  EXPECT_EQ(t.submitted, data[0].test.size());
+  EXPECT_EQ(t.processed, data[0].test.size());
+  EXPECT_GE(t.drain_bursts, 1u);
+  EXPECT_GE(t.queue_high_water, 1u);
+  EXPECT_LE(t.queue_high_water, options.queue_capacity);
+  EXPECT_GT(t.busy_ns, 0u);
+  EXPECT_GT(t.samples_per_second(), 0.0);
+  const std::size_t hist_total =
+      std::accumulate(t.drain_burst_hist.begin(), t.drain_burst_hist.end(),
+                      std::size_t{0});
+  EXPECT_EQ(hist_total, t.drain_bursts);
+  // No burst can exceed drain_batch_max = 32 -> buckets above 2^5 stay 0.
+  for (std::size_t b = 6; b < t.drain_burst_hist.size(); ++b) {
+    EXPECT_EQ(t.drain_burst_hist[b], 0u) << "bucket " << b;
+  }
+}
+
+// The GEMM batch path must actually serve the drain: after a batched run
+// the pipeline's batch telemetry shows pre-scored chunks.
+TEST(Ingestion, BatchDrainRoutesThroughProcessBatch) {
+  const auto data = make_streams(1, 800);
+  PipelineManager manager(make_config(), 1);
+  manager.fit(0, data[0].train.x, data[0].train.labels);
+  manager.submit_batch(0, data[0].test.x);
+  manager.drain();
+  EXPECT_GE(manager.stats(0).batch_chunks, 1u);
+  EXPECT_GE(manager.stats(0).batch_rows, 1u);
+  EXPECT_LE(manager.stats(0).batch_rows, manager.stats(0).samples);
+  EXPECT_EQ(manager.totals().batch_rows, manager.stats(0).batch_rows);
+}
+
+// A partial true_labels span must fail loudly — silently pairing rows with
+// the wrong labels (or reading past the span) corrupts the supervised
+// error stream of DDM/EDDM/ADWIN.
+TEST(IngestionDeathTest, SubmitBatchRejectsPartialLabelSpan) {
+  const auto data = make_streams(1, 100);
+  PipelineManager manager(make_config(), 1);
+  manager.fit(0, data[0].train.x, data[0].train.labels);
+
+  std::vector<int> partial(data[0].test.size() - 1, 0);
+  EXPECT_DEATH(manager.submit_batch(0, data[0].test.x, partial),
+               "true_labels must be empty or exactly one per row");
+  std::vector<int> excess(data[0].test.size() + 1, 0);
+  EXPECT_DEATH(manager.submit_batch(0, data[0].test.x, excess),
+               "true_labels must be empty or exactly one per row");
+}
+
+}  // namespace
