@@ -39,11 +39,12 @@ struct KernelRecord {
   double gflops = 0.0;
 };
 
-/// Pulls `--json <path>` out of argv (removing both tokens). Returns an
+/// Pulls `<flag> <path>` out of argv (removing both tokens). Returns an
 /// empty string when the flag is absent.
-inline std::string extract_json_path(int& argc, char** argv) {
+inline std::string extract_path_flag(int& argc, char** argv,
+                                     const char* flag) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
+    if (std::string(argv[i]) == flag) {
       std::string path = argv[i + 1];
       for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
@@ -51,6 +52,12 @@ inline std::string extract_json_path(int& argc, char** argv) {
     }
   }
   return {};
+}
+
+/// Pulls `--json <path>` out of argv (removing both tokens). Returns an
+/// empty string when the flag is absent.
+inline std::string extract_json_path(int& argc, char** argv) {
+  return extract_path_flag(argc, argv, "--json");
 }
 
 /// Writes the v1 schema. Returns false when the file cannot be opened.

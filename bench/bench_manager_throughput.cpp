@@ -27,6 +27,13 @@
 // (see bench_json.hpp); ns_per_op is per processed sample, aggregate
 // across streams. BENCH_manager.json in the repo root is a committed
 // example from the native build.
+//
+// The nsl-kdd 8-stream section also runs an obs-overhead ablation: the
+// same batched drain with the observability layer's runtime gate on vs
+// off, interleaved. The two records (drain=batch/obs=on|off) feed
+// tools/check_obs_overhead.py, which perf-smoke CI uses to pin the obs
+// recording cost under its budget. Pass `--stats-json <path>` to also
+// dump the obs=on manager's edgedrift-obs-v1 snapshot.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -150,7 +157,7 @@ std::pair<double, double> run_modes(const std::string& prefix,
   std::printf(
       "%s @%zu streams (batch): high-water %zu, %zu bursts, "
       "busy drain-rate %.0f ksamples/s\n",
-      prefix.c_str(), streams, t.queue_high_water, t.drain_bursts,
+      prefix.c_str(), streams, t.queue_high_water.load(), t.drain_bursts,
       t.samples_per_second() / 1e3);
   return {baseline, modes[1].best_samples_per_second};
 }
@@ -159,6 +166,8 @@ std::pair<double, double> run_modes(const std::string& prefix,
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::extract_json_path(argc, argv);
+  const std::string stats_json_path =
+      bench::extract_path_flag(argc, argv, "--stats-json");
   std::vector<bench::KernelRecord> records;
   std::printf("=== Serving-layer throughput (stationary streams) ===\n");
   std::printf("pool workers: %zu, reps: %zu (interleaved, best-of)\n\n",
@@ -209,6 +218,51 @@ int main(int argc, char** argv) {
           make_record("nsl-kdd/streams=8/drain=batch/chunk=" +
                           std::to_string(chunk),
                       best));
+    }
+
+    // Obs-overhead ablation at 8 streams, batch drain: identical protocol
+    // with the observability layer's runtime gate on vs off.
+    {
+      core::ManagerOptions options;
+      options.queue_capacity = stationary.x.rows();
+      core::PipelineConfig off_config = config;
+      off_config.obs.enabled = false;
+      std::vector<ModeRun> modes(2);
+      modes[0].label = "obs=on";
+      modes[1].label = "obs=off";
+      for (std::size_t m = 0; m < modes.size(); ++m) {
+        modes[m].options = options;
+        modes[m].manager = std::make_unique<core::PipelineManager>(
+            m == 0 ? config : off_config, 8, options);
+        for (std::size_t s = 0; s < 8; ++s) {
+          modes[m].manager->fit(s, train.x, train.labels);
+        }
+      }
+      for (std::size_t rep = 0; rep < kReps; ++rep) {
+        for (ModeRun& m : modes) {
+          const double sps = run_rep(*m.manager, stationary.x, true);
+          m.best_samples_per_second =
+              std::max(m.best_samples_per_second, sps);
+          for (std::size_t s = 0; s < 8; ++s) m.manager->take_steps(s);
+        }
+      }
+      for (const ModeRun& m : modes) {
+        const double sps = m.best_samples_per_second;
+        table.add_row({"nsl-kdd", "8", "batch/" + m.label,
+                       util::fmt(sps > 0.0 ? 1e9 / sps : 0.0, 0),
+                       util::fmt(sps / 1e3, 1), "-"});
+        records.push_back(
+            make_record("nsl-kdd/streams=8/drain=batch/" + m.label, sps));
+      }
+      if (!stats_json_path.empty()) {
+        if (modes[0].manager->stats().write_json(stats_json_path,
+                                                 "bench_manager_throughput")) {
+          std::printf("obs snapshot written to %s\n",
+                      stats_json_path.c_str());
+        } else {
+          std::fprintf(stderr, "cannot write %s\n", stats_json_path.c_str());
+        }
+      }
     }
   }
 

@@ -21,6 +21,11 @@
 //   --seed N        stream RNG seed                       (default 2023)
 //   --series N      print windowed accuracy every N samples
 //   --checkpoint P  save the fitted proposed pipeline to P (method=proposed)
+//   --stats         print the runtime observability snapshot (counters,
+//                   stage latency quantiles, drift journal) after the run;
+//                   available for pipeline-backed methods (proposed,
+//                   quanttree, spll, multiwindow) and any --detector
+//   --stats-json P  write the snapshot as edgedrift-obs-v1 JSON to P
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +41,7 @@
 #include "edgedrift/eval/experiment.hpp"
 #include "edgedrift/eval/paper_configs.hpp"
 #include "edgedrift/io/checkpoint.hpp"
+#include "edgedrift/obs/snapshot.hpp"
 #include "edgedrift/util/rng.hpp"
 #include "edgedrift/util/table.hpp"
 
@@ -55,6 +61,8 @@ struct Options {
   std::uint64_t seed = 2023;
   std::size_t series = 0;
   std::string checkpoint;
+  bool stats = false;
+  std::string stats_json;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -66,7 +74,8 @@ struct Options {
                "          [--detector KIND] [--recovery reconstruct|"
                "recalibrate|detect-only]\n"
                "          [--window N] [--drift-at N] [--seed N]\n"
-               "          [--series N] [--checkpoint PATH]\n",
+               "          [--series N] [--checkpoint PATH]\n"
+               "          [--stats] [--stats-json PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -100,6 +109,10 @@ bool parse_options(int argc, char** argv, Options& opts) {
       opts.series = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--checkpoint") {
       opts.checkpoint = next();
+    } else if (arg == "--stats") {
+      opts.stats = true;
+    } else if (arg == "--stats-json") {
+      opts.stats_json = next();
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -131,7 +144,8 @@ std::optional<core::RecoveryPolicy> recovery_of(const std::string& name) {
 eval::ExperimentResult run_detector(drift::DetectorKind kind,
                                     const data::Dataset& train,
                                     const data::Dataset& test,
-                                    const eval::ExperimentConfig& config) {
+                                    const eval::ExperimentConfig& config,
+                                    obs::Snapshot* obs_out = nullptr) {
   eval::ExperimentResult result;
   result.method = eval::Method::kProposed;
 
@@ -155,7 +169,27 @@ eval::ExperimentResult run_detector(drift::DetectorKind kind,
   result.runtime_seconds = clock.elapsed_seconds();
   result.detector_memory_bytes = pipeline.detector_memory_bytes();
   result.model_memory_bytes = pipeline.model().memory_bytes();
+  if (obs_out != nullptr) {
+    obs_out->streams.push_back(pipeline.obs().snapshot(0));
+  }
   return result;
+}
+
+/// The detector kind behind a pipeline-backed method, nullopt for methods
+/// that bypass the pipeline (baseline, onlad) and so have no obs snapshot.
+std::optional<drift::DetectorKind> pipeline_kind_of(eval::Method method) {
+  switch (method) {
+    case eval::Method::kProposed:
+      return drift::DetectorKind::kCentroid;
+    case eval::Method::kQuantTree:
+      return drift::DetectorKind::kQuantTree;
+    case eval::Method::kSpll:
+      return drift::DetectorKind::kSpll;
+    case eval::Method::kMultiWindow:
+      return drift::DetectorKind::kMultiWindow;
+    default:
+      return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -234,9 +268,25 @@ int main(int argc, char** argv) {
   }
 
   // ------------------------------------------------------------------- run
+  const bool want_stats = opts.stats || !opts.stats_json.empty();
+  obs::Snapshot obs_snapshot;
+  obs::Snapshot* obs_out = nullptr;
+  std::optional<drift::DetectorKind> run_kind = detector_kind;
+  if (want_stats && !run_kind) {
+    // The experiment runner hides its pipeline; route pipeline-backed
+    // methods through run_detector so the obs block is reachable.
+    run_kind = pipeline_kind_of(*method);
+    if (!run_kind) {
+      std::fprintf(stderr,
+                   "--stats is unavailable for --method %s (no pipeline)\n",
+                   opts.method.c_str());
+      return 1;
+    }
+  }
+  if (want_stats) obs_out = &obs_snapshot;
   const eval::ExperimentResult result =
-      detector_kind
-          ? run_detector(*detector_kind, train, test, config)
+      run_kind
+          ? run_detector(*run_kind, train, test, config, obs_out)
           : eval::run_experiment(*method, train, test, config);
 
   util::Table summary({"Metric", "Value"});
@@ -257,6 +307,19 @@ int main(int argc, char** argv) {
                    util::fmt_kb(result.detector_memory_bytes)});
   summary.add_row({"model memory", util::fmt_kb(result.model_memory_bytes)});
   std::printf("%s\n", summary.str().c_str());
+
+  if (opts.stats) {
+    std::printf("observability snapshot:\n%s\n",
+                obs_snapshot.to_text().c_str());
+  }
+  if (!opts.stats_json.empty()) {
+    if (!obs_snapshot.write_json(opts.stats_json, "edgedrift_cli")) {
+      std::fprintf(stderr, "failed to write %s\n", opts.stats_json.c_str());
+      return 1;
+    }
+    std::printf("observability snapshot written to %s\n",
+                opts.stats_json.c_str());
+  }
 
   if (opts.series > 0) {
     std::printf("windowed accuracy (every %zu samples):\n", opts.series);

@@ -28,6 +28,7 @@
 #include "edgedrift/drift/detector_factory.hpp"
 #include "edgedrift/drift/reconstructor.hpp"
 #include "edgedrift/model/multi_instance.hpp"
+#include "edgedrift/obs/stream_obs.hpp"
 #include "edgedrift/oselm/activation.hpp"
 #include "edgedrift/util/stage_timer.hpp"
 
@@ -82,6 +83,13 @@ struct PipelineConfig {
   /// Largest block process_batch() scores through the GEMM kernels at once
   /// (bounds the batch workspace size).
   std::size_t max_batch_rows = 256;
+
+  /// Runtime observability (obs::StreamObs): counters, stage latency
+  /// histograms and the drift journal. Recording is observation-only —
+  /// obs-on and obs-off runs are bit-identical (tests/test_obs.cpp) — and
+  /// allocation-free on the steady-state path. Compile with
+  /// EDGEDRIFT_NO_OBS to remove the layer entirely.
+  obs::ObsOptions obs;
 
   std::uint64_t seed = 1;
 };
@@ -160,6 +168,12 @@ class Pipeline {
   double theta_error() const { return theta_error_; }
   const PipelineStats& stats() const { return stats_; }
 
+  /// The runtime observability block. Unlike stats()/the other accessors,
+  /// reading it (obs().snapshot(...)) is safe while samples are in flight —
+  /// every field is a relaxed atomic or seqlock-guarded record.
+  const obs::StreamObs& obs() const { return *obs_; }
+  obs::StreamObs& obs() { return *obs_; }
+
   /// The centroid detector when the configured kind is kCentroid, nullptr
   /// otherwise. Centroid-specific introspection (theta_drift,
   /// top_drifted_dimensions, ...) goes through here.
@@ -226,9 +240,14 @@ class Pipeline {
   }
 
   model::Prediction timed_predict(std::span<const double> x);
+  /// count_io=false lets the batch path bulk-update the samples_in/out
+  /// counters once per chunk instead of twice per sample.
   PipelineStep frozen_step(std::span<const double> x,
-                           const model::Prediction& pred, int true_label);
+                           const model::Prediction& pred, int true_label,
+                           bool count_io = true);
   PipelineStep recovery_step(std::span<const double> x);
+  PipelineStep recovery_step_impl(std::span<const double> x);
+  void record_drift_event(const drift::Detection& detection);
   void start_recovery();
   void finish_reconstruction();
   void finish_recalibration();
@@ -246,6 +265,20 @@ class Pipeline {
 
   RecoveryState state_ = RecoveryState::kIdle;
   PipelineStats stats_;
+
+  // Observability: the recording block itself, the tick counter selecting
+  // which samples get clock-timed score/detect stages, and the
+  // preallocated scratch the journal's per-label displacement terms are
+  // staged through (all touched only by the consumer thread).
+  /// Heap-held so Pipeline stays movable (the obs block owns atomics).
+  std::unique_ptr<obs::StreamObs> obs_;
+  /// Hot-path copies of obs_->enabled()/latency_sample_mask(): at a few
+  /// hundred ns per sample the double dereference through the unique_ptr
+  /// is measurable, the two immutable values are not.
+  bool obs_enabled_ = false;
+  std::uint64_t obs_mask_ = 0;
+  std::uint64_t obs_tick_ = 0;
+  std::vector<double> obs_label_dist_;
 
   // Concept tracking for detectors without centroid state.
   bool tracker_enabled_ = false;

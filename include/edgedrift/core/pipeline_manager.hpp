@@ -43,6 +43,7 @@
 
 #include "edgedrift/core/pipeline.hpp"
 #include "edgedrift/linalg/matrix.hpp"
+#include "edgedrift/obs/snapshot.hpp"
 #include "edgedrift/util/thread_pool.hpp"
 
 namespace edgedrift::core {
@@ -77,15 +78,19 @@ struct ManagerOptions {
 };
 
 /// Per-stream serving counters. Written by the consumer (and, for
-/// rejected/blocked, by producers under the stream's produce mutex); read
-/// them only after drain() — the drain-first contract above.
+/// submitted/rejected/blocked, by producers under the stream's produce
+/// mutex); except for the atomic high-water mark, read them only after
+/// drain() — the drain-first contract above.
 struct StreamTelemetry {
   std::size_t submitted = 0;   ///< Samples accepted into the ring.
   std::size_t rejected = 0;    ///< Samples dropped by kReject backpressure.
   std::size_t blocked = 0;     ///< submit() calls that had to wait (kBlock).
   std::size_t processed = 0;   ///< Samples drained through the pipeline.
   std::size_t drain_bursts = 0;         ///< Contiguous drain segments run.
-  std::size_t queue_high_water = 0;     ///< Max queued depth ever observed.
+  /// Max queued depth ever observed. Atomic (relaxed CAS-max) because both
+  /// the producer (after a tail publish) and the drain task (per burst)
+  /// raise it concurrently; every other counter is single-writer.
+  std::atomic<std::size_t> queue_high_water{0};
   std::uint64_t busy_ns = 0;   ///< Wall time spent inside drain bursts.
   /// drain_burst_hist[b] counts bursts of size in [2^(b-1)+1, 2^b]
   /// (bucket 0 = single-sample bursts): the drain-batch-size histogram.
@@ -174,6 +179,12 @@ class PipelineManager {
   /// Counters summed across all streams. drain() first.
   PipelineStats totals() const;
 
+  /// Observability snapshot across every stream. Unlike the accessors
+  /// above, this is safe to call at any time from any thread — the obs
+  /// layer is lock-free and snapshots are torn-read-safe — so a monitoring
+  /// thread can poll it while producers and drain tasks are live.
+  obs::Snapshot stats() const;
+
  private:
   /// Per-stream state. Producers serialize on produce_mutex and publish
   /// rows via tail; the single consumer owns head, the pipeline, steps and
@@ -185,6 +196,10 @@ class PipelineManager {
 
     linalg::Matrix slab;      ///< [capacity x dim] ring row storage.
     std::vector<int> labels;  ///< [capacity] ring label storage.
+    /// [capacity] enqueue timestamps feeding the submit->drain histogram;
+    /// written under the same slot ownership rules as slab rows. Empty
+    /// when the obs layer is off.
+    std::vector<std::uint64_t> submit_ns;
 
     /// Monotonic sample counters; slot = counter % capacity. tail is
     /// published by producers after the row copy, head by the consumer
@@ -218,6 +233,7 @@ class PipelineManager {
 
   util::ThreadPool* pool_;
   ManagerOptions options_;
+  bool obs_on_ = false;  ///< Cached obs gate: kObsCompiled && obs.enabled.
   std::vector<std::unique_ptr<Stream>> streams_;
 
   /// Submitted-not-yet-processed samples (incremented before tail publish,

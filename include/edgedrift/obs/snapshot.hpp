@@ -1,0 +1,54 @@
+// obs::Snapshot — plain-value aggregation of the observability layer.
+//
+// A snapshot is what crosses the thread boundary: every field is a copied
+// value, safe to hold, print or serialize long after the pipelines moved
+// on. PipelineManager::stats() (and Pipeline::obs_snapshot() for a single
+// stream) produce one; to_text() renders the operator-facing summary the
+// CLI --stats flag prints, and write_json() emits the machine-readable
+// "edgedrift-obs-v1" record — the observability sibling of the
+// edgedrift-bench-v1 schema (same envelope: schema / binary / simd level),
+// consumed by the bench reporters and the perf-smoke CI job.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "edgedrift/obs/counters.hpp"
+#include "edgedrift/obs/drift_journal.hpp"
+#include "edgedrift/obs/latency_histogram.hpp"
+
+namespace edgedrift::obs {
+
+/// One stream's complete observability state at a point in time.
+struct StreamSnapshot {
+  std::size_t stream_id = 0;
+  CounterSnapshot counters;
+  HistogramSnapshot submit_to_drain;  ///< Ring enqueue -> drained, per row.
+  HistogramSnapshot score;            ///< Model scoring, per sample.
+  HistogramSnapshot detect;           ///< Detector observe(), per sample.
+  HistogramSnapshot reconstruct;      ///< Recovery step, per sample.
+  std::uint64_t drift_events_total = 0;  ///< Lifetime journal count.
+  std::vector<DriftEvent> journal;       ///< Retained events, oldest first.
+};
+
+/// Multi-stream aggregation with text and JSON exporters.
+struct Snapshot {
+  std::vector<StreamSnapshot> streams;
+
+  /// Counters summed across streams (high-water is the max).
+  CounterSnapshot totals() const;
+
+  /// Operator-facing text rendering (counters table, latency quantiles,
+  /// recent drift events).
+  std::string to_text() const;
+
+  /// "edgedrift-obs-v1" JSON. `source` names the producing binary.
+  std::string to_json(std::string_view source) const;
+
+  /// Writes to_json() to `path`; false when the file cannot be opened.
+  bool write_json(const std::string& path, std::string_view source) const;
+};
+
+}  // namespace edgedrift::obs

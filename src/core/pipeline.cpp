@@ -49,10 +49,16 @@ linalg::Matrix per_label_means(const linalg::Matrix& x,
 Pipeline::Pipeline(PipelineConfig config)
     : config_(config),
       reconstructor_(config.reconstruction, config.num_labels,
-                     config.input_dim) {
+                     config.input_dim),
+      obs_(std::make_unique<obs::StreamObs>(config.obs, config.num_labels)),
+      obs_enabled_(obs_->enabled()),
+      obs_mask_(obs_->latency_sample_mask()) {
   EDGEDRIFT_ASSERT(config_.input_dim > 0, "input_dim must be set");
   EDGEDRIFT_ASSERT(config_.num_labels > 0, "num_labels must be set");
   EDGEDRIFT_ASSERT(config_.max_batch_rows > 0, "max_batch_rows must be > 0");
+  // Journal scratch: per_label_distances() writes into this preallocated
+  // span on the drift branch, keeping event recording heap-free.
+  obs_label_dist_.resize(config_.num_labels, 0.0);
   util::Rng rng(config_.seed);
   auto projection =
       oselm::make_projection(config_.input_dim, config_.hidden_dim,
@@ -176,21 +182,35 @@ void Pipeline::process_batch_range(const linalg::Matrix& x,
     const std::size_t chunk = std::min(row_end - i, config_.max_batch_rows);
     const linalg::ConstMatrixView chunk_view{x, i, i + chunk};
     chunk_preds_.resize(chunk);
+    // Score-stage latency for the batch path: one clock pair per chunk,
+    // recorded as the chunk's mean per-sample cost (the per-sample path
+    // records individual samples instead — see timed_predict).
+    const bool obs_on = obs_enabled_;
+    const std::uint64_t obs_t0 = obs_on ? obs::now_ns() : 0;
     if (stages_ != nullptr) {
       util::StageTimer::Scope scope(*stages_, kStagePredict);
       model_->predict_batch(chunk_view, batch_ws_, chunk_preds_);
     } else {
       model_->predict_batch(chunk_view, batch_ws_, chunk_preds_);
     }
+    if (obs_on) obs_->score.record((obs::now_ns() - obs_t0) / chunk);
     ++stats_.batch_chunks;
     std::size_t consumed = 0;
     for (std::size_t r = 0; r < chunk; ++r) {
       const int tl = true_labels.empty() ? -1 : true_labels[i + r];
-      out.push_back(frozen_step(x.row(i + r), chunk_preds_[r], tl));
+      out.push_back(
+          frozen_step(x.row(i + r), chunk_preds_[r], tl,
+                      /*count_io=*/false));
       ++consumed;
       // A detection just started a recovery: the remaining pre-scored
       // predictions are stale (the model is about to retrain).
       if (!model_frozen()) break;
+    }
+    // Bulk the samples_in/out bump for the whole chunk (in before out, so
+    // a racing stats() reader never sees out run ahead across snapshots).
+    if (obs_on) {
+      obs_->counters.add_samples_in(consumed);
+      obs_->counters.add_samples_out(consumed);
     }
     stats_.batch_rows += consumed;
     i += consumed;
@@ -198,17 +218,28 @@ void Pipeline::process_batch_range(const linalg::Matrix& x,
 }
 
 model::Prediction Pipeline::timed_predict(std::span<const double> x) {
+  // Score-stage latency, clock-timed on every Nth sample (the tick is
+  // advanced by frozen_step/recovery_step after this sample completes, so
+  // score and detect time the same samples).
+  const bool timed = obs_enabled_ && (obs_tick_ & obs_mask_) == 0;
+  const std::uint64_t obs_t0 = timed ? obs::now_ns() : 0;
+  model::Prediction pred;
   if (stages_ != nullptr) {
     util::StageTimer::Scope scope(*stages_, kStagePredict);
-    return model_->predict(x, kernel_ws_);
+    pred = model_->predict(x, kernel_ws_);
+  } else {
+    pred = model_->predict(x, kernel_ws_);
   }
-  return model_->predict(x, kernel_ws_);
+  if (timed) obs_->score.record(obs::now_ns() - obs_t0);
+  return pred;
 }
 
 PipelineStep Pipeline::frozen_step(std::span<const double> x,
                                    const model::Prediction& pred,
-                                   int true_label) {
+                                   int true_label, bool count_io) {
   ++stats_.samples;
+  const bool obs_on = obs_enabled_;
+  if (obs_on && count_io) obs_->counters.add_samples_in();
   PipelineStep step;
   step.prediction = pred;
   if (tracker_enabled_) update_tracker(pred.label, x);
@@ -220,6 +251,10 @@ PipelineStep Pipeline::frozen_step(std::span<const double> x,
       detector_->rebuild_reference(refit_buffer_);
       state_ = RecoveryState::kIdle;
     }
+    if (obs_on) {
+      if (count_io) obs_->counters.add_samples_out();
+      ++obs_tick_;
+    }
     return step;
   }
 
@@ -229,6 +264,10 @@ PipelineStep Pipeline::frozen_step(std::span<const double> x,
   obs.anomaly_score = pred.score;
   obs.error = true_label >= 0 &&
               static_cast<std::size_t>(true_label) != pred.label;
+  const bool window_was_open =
+      obs_on && centroid_ != nullptr && centroid_->window_open();
+  const bool timed_detect = obs_on && (obs_tick_ & obs_mask_) == 0;
+  const std::uint64_t obs_t0 = timed_detect ? obs::now_ns() : 0;
   drift::Detection detection;
   if (stages_ != nullptr) {
     util::StageTimer::Scope scope(*stages_, kStageDistance);
@@ -236,18 +275,74 @@ PipelineStep Pipeline::frozen_step(std::span<const double> x,
   } else {
     detection = detector_->observe(obs);
   }
+  if (timed_detect) obs_->detect.record(obs::now_ns() - obs_t0);
+  if (obs_on) {
+    // Window accounting: the centroid family exposes its anomaly window
+    // directly (count open transitions); for everything else each emitted
+    // statistic marks one completed evaluation window.
+    if (centroid_ != nullptr) {
+      if (!window_was_open && centroid_->window_open()) {
+        obs_->counters.add_window_opened();
+      }
+    } else if (detection.statistic_valid) {
+      obs_->counters.add_window_opened();
+    }
+  }
   step.statistic = detection.statistic;
   step.statistic_valid = detection.statistic_valid;
 
   if (detection.drift) {
     step.drift_detected = true;
     ++stats_.drifts;
+    if (obs_on) record_drift_event(detection);
     start_recovery();
+  }
+  if (obs_on) {
+    if (count_io) obs_->counters.add_samples_out();
+    ++obs_tick_;
   }
   return step;
 }
 
+void Pipeline::record_drift_event(const drift::Detection& detection) {
+  obs_->counters.add_drift();
+  std::span<const double> distances;
+  double theta = 0.0;
+  if (centroid_ != nullptr) {
+    centroid_->per_label_distances(obs_label_dist_);
+    distances = obs_label_dist_;
+    theta = centroid_->theta_drift();
+  }
+  obs::RecoveryAction action = obs::RecoveryAction::kNone;
+  switch (config_.recovery) {
+    case RecoveryPolicy::kReconstruct:
+      action = obs::RecoveryAction::kReconstruct;
+      break;
+    case RecoveryPolicy::kResetRecalibrate:
+      action = obs::RecoveryAction::kRecalibrate;
+      break;
+    case RecoveryPolicy::kDetectOnly:
+      action = obs::RecoveryAction::kNone;
+      break;
+  }
+  // stats_.samples was already advanced for this sample: index = samples-1.
+  obs_->journal.begin_event(stats_.samples - 1, detection.statistic, theta,
+                           static_cast<std::uint32_t>(config_.window_size),
+                           action, distances);
+}
+
 PipelineStep Pipeline::recovery_step(std::span<const double> x) {
+  if (!obs_enabled_) return recovery_step_impl(x);
+  obs_->counters.add_samples_in();
+  const std::uint64_t obs_t0 = obs::now_ns();
+  PipelineStep step = recovery_step_impl(x);
+  obs_->reconstruct.record(obs::now_ns() - obs_t0);
+  obs_->counters.add_samples_out();
+  ++obs_tick_;
+  return step;
+}
+
+PipelineStep Pipeline::recovery_step_impl(std::span<const double> x) {
   ++stats_.samples;
   ++stats_.recovery_samples;
   PipelineStep step;
@@ -388,6 +483,10 @@ void Pipeline::finish_reconstruction() {
   detector_->rearm(coords.centroids(), coords.counts(),
                    reconstructor_.suggested_theta_drift(config_.z));
   ++stats_.recoveries;
+  if (obs_->enabled()) {
+    obs_->counters.add_retrain();
+    obs_->journal.complete_event(reconstructor_.count());
+  }
   if (detector_->needs_reference_data()) {
     begin_reference_collection();
   } else {
@@ -401,6 +500,10 @@ void Pipeline::finish_recalibration() {
   detector_->rearm(recal_.centroids, recal_.counts, 0.0);
   trained_means_ = recal_.centroids;
   ++stats_.recoveries;
+  if (obs_->enabled()) {
+    obs_->counters.add_retrain();
+    obs_->journal.complete_event(recal_count_);
+  }
   if (detector_->needs_reference_data()) {
     begin_reference_collection();
   } else {

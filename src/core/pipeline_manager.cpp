@@ -23,6 +23,15 @@ std::size_t burst_bucket(std::size_t n) {
   return std::min<std::size_t>(b, 16);
 }
 
+/// Relaxed CAS-max: producers and the drain task raise the high-water mark
+/// concurrently; losing a race to a larger value is the desired outcome.
+void raise_high_water(std::atomic<std::size_t>& hw, std::size_t depth) {
+  std::size_t cur = hw.load(std::memory_order_relaxed);
+  while (depth > cur &&
+         !hw.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 PipelineManager::PipelineManager(const PipelineConfig& config,
@@ -35,7 +44,8 @@ PipelineManager::PipelineManager(const PipelineConfig& config,
                                  const ManagerOptions& options,
                                  util::ThreadPool* pool)
     : pool_(pool != nullptr ? pool : &util::ThreadPool::global()),
-      options_(options) {
+      options_(options),
+      obs_on_(obs::kObsCompiled && config.obs.enabled) {
   EDGEDRIFT_ASSERT(num_streams > 0, "need at least one stream");
   EDGEDRIFT_ASSERT(options_.queue_capacity > 0, "queue_capacity must be > 0");
   EDGEDRIFT_ASSERT(options_.drain_batch_max > 0,
@@ -53,6 +63,7 @@ void PipelineManager::init_streams(const PipelineConfig& config,
     stream->pipeline = std::make_unique<Pipeline>(stream_config);
     stream->slab.resize_zero(options_.queue_capacity, config.input_dim);
     stream->labels.assign(options_.queue_capacity, -1);
+    if (obs_on_) stream->submit_ns.assign(options_.queue_capacity, 0);
     streams_.push_back(std::move(stream));
   }
 }
@@ -88,6 +99,7 @@ bool PipelineManager::submit(std::size_t id, std::span<const double> x,
       if (tail - s.head.load() < capacity) break;
       if (options_.backpressure == BackpressurePolicy::kReject) {
         ++s.telemetry.rejected;
+        if (obs_on_) s.pipeline->obs().counters.add_rejected(1);
         return false;
       }
       if (!counted_block) {
@@ -128,12 +140,18 @@ bool PipelineManager::submit(std::size_t id, std::span<const double> x,
       // burst-sized decrement can never run ahead of it.
       pending_.fetch_add(1);
     }
+    // Stamp only the sampled slots (absolute position selects them, so the
+    // drain side — which advances the same counter — reads exactly these).
+    if (obs_on_ &&
+        (tail & s.pipeline->obs().latency_sample_mask()) == 0) {
+      s.submit_ns[pos] = obs::now_ns();
+    }
     s.tail.store(tail + 1);
     ++s.telemetry.submitted;
     const std::size_t depth =
         static_cast<std::size_t>(tail + 1 - s.head.load());
-    s.telemetry.queue_high_water =
-        std::max(s.telemetry.queue_high_water, depth);
+    raise_high_water(s.telemetry.queue_high_water, depth);
+    if (obs_on_) s.pipeline->obs().counters.update_ring_high_water(depth);
   }
   maybe_schedule(s, id);
   return true;
@@ -161,6 +179,9 @@ std::size_t PipelineManager::submit_batch(std::size_t id,
       if (avail == 0) {
         if (options_.backpressure == BackpressurePolicy::kReject) {
           s.telemetry.rejected += x.rows() - r;
+          if (obs_on_) {
+            s.pipeline->obs().counters.add_rejected(x.rows() - r);
+          }
           break;
         }
         if (!counted_block) {
@@ -187,18 +208,26 @@ std::size_t PipelineManager::submit_batch(std::size_t id,
           static_cast<std::size_t>(std::min<std::uint64_t>(avail,
                                                            x.rows() - r));
       pending_.fetch_add(take);
+      // One timestamp per reservation segment: every sampled row of the
+      // segment entered the ring "now" for submit->drain latency purposes.
+      // Only slots whose absolute position matches the sample mask are
+      // stamped — the drain side reads exactly those.
+      const std::uint64_t t_sub = obs_on_ ? obs::now_ns() : 0;
+      const std::uint64_t mask =
+          obs_on_ ? s.pipeline->obs().latency_sample_mask() : 0;
       for (std::size_t i = 0; i < take; ++i) {
         const std::size_t pos =
             static_cast<std::size_t>((tail + i) % capacity);
         s.slab.set_row(pos, x.row(r + i));
         s.labels[pos] = true_labels.empty() ? -1 : true_labels[r + i];
+        if (obs_on_ && ((tail + i) & mask) == 0) s.submit_ns[pos] = t_sub;
       }
       s.tail.store(tail + take);
       s.telemetry.submitted += take;
       const std::size_t depth =
           static_cast<std::size_t>(tail + take - s.head.load());
-      s.telemetry.queue_high_water =
-          std::max(s.telemetry.queue_high_water, depth);
+      raise_high_water(s.telemetry.queue_high_water, depth);
+      if (obs_on_) s.pipeline->obs().counters.update_ring_high_water(depth);
       accepted += take;
       r += take;
     }
@@ -258,6 +287,22 @@ std::size_t PipelineManager::drain_burst(Stream& s) {
               s.pipeline->process(s.slab.row(pos), s.labels[pos]));
         }
       }
+      // Record before the head advance frees the slots: a producer may
+      // reuse submit_ns[pos..] the moment head moves past them. Only the
+      // sampled slots (absolute position & mask == 0) carry stamps.
+      if (obs_on_) {
+        obs::StreamObs& ob = s.pipeline->obs();
+        const std::uint64_t mask = ob.latency_sample_mask();
+        const std::uint64_t first = (head + mask) & ~mask;
+        if (first < head + burst) {
+          const std::uint64_t t_end = obs::now_ns();
+          for (std::uint64_t a = first; a < head + burst; a += mask + 1) {
+            ob.submit_to_drain.record(
+                t_end - s.submit_ns[pos + (a - head)]);
+          }
+        }
+        ob.counters.update_ring_high_water(queued);
+      }
       head += burst;
       s.head.store(head);
       pending_.fetch_sub(burst);
@@ -274,16 +319,27 @@ std::size_t PipelineManager::drain_burst(Stream& s) {
       for (std::size_t i = 0; i < burst; ++i) {
         std::vector<double> sample;
         int label;
+        // Absolute position selects the sampled slots, matching the
+        // producer's stamping predicate.
+        const bool timed =
+            obs_on_ &&
+            (head & s.pipeline->obs().latency_sample_mask()) == 0;
+        std::uint64_t sub_ns = 0;
         {
           std::lock_guard lock(s.produce_mutex);
           const std::span<const double> row = s.slab.row(pos + i);
           sample.assign(row.begin(), row.end());
           label = s.labels[pos + i];
+          // Read the enqueue stamp before the head advance frees the slot.
+          if (timed) sub_ns = s.submit_ns[pos + i];
           ++head;
           s.head.store(head);  // The old pop freed the slot before process.
         }
         notify_space(s);
         const PipelineStep step = s.pipeline->process(sample, label);
+        if (timed) {
+          s.pipeline->obs().submit_to_drain.record(obs::now_ns() - sub_ns);
+        }
         {
           std::lock_guard lock(s.steps_mutex);
           s.steps.push_back(step);
@@ -298,8 +354,7 @@ std::size_t PipelineManager::drain_burst(Stream& s) {
     }
     s.telemetry.busy_ns += now_ns() - t0;
     s.telemetry.processed += burst;
-    s.telemetry.queue_high_water =
-        std::max(s.telemetry.queue_high_water, queued);
+    raise_high_water(s.telemetry.queue_high_water, queued);
     total += burst;
     tail = s.tail.load();
   }
@@ -373,6 +428,15 @@ const StreamTelemetry& PipelineManager::telemetry(std::size_t id) const {
 
 const PipelineStats& PipelineManager::stats(std::size_t id) const {
   return stream(id).stats();
+}
+
+obs::Snapshot PipelineManager::stats() const {
+  obs::Snapshot snap;
+  snap.streams.reserve(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    snap.streams.push_back(streams_[i]->pipeline->obs().snapshot(i));
+  }
+  return snap;
 }
 
 PipelineStats PipelineManager::totals() const {

@@ -1,0 +1,193 @@
+#include "edgedrift/obs/snapshot.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "edgedrift/linalg/simd.hpp"
+#include "edgedrift/util/table.hpp"
+
+namespace edgedrift::obs {
+namespace {
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+/// "12.3 us"-style rendering of a nanosecond figure.
+std::string fmt_ns(double ns) {
+  char buf[32];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  }
+  return buf;
+}
+
+const char* action_name(RecoveryAction a) {
+  switch (a) {
+    case RecoveryAction::kNone:
+      return "detect-only";
+    case RecoveryAction::kReconstruct:
+      return "reconstruct";
+    case RecoveryAction::kRecalibrate:
+      return "recalibrate";
+  }
+  return "?";
+}
+
+void append_histogram_row(util::Table& table, std::size_t stream,
+                          const char* stage, const HistogramSnapshot& h) {
+  const std::uint64_t n = h.count();
+  if (n == 0) return;
+  table.add_row({std::to_string(stream), stage, fmt_u64(n),
+                 fmt_ns(h.mean_ns()),
+                 fmt_ns(static_cast<double>(h.quantile_upper_ns(0.5))),
+                 fmt_ns(static_cast<double>(h.quantile_upper_ns(0.99))),
+                 fmt_ns(static_cast<double>(h.max_ns))});
+}
+
+void append_histogram_json(std::string& out, const char* name,
+                           const HistogramSnapshot& h, bool last) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "        \"%s\": {\"count\": %" PRIu64
+                ", \"mean_ns\": %.1f, \"p50_ns\": %" PRIu64
+                ", \"p99_ns\": %" PRIu64 ", \"max_ns\": %" PRIu64 "}%s\n",
+                name, h.count(), h.mean_ns(), h.quantile_upper_ns(0.5),
+                h.quantile_upper_ns(0.99), h.max_ns, last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+CounterSnapshot Snapshot::totals() const {
+  CounterSnapshot total;
+  for (const StreamSnapshot& s : streams) total += s.counters;
+  return total;
+}
+
+std::string Snapshot::to_text() const {
+  std::string out;
+
+  util::Table counters({"Stream", "in", "out", "rejected", "windows",
+                        "drifts", "retrains", "ring-hw"});
+  for (const StreamSnapshot& s : streams) {
+    const CounterSnapshot& c = s.counters;
+    counters.add_row({std::to_string(s.stream_id), fmt_u64(c.samples_in),
+                      fmt_u64(c.samples_out), fmt_u64(c.rejected),
+                      fmt_u64(c.windows_opened), fmt_u64(c.drifts),
+                      fmt_u64(c.retrains), fmt_u64(c.ring_high_water)});
+  }
+  if (streams.size() > 1) {
+    const CounterSnapshot c = totals();
+    counters.add_row({"total", fmt_u64(c.samples_in),
+                      fmt_u64(c.samples_out), fmt_u64(c.rejected),
+                      fmt_u64(c.windows_opened), fmt_u64(c.drifts),
+                      fmt_u64(c.retrains), fmt_u64(c.ring_high_water)});
+  }
+  out += "counters:\n" + counters.str() + "\n";
+
+  util::Table latency({"Stream", "Stage", "count", "mean", "p50<=",
+                       "p99<=", "max"});
+  for (const StreamSnapshot& s : streams) {
+    append_histogram_row(latency, s.stream_id, "submit->drain",
+                         s.submit_to_drain);
+    append_histogram_row(latency, s.stream_id, "score", s.score);
+    append_histogram_row(latency, s.stream_id, "detect", s.detect);
+    append_histogram_row(latency, s.stream_id, "reconstruct",
+                         s.reconstruct);
+  }
+  if (latency.rows() > 0) {
+    out += "latency (log2 buckets; per-sample stages time every Nth "
+           "sample):\n" +
+           latency.str() + "\n";
+  }
+
+  util::Table journal({"Stream", "sample", "statistic", "theta", "window",
+                       "action", "recovery"});
+  for (const StreamSnapshot& s : streams) {
+    for (const DriftEvent& e : s.journal) {
+      journal.add_row(
+          {std::to_string(s.stream_id), fmt_u64(e.sample_index),
+           util::fmt(e.statistic, 4), util::fmt(e.theta_drift, 4),
+           std::to_string(e.window_span), action_name(e.action),
+           e.completed ? fmt_u64(e.recovery_samples) + " samples"
+                       : std::string("running")});
+    }
+  }
+  if (journal.rows() > 0) {
+    out += "drift journal (most recent events):\n" + journal.str();
+  } else {
+    out += "drift journal: empty\n";
+  }
+  return out;
+}
+
+std::string Snapshot::to_json(std::string_view source) const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"edgedrift-obs-v1\",\n";
+  out += "  \"binary\": \"" + std::string(source) + "\",\n";
+  out += "  \"simd\": \"" + std::string(linalg::simd::kLevelName) + "\",\n";
+  out += "  \"streams\": [\n";
+  char buf[512];
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const StreamSnapshot& s = streams[i];
+    const CounterSnapshot& c = s.counters;
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"id\": %zu,\n"
+                  "      \"counters\": {\"samples_in\": %" PRIu64
+                  ", \"samples_out\": %" PRIu64 ", \"rejected\": %" PRIu64
+                  ", \"windows_opened\": %" PRIu64 ", \"drifts\": %" PRIu64
+                  ", \"retrains\": %" PRIu64
+                  ", \"ring_high_water\": %" PRIu64 "},\n",
+                  s.stream_id, c.samples_in, c.samples_out, c.rejected,
+                  c.windows_opened, c.drifts, c.retrains,
+                  c.ring_high_water);
+    out += buf;
+    out += "      \"latency\": {\n";
+    append_histogram_json(out, "submit_to_drain", s.submit_to_drain, false);
+    append_histogram_json(out, "score", s.score, false);
+    append_histogram_json(out, "detect", s.detect, false);
+    append_histogram_json(out, "reconstruct", s.reconstruct, true);
+    out += "      },\n";
+    std::snprintf(buf, sizeof(buf),
+                  "      \"drift_events_total\": %" PRIu64
+                  ",\n      \"drift_events\": [",
+                  s.drift_events_total);
+    out += buf;
+    for (std::size_t e = 0; e < s.journal.size(); ++e) {
+      const DriftEvent& ev = s.journal[e];
+      std::snprintf(buf, sizeof(buf),
+                    "\n        {\"sample\": %" PRIu64
+                    ", \"statistic\": %.6g, \"theta_drift\": %.6g, "
+                    "\"window\": %u, \"action\": \"%s\", "
+                    "\"completed\": %s, \"recovery_samples\": %" PRIu64
+                    "}%s",
+                    ev.sample_index, ev.statistic, ev.theta_drift,
+                    ev.window_span, action_name(ev.action),
+                    ev.completed ? "true" : "false", ev.recovery_samples,
+                    e + 1 < s.journal.size() ? "," : "");
+      out += buf;
+    }
+    out += s.journal.empty() ? "]\n" : "\n      ]\n";
+    out += i + 1 < streams.size() ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool Snapshot::write_json(const std::string& path,
+                          std::string_view source) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json(source);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace edgedrift::obs

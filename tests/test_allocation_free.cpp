@@ -34,6 +34,7 @@
 #include "edgedrift/linalg/matrix.hpp"
 #include "edgedrift/linalg/workspace.hpp"
 #include "edgedrift/model/multi_instance.hpp"
+#include "edgedrift/obs/stream_obs.hpp"
 #include "edgedrift/util/rng.hpp"
 
 #if !defined(EDGEDRIFT_ALLOC_HOOKS_DISABLED)
@@ -247,7 +248,9 @@ TEST(AllocationFree, SteadyStateManagerSubmitDrainDoesNotAllocate) {
   // process_batch_range(), and take_steps(out) recycles both step buffers.
   // Manual dispatch keeps the whole loop on this thread — the pool's task
   // queue is the one part of kPool dispatch that touches the heap (once per
-  // scheduled burst, never per sample).
+  // scheduled burst, never per sample). Observability recording (counters,
+  // submit->drain timestamps, sampled stage latencies) stays enabled
+  // throughout, so the zero-allocation bound covers the instrumented path.
   constexpr std::size_t kDim = 48;
   constexpr std::size_t kHidden = 22;
   constexpr std::size_t kRows = 48;  // > drain_batch_max and wraps the ring.
@@ -312,6 +315,50 @@ TEST(AllocationFree, SteadyStateManagerSubmitDrainDoesNotAllocate) {
 
   EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
       << "steady-state submit()/drain must not touch the heap";
+  if (edgedrift::obs::kObsCompiled) {
+    EXPECT_GT(manager.stream(0).obs().counters.snapshot().samples_in, 0u)
+        << "the obs layer must have been live during the measured loop";
+  }
+#endif
+}
+
+TEST(AllocationFree, ObsRecordingDoesNotAllocate) {
+#if defined(EDGEDRIFT_ALLOC_HOOKS_DISABLED)
+  GTEST_SKIP() << "allocation hooks disabled under sanitizers";
+#else
+  if (!edgedrift::obs::kObsCompiled) {
+    GTEST_SKIP() << "built with EDGEDRIFT_NO_OBS";
+  }
+  // Every obs recording primitive the hot path touches, hammered directly:
+  // construction preallocates, then counters, histogram records and journal
+  // begin/complete — including ring wraparound — stay off the heap.
+  // snapshot() may allocate; it is a stats()-time operation, never hot.
+  edgedrift::obs::ObsOptions options;
+  options.journal_capacity = 16;
+  edgedrift::obs::StreamObs obs(options, 4);
+  std::vector<double> distances = {0.5, 1.5, 2.5, 3.5};
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    obs.counters.add_samples_in();
+    obs.counters.add_rejected(2);
+    obs.counters.update_ring_high_water(i % 97);
+    obs.submit_to_drain.record(i * 13);
+    obs.score.record(i * 7);
+    obs.journal.begin_event(i, 1.25, 2.5, 100,
+                            edgedrift::obs::RecoveryAction::kReconstruct,
+                            distances);
+    obs.journal.complete_event(i);
+    obs.counters.add_samples_out();
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
+      << "obs recording must never touch the heap";
+  EXPECT_EQ(obs.counters.snapshot().samples_in, 1000u);
+  EXPECT_EQ(obs.submit_to_drain.snapshot().count(), 1000u);
+  EXPECT_EQ(obs.journal.total_events(), 1000u);
 #endif
 }
 
