@@ -8,10 +8,14 @@
 // instead of 2C, an expected 2C/(1+C) speedup that grows with C.
 //
 // Geometry is the paper's fan-anomaly configuration (d = 38, L = 22)
-// swept across ensemble widths C in {2, 3, 5, 23}. `--json <path>` emits
+// swept across ensemble widths C in {2, 3, 5, 23}. The *F32 / *I8 variants
+// run the same hot paths under the fp32 and int8 scoring tiers
+// (linalg/numerics.hpp); StreamDensity rows report the scoring-replica
+// bytes a gateway must hold per stream at each tier. `--json <path>` emits
 // the edgedrift-bench-v1 schema (committed example: BENCH_model.json).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -35,7 +39,9 @@ struct BenchSetup {
   Matrix probes;
 };
 
-BenchSetup make_setup(std::size_t num_labels) {
+BenchSetup make_setup(std::size_t num_labels,
+                      linalg::NumericsTier tier =
+                          linalg::NumericsTier::kExactF64) {
   util::Rng rng(42);
   auto projection =
       oselm::make_projection(kDim, kHidden, oselm::Activation::kSigmoid, rng);
@@ -51,6 +57,7 @@ BenchSetup make_setup(std::size_t num_labels) {
     }
   }
   model.init_train(train, labels);
+  model.set_numerics_tier(tier);
   Matrix probes(kProbeRows, kDim);
   for (std::size_t i = 0; i < kProbeRows; ++i) {
     for (std::size_t j = 0; j < kDim; ++j) {
@@ -76,6 +83,41 @@ void BM_ScoresFused(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ScoresFused)->Arg(2)->Arg(3)->Arg(5)->Arg(23);
+
+/// Fused scoring under the fp32 tier: same shared projection, packed
+/// matvec against the narrowed f32 beta replica (half the bandwidth,
+/// twice the SIMD lanes of the f64 row above).
+void BM_ScoresFusedF32(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  BenchSetup setup = make_setup(c, linalg::NumericsTier::kFastF32);
+  linalg::KernelWorkspace ws;
+  std::vector<double> out(c);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    setup.model.scores(setup.probes.row(i), out, ws);
+    benchmark::DoNotOptimize(out.data());
+    i = (i + 1) % kProbeRows;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScoresFusedF32)->Arg(2)->Arg(3)->Arg(5)->Arg(23);
+
+/// Fused scoring under the int8 tier: per-sample hidden quantization +
+/// int8 dot products dequantized through per-column scales.
+void BM_ScoresFusedI8(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  BenchSetup setup = make_setup(c, linalg::NumericsTier::kQuantI8);
+  linalg::KernelWorkspace ws;
+  std::vector<double> out(c);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    setup.model.scores(setup.probes.row(i), out, ws);
+    benchmark::DoNotOptimize(out.data());
+    i = (i + 1) % kProbeRows;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScoresFusedI8)->Arg(2)->Arg(3)->Arg(5)->Arg(23);
 
 /// The retained reference path: each instance projects and reconstructs
 /// independently (score_of recomputes the hidden activation per label,
@@ -126,6 +168,36 @@ void BM_ScoreBatchFused(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoreBatchFused)->Arg(2)->Arg(5)->Arg(23);
 
+/// Batch scoring under the fp32 tier: hidden block narrowed once per
+/// chunk, then an f32 GEMM against the f32 beta replica.
+void BM_ScoreBatchFusedF32(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  BenchSetup setup = make_setup(c, linalg::NumericsTier::kFastF32);
+  model::BatchWorkspace ws;
+  ws.reserve(kProbeRows, kDim, kHidden, c, linalg::NumericsTier::kFastF32);
+  for (auto _ : state) {
+    setup.model.score_batch(setup.probes, ws);
+    benchmark::DoNotOptimize(ws.scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kProbeRows);
+}
+BENCHMARK(BM_ScoreBatchFusedF32)->Arg(2)->Arg(5)->Arg(23);
+
+/// Batch scoring under the int8 tier: per-row hidden quantization + int8
+/// GEMM with per-column scale dequantization.
+void BM_ScoreBatchFusedI8(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  BenchSetup setup = make_setup(c, linalg::NumericsTier::kQuantI8);
+  model::BatchWorkspace ws;
+  ws.reserve(kProbeRows, kDim, kHidden, c, linalg::NumericsTier::kQuantI8);
+  for (auto _ : state) {
+    setup.model.score_batch(setup.probes, ws);
+    benchmark::DoNotOptimize(ws.scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kProbeRows);
+}
+BENCHMARK(BM_ScoreBatchFusedI8)->Arg(2)->Arg(5)->Arg(23);
+
 class JsonCaptureReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -134,6 +206,11 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
       edgedrift::bench::KernelRecord rec;
       rec.name = run.benchmark_name();
+      if (rec.name.find("F32") != std::string::npos) {
+        rec.precision = "f32";
+      } else if (rec.name.find("I8") != std::string::npos) {
+        rec.precision = "i8";
+      }
       rec.ns_per_op = run.GetAdjustedRealTime();  // Default unit: ns.
       const auto items = run.counters.find("items_per_second");
       rec.samples_per_second = items != run.counters.end()
@@ -148,6 +225,37 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
   std::vector<edgedrift::bench::KernelRecord> records;
 };
 
+/// Scoring-replica footprint per stream at each tier: the bytes of beta a
+/// gateway must keep resident per stream to score it. f64 carries the
+/// packed [L x C*n] master; f32 the narrowed replica; i8 the code matrix
+/// plus one float scale per packed column. (The f64 master also stays
+/// resident in the f32/i8 tiers for training, but scoring-only consumers —
+/// the replicated-stream case the density metric is about — ship only the
+/// replica.)
+void append_stream_density_rows(
+    std::vector<edgedrift::bench::KernelRecord>& records) {
+  for (const std::size_t c : {std::size_t{2}, std::size_t{5},
+                              std::size_t{23}}) {
+    const std::size_t packed_cols = c * kDim;
+    const double f64_bytes =
+        static_cast<double>(kHidden * packed_cols * sizeof(double));
+    const double f32_bytes =
+        static_cast<double>(kHidden * packed_cols * sizeof(float));
+    const double i8_bytes = static_cast<double>(
+        kHidden * packed_cols * sizeof(std::int8_t) +
+        packed_cols * sizeof(float));
+    const char* precisions[] = {"f64", "f32", "i8"};
+    const double bytes[] = {f64_bytes, f32_bytes, i8_bytes};
+    for (int t = 0; t < 3; ++t) {
+      edgedrift::bench::KernelRecord rec;
+      rec.name = "StreamDensity/" + std::to_string(c);
+      rec.precision = precisions[t];
+      rec.bytes_per_stream = bytes[t];
+      records.push_back(std::move(rec));
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,6 +265,7 @@ int main(int argc, char** argv) {
   JsonCaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  append_stream_density_rows(reporter.records);
   if (!json_path.empty() &&
       !edgedrift::bench::write_kernel_json(json_path, "bench_fused_scoring",
                                            reporter.records)) {

@@ -8,10 +8,14 @@
 //     "simd": "avx2-fma|neon|portable",
 //     "build_flags": "...",           // compiler flags baked in by CMake
 //     "git_sha": "...",               // commit baked in by CMake
-//     "results": [ {"name", "ns_per_op", "samples_per_second", "gflops"} ]
+//     "results": [ {"name", "precision", "ns_per_op",
+//                   "samples_per_second", "gflops", "bytes_per_stream"} ]
 //   }
 // gflops is 0 when a record has no meaningful flop count (e.g. whole-
-// pipeline samples/s rows). A committed example lives at BENCH_kernels.json.
+// pipeline samples/s rows). "precision" names the NumericsTier the row ran
+// under ("f64" unless a harness overrides it); "bytes_per_stream" is 0
+// except on stream-density rows, where it is the scoring-replica footprint
+// per stream. A committed example lives at BENCH_kernels.json.
 #pragma once
 
 #include <cstdio>
@@ -34,9 +38,11 @@ namespace edgedrift::bench {
 /// One benchmark result row of the v1 schema.
 struct KernelRecord {
   std::string name;
+  std::string precision = "f64";  ///< NumericsTier the row ran under.
   double ns_per_op = 0.0;
   double samples_per_second = 0.0;
   double gflops = 0.0;
+  double bytes_per_stream = 0.0;  ///< Non-zero on stream-density rows only.
 };
 
 /// Pulls `<flag> <path>` out of argv (removing both tokens). Returns an
@@ -76,9 +82,11 @@ inline bool write_kernel_json(const std::string& path,
   for (std::size_t i = 0; i < records.size(); ++i) {
     const KernelRecord& r = records[i];
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
-                 "\"samples_per_second\": %.1f, \"gflops\": %.3f}%s\n",
-                 r.name.c_str(), r.ns_per_op, r.samples_per_second, r.gflops,
+                 "    {\"name\": \"%s\", \"precision\": \"%s\", "
+                 "\"ns_per_op\": %.3f, \"samples_per_second\": %.1f, "
+                 "\"gflops\": %.3f, \"bytes_per_stream\": %.0f}%s\n",
+                 r.name.c_str(), r.precision.c_str(), r.ns_per_op,
+                 r.samples_per_second, r.gflops, r.bytes_per_stream,
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

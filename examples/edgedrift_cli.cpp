@@ -16,6 +16,11 @@
 //                   kswin, pagehinkley) through the pipeline; overrides
 //                   --method
 //   --recovery reconstruct | recalibrate | detect-only   (default reconstruct)
+//   --numerics f64 | f32 | i8   scoring numerics tier     (default f64):
+//                   f64 is the bit-exact reference; f32/i8 score against
+//                   the packed-beta replicas under the error-bounded
+//                   drift-decision-equivalence contract (applies to
+//                   pipeline-backed methods and --detector runs)
 //   --window N      proposed-method window size W        (default 100)
 //   --drift-at N    true drift index for delay reporting  (dataset default)
 //   --seed N        stream RNG seed                       (default 2023)
@@ -56,6 +61,7 @@ struct Options {
   std::string method = "proposed";
   std::string detector;
   std::string recovery = "reconstruct";
+  std::string numerics = "f64";
   std::size_t window = 100;
   std::optional<std::size_t> drift_at;
   std::uint64_t seed = 2023;
@@ -73,6 +79,7 @@ struct Options {
                "          [--method proposed|baseline|quanttree|spll|onlad|multiwindow]\n"
                "          [--detector KIND] [--recovery reconstruct|"
                "recalibrate|detect-only]\n"
+               "          [--numerics f64|f32|i8]\n"
                "          [--window N] [--drift-at N] [--seed N]\n"
                "          [--series N] [--checkpoint PATH]\n"
                "          [--stats] [--stats-json PATH]\n",
@@ -99,6 +106,8 @@ bool parse_options(int argc, char** argv, Options& opts) {
       opts.detector = next();
     } else if (arg == "--recovery") {
       opts.recovery = next();
+    } else if (arg == "--numerics") {
+      opts.numerics = next();
     } else if (arg == "--window") {
       opts.window = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--drift-at") {
@@ -255,6 +264,12 @@ int main(int argc, char** argv) {
   }
   config.pipeline.window_size = opts.window;
   config.pipeline.recovery = *recovery;
+  const auto tier = linalg::tier_from_name(opts.numerics);
+  if (!tier) {
+    std::fprintf(stderr, "unknown numerics tier: %s\n", opts.numerics.c_str());
+    usage(argv[0]);
+  }
+  config.pipeline.numerics = *tier;
   config.seed = opts.seed;
 
   std::printf("dataset: %s (%zu train / %zu test, %zu features)\n",

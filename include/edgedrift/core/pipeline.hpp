@@ -84,6 +84,14 @@ struct PipelineConfig {
   /// (bounds the batch workspace size).
   std::size_t max_batch_rows = 256;
 
+  /// Scoring numerics tier (linalg/numerics.hpp): kExactF64 is the
+  /// bit-identical reference, kFastF32/kQuantI8 score against the
+  /// packed-beta replicas under the error-bounded drift-decision-
+  /// equivalence contract. Training is f64 in every tier; theta_error
+  /// calibration runs through the same tier as streaming scoring, so the
+  /// gate is consistent with the scores it gates.
+  linalg::NumericsTier numerics = linalg::NumericsTier::kExactF64;
+
   /// Runtime observability (obs::StreamObs): counters, stage latency
   /// histograms and the drift journal. Recording is observation-only —
   /// obs-on and obs-off runs are bit-identical (tests/test_obs.cpp) — and

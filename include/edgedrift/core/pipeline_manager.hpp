@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -75,6 +76,10 @@ struct ManagerOptions {
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   DrainMode drain = DrainMode::kBatch;
   DispatchMode dispatch = DispatchMode::kPool;
+  /// When set, overrides PipelineConfig::numerics for every stream — the
+  /// serving-layer knob for trading score precision against stream density
+  /// (linalg/numerics.hpp). Unset keeps the per-pipeline setting.
+  std::optional<linalg::NumericsTier> numerics;
 };
 
 /// Per-stream serving counters. Written by the consumer (and, for

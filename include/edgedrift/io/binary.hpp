@@ -18,7 +18,10 @@
 namespace edgedrift::io {
 
 inline constexpr std::uint32_t kMagic = 0x45444446;  // "EDDF".
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: PipelineConfig gained the NumericsTier field (the tiered numerics
+/// contract). v1 blobs are rejected — the tier is part of the drift-decision
+/// contract, so silently defaulting it on restore would be wrong.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Streaming writer; check ok() once at the end.
 class Writer {

@@ -19,20 +19,31 @@
 #include <string>
 
 #include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/linalg/numerics.hpp"
 
 namespace edgedrift::io {
 
 /// Writes a fitted pipeline. Returns false on I/O failure or if the
-/// pipeline is not fitted.
+/// pipeline is not fitted. The checkpoint records the pipeline's active
+/// NumericsTier (format v2): the tier is part of the drift-decision
+/// contract, so a restore site must get the tier it expects or fail loudly.
 bool save_pipeline(std::ostream& out, const core::Pipeline& pipeline);
 
 /// Reads a pipeline checkpoint. Returns nullopt on any corruption,
-/// format-version, or consistency failure.
-std::optional<core::Pipeline> load_pipeline(std::istream& in);
+/// format-version, or consistency failure. When `expect_tier` is set, a
+/// checkpoint recorded under any other tier is rejected. When `error` is
+/// non-null it receives a human-readable reason on failure.
+std::optional<core::Pipeline> load_pipeline(
+    std::istream& in,
+    std::optional<linalg::NumericsTier> expect_tier = std::nullopt,
+    std::string* error = nullptr);
 
 /// File-path conveniences.
 bool save_pipeline_file(const std::string& path,
                         const core::Pipeline& pipeline);
-std::optional<core::Pipeline> load_pipeline_file(const std::string& path);
+std::optional<core::Pipeline> load_pipeline_file(
+    const std::string& path,
+    std::optional<linalg::NumericsTier> expect_tier = std::nullopt,
+    std::string* error = nullptr);
 
 }  // namespace edgedrift::io

@@ -44,6 +44,22 @@ void matvec(const Matrix& a, std::span<const double> x, std::span<double> y);
 void matvec_transposed(const Matrix& a, std::span<const double> x,
                        std::span<double> y);
 
+/// f32-tier y = A^T * x (shapes: [m,n]^T x [m] -> [n]). Same ascending-row
+/// accumulation shape as the f64 overload, on the float lane set; lives
+/// outside the bit-identity contract (error-bounded tier).
+void matvec_transposed(const MatrixF32& a, std::span<const float> x,
+                       std::span<float> y);
+
+/// f32-tier C = A * B into caller storage (resized, fully overwritten).
+/// Row-streamed scaled-accumulate kernel: with the ensemble-scoring shapes
+/// (k = hidden_dim ~ 22, B a few tens of KB) B stays cache-resident, so the
+/// win over f64 is the halved bandwidth, not a fancier tiling.
+void matmul_into(ConstMatrixViewT<float> a, const MatrixF32& b, MatrixF32& c);
+
+/// f32 matmul_into with the global thread pool for large problems.
+void matmul_parallel_into(ConstMatrixViewT<float> a, const MatrixF32& b,
+                          MatrixF32& c);
+
 /// Rank-1 update A += alpha * u * v^T (u length rows, v length cols).
 void ger(Matrix& a, double alpha, std::span<const double> u,
          std::span<const double> v);

@@ -195,6 +195,184 @@ EDGEDRIFT_ALWAYS_INLINE double vreduce_add(VDouble v) {
 
 #endif
 
+// --------------------------------------------------------------------------
+// float32 lane set — the kFastF32 tier's kernels (linalg/numerics.hpp).
+//
+// Same three backends, twice the lanes per vector: AVX2 __m256 (8), NEON
+// float32x4_t (4), portable 8-wide unrolled scalar. The f32 tier carries no
+// bit-identity obligation (its contract is error-bounded drift-decision
+// equivalence), but the kernels still accumulate per element as single
+// ascending-k maddf chains so a portable and a native build differ only by
+// fusion/reassociation, not by algorithm.
+// --------------------------------------------------------------------------
+
+/// float twin of madd(): acc + a*b, fused on the SIMD backends.
+EDGEDRIFT_ALWAYS_INLINE float maddf(float a, float b, float acc) {
+#if defined(EDGEDRIFT_SIMD_AVX2) || defined(EDGEDRIFT_SIMD_NEON)
+  return std::fma(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+#if defined(EDGEDRIFT_SIMD_AVX2)
+
+using VFloat = __m256;
+inline constexpr std::size_t kLanesF32 = 8;
+
+EDGEDRIFT_ALWAYS_INLINE VFloat vzero_f() { return _mm256_setzero_ps(); }
+EDGEDRIFT_ALWAYS_INLINE VFloat vbroadcast(float x) { return _mm256_set1_ps(x); }
+EDGEDRIFT_ALWAYS_INLINE VFloat vload(const float* p) {
+  return _mm256_loadu_ps(p);
+}
+EDGEDRIFT_ALWAYS_INLINE void vstore(float* p, VFloat v) {
+  _mm256_storeu_ps(p, v);
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vadd(VFloat a, VFloat b) {
+  return _mm256_add_ps(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vsub(VFloat a, VFloat b) {
+  return _mm256_sub_ps(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vmul(VFloat a, VFloat b) {
+  return _mm256_mul_ps(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vfmadd(VFloat a, VFloat b, VFloat acc) {
+  return _mm256_fmadd_ps(a, b, acc);
+}
+EDGEDRIFT_ALWAYS_INLINE float vreduce_add(VFloat v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x1));
+  return _mm_cvtss_f32(sum);
+}
+
+#elif defined(EDGEDRIFT_SIMD_NEON)
+
+using VFloat = float32x4_t;
+inline constexpr std::size_t kLanesF32 = 4;
+
+EDGEDRIFT_ALWAYS_INLINE VFloat vzero_f() { return vdupq_n_f32(0.0f); }
+EDGEDRIFT_ALWAYS_INLINE VFloat vbroadcast(float x) { return vdupq_n_f32(x); }
+EDGEDRIFT_ALWAYS_INLINE VFloat vload(const float* p) { return vld1q_f32(p); }
+EDGEDRIFT_ALWAYS_INLINE void vstore(float* p, VFloat v) { vst1q_f32(p, v); }
+EDGEDRIFT_ALWAYS_INLINE VFloat vadd(VFloat a, VFloat b) {
+  return vaddq_f32(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vsub(VFloat a, VFloat b) {
+  return vsubq_f32(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vmul(VFloat a, VFloat b) {
+  return vmulq_f32(a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vfmadd(VFloat a, VFloat b, VFloat acc) {
+  return vfmaq_f32(acc, a, b);
+}
+EDGEDRIFT_ALWAYS_INLINE float vreduce_add(VFloat v) { return vaddvq_f32(v); }
+
+#else  // portable: 8-wide unrolled scalar, autovectorizable.
+
+struct VFloat {
+  float lane[8];
+};
+inline constexpr std::size_t kLanesF32 = 8;
+
+EDGEDRIFT_ALWAYS_INLINE VFloat vzero_f() {
+  return VFloat{{0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f}};
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vbroadcast(float x) {
+  return VFloat{{x, x, x, x, x, x, x, x}};
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vload(const float* p) {
+  VFloat r;
+  for (std::size_t i = 0; i < 8; ++i) r.lane[i] = p[i];
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE void vstore(float* p, VFloat v) {
+  for (std::size_t i = 0; i < 8; ++i) p[i] = v.lane[i];
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vadd(VFloat a, VFloat b) {
+  VFloat r;
+  for (std::size_t i = 0; i < 8; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vsub(VFloat a, VFloat b) {
+  VFloat r;
+  for (std::size_t i = 0; i < 8; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vmul(VFloat a, VFloat b) {
+  VFloat r;
+  for (std::size_t i = 0; i < 8; ++i) r.lane[i] = a.lane[i] * b.lane[i];
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE VFloat vfmadd(VFloat a, VFloat b, VFloat acc) {
+  VFloat r;
+  for (std::size_t i = 0; i < 8; ++i) {
+    r.lane[i] = maddf(a.lane[i], b.lane[i], acc.lane[i]);
+  }
+  return r;
+}
+EDGEDRIFT_ALWAYS_INLINE float vreduce_add(VFloat v) {
+  return ((v.lane[0] + v.lane[1]) + (v.lane[2] + v.lane[3])) +
+         ((v.lane[4] + v.lane[5]) + (v.lane[6] + v.lane[7]));
+}
+
+#endif
+
+/// float overload of scaled_accumulate(): y[0:n] += s * x[0:n], one maddf
+/// per element. The body of the f32 GEMM/matvec row kernels.
+EDGEDRIFT_ALWAYS_INLINE void scaled_accumulate(
+    float s, const float* EDGEDRIFT_RESTRICT x, float* EDGEDRIFT_RESTRICT y,
+    std::size_t n) {
+  const VFloat vs = vbroadcast(s);
+  std::size_t j = 0;
+  for (; j + 2 * kLanesF32 <= n; j += 2 * kLanesF32) {
+    vstore(y + j, vfmadd(vs, vload(x + j), vload(y + j)));
+    vstore(y + j + kLanesF32,
+           vfmadd(vs, vload(x + j + kLanesF32), vload(y + j + kLanesF32)));
+  }
+  for (; j + kLanesF32 <= n; j += kLanesF32) {
+    vstore(y + j, vfmadd(vs, vload(x + j), vload(y + j)));
+  }
+  for (; j < n; ++j) y[j] = maddf(s, x[j], y[j]);
+}
+
+/// y[0:n] = s * x[0:n] — the k=0 seed of an f32 GEMM row, saving the
+/// pre-zeroing pass scaled_accumulate would need.
+EDGEDRIFT_ALWAYS_INLINE void scaled_copy(float s,
+                                         const float* EDGEDRIFT_RESTRICT x,
+                                         float* EDGEDRIFT_RESTRICT y,
+                                         std::size_t n) {
+  const VFloat vs = vbroadcast(s);
+  std::size_t j = 0;
+  for (; j + kLanesF32 <= n; j += kLanesF32) {
+    vstore(y + j, vmul(vs, vload(x + j)));
+  }
+  for (; j < n; ++j) y[j] = s * x[j];
+}
+
+/// float overload of the multi-accumulator dot product.
+EDGEDRIFT_ALWAYS_INLINE float dot_product(const float* EDGEDRIFT_RESTRICT a,
+                                          const float* EDGEDRIFT_RESTRICT b,
+                                          std::size_t n) {
+  VFloat acc0 = vzero_f();
+  VFloat acc1 = vzero_f();
+  std::size_t i = 0;
+  for (; i + 2 * kLanesF32 <= n; i += 2 * kLanesF32) {
+    acc0 = vfmadd(vload(a + i), vload(b + i), acc0);
+    acc1 = vfmadd(vload(a + i + kLanesF32), vload(b + i + kLanesF32), acc1);
+  }
+  for (; i + kLanesF32 <= n; i += kLanesF32) {
+    acc0 = vfmadd(vload(a + i), vload(b + i), acc0);
+  }
+  float acc = vreduce_add(vadd(acc0, acc1));
+  for (; i < n; ++i) acc = maddf(a[i], b[i], acc);
+  return acc;
+}
+
 /// y[0:n] += s * x[0:n], one madd-chain link per element. The shared body of
 /// matvec_transposed / ger / axpy and the GEMM reference semantics: per
 /// element this is exactly `y[j] = madd(s, x[j], y[j])`, so any kernel built

@@ -23,6 +23,15 @@ double l2_distance(std::span<const double> a, std::span<const double> b);
 double squared_l2_distance(std::span<const double> a,
                            std::span<const double> b);
 
+/// f32-tier squared L2 distance: float lane set, float accumulators. Used
+/// by the tiered scoring paths; error-bounded, not bit-comparable to the
+/// double overload.
+float squared_l2_distance(std::span<const float> a, std::span<const float> b);
+
+/// dst[i] = (float)src[i] — the f64 -> f32 tier boundary crossing (hidden
+/// activations, probe rows). Sizes must match.
+void narrow(std::span<const double> src, std::span<float> dst);
+
 /// L1 (Manhattan) distance — the metric of the paper's Algorithm 1 line 14.
 double l1_distance(std::span<const double> a, std::span<const double> b);
 

@@ -8,18 +8,24 @@
 // Buffers grow on first use and are then reused, which is what makes the
 // steady-state Pipeline::process() loop perform zero heap allocations
 // per sample (locked in by tests/test_allocation_free.cpp).
+//
+// The f32/i8 buffers are the tiered-scoring scratch (linalg/numerics.hpp):
+// narrowed activations, float reconstructions, int8 codes and the int32
+// dot-product accumulators. They stay empty in the f64 tier — a pipeline
+// that never leaves the reference tier pays zero extra bytes.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 namespace edgedrift::linalg {
 
 /// Grow-only named scratch buffers for the per-sample kernel stack. The
-/// three buffers are distinct because one prediction uses them
-/// simultaneously: scores(num_labels) while each instance fills
-/// recon(input_dim) from hidden(hidden_dim).
+/// buffers are distinct because one prediction uses them simultaneously:
+/// scores(num_labels) while each instance fills recon(input_dim) from
+/// hidden(hidden_dim).
 class KernelWorkspace {
  public:
   /// Hidden-activation scratch (length = hidden_dim).
@@ -31,14 +37,39 @@ class KernelWorkspace {
   /// Per-label score scratch (length = num_labels).
   std::span<double> scores(std::size_t n) { return ensure(scores_, n); }
 
+  /// f32-tier scratch: narrowed input (length = input_dim).
+  std::span<float> input_f32(std::size_t n) { return ensure(input_f32_, n); }
+
+  /// f32-tier scratch: narrowed hidden activation (length = hidden_dim).
+  std::span<float> hidden_f32(std::size_t n) { return ensure(hidden_f32_, n); }
+
+  /// f32/i8-tier scratch: float reconstruction (length = C * input_dim).
+  std::span<float> recon_f32(std::size_t n) { return ensure(recon_f32_, n); }
+
+  /// i8-tier scratch: quantized hidden codes (length = hidden_dim).
+  std::span<std::int8_t> hidden_i8(std::size_t n) {
+    return ensure(hidden_i8_, n);
+  }
+
+  /// i8-tier scratch: int32 dot-product accumulators (length = C * input_dim).
+  std::span<std::int32_t> accum_i32(std::size_t n) {
+    return ensure(accum_i32_, n);
+  }
+
   /// Heap bytes held (memory-audit accounting).
   std::size_t memory_bytes() const {
     return (hidden_.capacity() + recon_.capacity() + scores_.capacity()) *
-           sizeof(double);
+               sizeof(double) +
+           (input_f32_.capacity() + hidden_f32_.capacity() +
+            recon_f32_.capacity()) *
+               sizeof(float) +
+           hidden_i8_.capacity() * sizeof(std::int8_t) +
+           accum_i32_.capacity() * sizeof(std::int32_t);
   }
 
  private:
-  static std::span<double> ensure(std::vector<double>& buf, std::size_t n) {
+  template <typename T>
+  static std::span<T> ensure(std::vector<T>& buf, std::size_t n) {
     if (buf.size() < n) buf.resize(n);
     return {buf.data(), n};
   }
@@ -46,6 +77,11 @@ class KernelWorkspace {
   std::vector<double> hidden_;
   std::vector<double> recon_;
   std::vector<double> scores_;
+  std::vector<float> input_f32_;
+  std::vector<float> hidden_f32_;
+  std::vector<float> recon_f32_;
+  std::vector<std::int8_t> hidden_i8_;
+  std::vector<std::int32_t> accum_i32_;
 };
 
 }  // namespace edgedrift::linalg

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "edgedrift/linalg/matrix.hpp"
+#include "edgedrift/linalg/numerics.hpp"
+#include "edgedrift/linalg/quant.hpp"
 #include "edgedrift/oselm/autoencoder.hpp"
 
 namespace edgedrift::model {
@@ -32,13 +34,33 @@ struct BatchWorkspace {
   linalg::Matrix recon;   ///< rows x (num_labels * input_dim): fused recon.
   linalg::Matrix scores;  ///< rows x num_labels: per-instance MSE scores.
 
+  // Tiered-scoring scratch (empty — zero bytes — in the f64 tier).
+  linalg::MatrixF32 hidden_f32;  ///< Narrowed hidden activations.
+  linalg::MatrixF32 input_f32;   ///< Narrowed input rows (f32 MSE operand).
+  linalg::MatrixF32 recon_f32;   ///< f32/i8 fused reconstruction.
+  linalg::AlignedVector<std::int8_t> q_row;   ///< i8: one row's hidden codes.
+  linalg::AlignedVector<std::int32_t> accum;  ///< i8: int32 accumulators.
+
   /// Pre-grows every buffer to the given batch geometry so the first
-  /// score_batch() call is already allocation-free.
+  /// score_batch() call is already allocation-free. Pass the pipeline's
+  /// tier to also pre-grow that tier's scratch.
   void reserve(std::size_t rows, std::size_t input_dim,
-               std::size_t hidden_dim, std::size_t num_labels) {
+               std::size_t hidden_dim, std::size_t num_labels,
+               linalg::NumericsTier tier = linalg::NumericsTier::kExactF64) {
     hidden.resize_zero(rows, hidden_dim);
     recon.resize_zero(rows, num_labels * input_dim);
     scores.resize_zero(rows, num_labels);
+    if (tier != linalg::NumericsTier::kExactF64) {
+      hidden_f32.resize_zero(rows, hidden_dim);
+      input_f32.resize_zero(rows, input_dim);
+      recon_f32.resize_zero(rows, num_labels * input_dim);
+    }
+    if (tier == linalg::NumericsTier::kQuantI8) {
+      if (q_row.size() < hidden_dim) q_row.resize(hidden_dim);
+      if (accum.size() < num_labels * input_dim) {
+        accum.resize(num_labels * input_dim);
+      }
+    }
   }
 };
 
@@ -137,6 +159,26 @@ class MultiInstanceModel {
   /// reconstructs every instance at once.
   const linalg::Matrix& packed_beta() const { return packed_beta_; }
 
+  /// Selects the scoring tier (linalg/numerics.hpp). Training and the f64
+  /// packed master are untouched in every tier; a non-f64 tier builds its
+  /// shadow replica of the packed beta immediately and keeps it refreshed
+  /// from the master after every beta mutation. Idempotent per tier value.
+  void set_numerics_tier(linalg::NumericsTier tier);
+  linalg::NumericsTier numerics_tier() const { return tier_; }
+
+  /// Monotone counter bumped every time a replica block is re-narrowed /
+  /// re-quantized from the f64 master — the beta_version discipline's twin
+  /// for the approximate tiers. Stays 0 while the model is in the f64 tier.
+  std::uint64_t quantization_epoch() const { return quantization_epoch_; }
+
+  /// The f32 shadow replica (valid while the f32 tier is active).
+  const linalg::MatrixF32& packed_beta_f32() const { return packed_beta_f32_; }
+  /// The int8 replica with per-column scales (valid while the i8 tier is
+  /// active).
+  const linalg::QuantizedMatrix& packed_beta_q() const {
+    return packed_beta_q_;
+  }
+
   /// Bytes: per-instance trainable state plus the shared projection once.
   /// Deliberately excludes the packed ensemble mirror: the device profile
   /// (mcu::StaticPipeline) stores beta exactly once, so the mirror is a
@@ -145,12 +187,12 @@ class MultiInstanceModel {
 
  private:
   /// Fused scorer core: one matvec of the shared hidden activation `h`
-  /// against the packed beta reconstructs every instance into `recon`
-  /// (length num_labels() * input_dim()), then the shared MSE kernel
-  /// reduces each block against x.
+  /// against the active tier's packed beta reconstructs every instance,
+  /// then the shared MSE kernel reduces each block against x. Dispatches on
+  /// tier_; scratch comes from `ws`.
   void scores_from_hidden(std::span<const double> h,
                           std::span<const double> x, std::span<double> out,
-                          std::span<double> recon) const;
+                          linalg::KernelWorkspace& ws) const;
 
   /// Copies instance c's beta into its column block of the packed mirror.
   void repack_block(std::size_t c);
@@ -163,12 +205,30 @@ class MultiInstanceModel {
   /// True when every packed block matches its instance's beta version.
   bool packed_in_sync() const;
 
+  /// Re-derives instance c's column block of the active tier's replica from
+  /// the f64 master (narrow for f32, re-quantize with fresh scales for i8)
+  /// and bumps the quantization epoch. No-op contractually excluded: only
+  /// called when tier_ != kExactF64.
+  void refresh_replica_block(std::size_t c);
+
+  /// True when every replica block was refreshed at its packed version.
+  bool replicas_in_sync() const;
+
   oselm::ProjectionPtr projection_;
   std::vector<oselm::Autoencoder> instances_;
   /// hidden_dim x (num_labels * input_dim): all betas, column-blocked.
   linalg::Matrix packed_beta_;
   /// Per-block OsElm::beta_version() snapshot at the last sync.
   std::vector<std::uint64_t> packed_versions_;
+
+  linalg::NumericsTier tier_ = linalg::NumericsTier::kExactF64;
+  /// f32 shadow of packed_beta_ (kFastF32 tier only).
+  linalg::MatrixF32 packed_beta_f32_;
+  /// int8 + per-column-scale replica of packed_beta_ (kQuantI8 tier only).
+  linalg::QuantizedMatrix packed_beta_q_;
+  /// Per-block packed_versions_ snapshot at the last replica refresh.
+  std::vector<std::uint64_t> replica_versions_;
+  std::uint64_t quantization_epoch_ = 0;
 };
 
 }  // namespace edgedrift::model

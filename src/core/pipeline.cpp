@@ -65,6 +65,7 @@ Pipeline::Pipeline(PipelineConfig config)
                              config_.activation, rng, config_.weight_scale);
   model_ = std::make_unique<model::MultiInstanceModel>(
       config_.num_labels, std::move(projection), config_.reg_lambda);
+  model_->set_numerics_tier(config_.numerics);
   detector_ =
       drift::make_detector(config_.detector, detector_config(config_));
   if (config_.detector.kind == drift::DetectorKind::kCentroid) {
@@ -80,11 +81,18 @@ void Pipeline::fit(const linalg::Matrix& x, std::span<const int> labels) {
   // first process()/process_batch() call after fit() touches the heap zero
   // times (the buffers are grow-only; pinned by tests/test_allocation_free).
   batch_ws_.reserve(config_.max_batch_rows, config_.input_dim,
-                    config_.hidden_dim, config_.num_labels);
+                    config_.hidden_dim, config_.num_labels, config_.numerics);
   chunk_preds_.reserve(config_.max_batch_rows);
   kernel_ws_.hidden(config_.hidden_dim);
   kernel_ws_.recon(config_.num_labels * config_.input_dim);
   kernel_ws_.scores(config_.num_labels);
+  if (config_.numerics != linalg::NumericsTier::kExactF64) {
+    kernel_ws_.input_f32(config_.input_dim);
+    kernel_ws_.hidden_f32(config_.hidden_dim);
+    kernel_ws_.recon_f32(config_.num_labels * config_.input_dim);
+    kernel_ws_.hidden_i8(config_.hidden_dim);
+    kernel_ws_.accum_i32(config_.num_labels * config_.input_dim);
+  }
 
   if (config_.theta_error <= 0.0) {
     // Auto-calibrate the anomaly gate from the training scores: a window

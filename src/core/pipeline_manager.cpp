@@ -59,6 +59,7 @@ void PipelineManager::init_streams(const PipelineConfig& config,
   for (std::size_t i = 0; i < num_streams; ++i) {
     PipelineConfig stream_config = config;
     stream_config.seed = config.seed + i;
+    if (options_.numerics) stream_config.numerics = *options_.numerics;
     auto stream = std::make_unique<Stream>();
     stream->pipeline = std::make_unique<Pipeline>(stream_config);
     stream->slab.resize_zero(options_.queue_capacity, config.input_dim);

@@ -27,6 +27,7 @@ void write_config(Writer& w, const core::PipelineConfig& config) {
   w.write_u64(config.reconstruction.n_update);
   w.write_u64(config.reconstruction.n_total);
   w.write_u64(config.seed);
+  w.write_u32(static_cast<std::uint32_t>(config.numerics));  // Format v2.
 }
 
 bool read_config(Reader& r, core::PipelineConfig& config) {
@@ -58,6 +59,11 @@ bool read_config(Reader& r, core::PipelineConfig& config) {
   config.reconstruction.n_total = u64;
   if (!r.read_u64(u64)) return false;
   config.seed = u64;
+  if (!r.read_u32(u32) ||
+      u32 > static_cast<std::uint32_t>(linalg::NumericsTier::kQuantI8)) {
+    return false;
+  }
+  config.numerics = static_cast<linalg::NumericsTier>(u32);
   return true;
 }
 
@@ -132,17 +138,34 @@ bool save_pipeline(std::ostream& out, const core::Pipeline& pipeline) {
   return w.ok();
 }
 
-std::optional<core::Pipeline> load_pipeline(std::istream& in) {
+std::optional<core::Pipeline> load_pipeline(
+    std::istream& in, std::optional<linalg::NumericsTier> expect_tier,
+    std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
   Reader r(in);
-  if (!r.read_header(kSection)) return std::nullopt;
+  if (!r.read_header(kSection)) {
+    return fail("bad checkpoint header (wrong magic, section, or format "
+                "version; v1 blobs predate the numerics-tier field and must "
+                "be re-saved)");
+  }
 
   core::PipelineConfig config;
   double theta_error = 0.0;
   if (!read_config(r, config) || !r.read_f64(theta_error)) {
-    return std::nullopt;
+    return fail("truncated or corrupt checkpoint config block");
   }
   if (!config_is_sane(config) || !std::isfinite(theta_error)) {
-    return std::nullopt;
+    return fail("checkpoint config failed sanity bounds");
+  }
+  if (expect_tier && *expect_tier != config.numerics) {
+    return fail(std::string("checkpoint numerics tier is '") +
+                linalg::tier_name(config.numerics) + "' but this restore "
+                "site expects '" + linalg::tier_name(*expect_tier) +
+                "' — tiers are part of the drift-decision contract and "
+                "cannot be swapped on restore");
   }
   // Construct with the persisted effective gate so the rebuilt detector
   // carries it from the start.
@@ -153,12 +176,14 @@ std::optional<core::Pipeline> load_pipeline(std::istream& in) {
   // Verify projection integrity (same seed => identical weights).
   linalg::Matrix alpha;
   std::vector<double> bias;
-  if (!r.read_matrix(alpha) || !r.read_doubles(bias)) return std::nullopt;
+  if (!r.read_matrix(alpha) || !r.read_doubles(bias)) {
+    return fail("truncated projection block");
+  }
   const auto& projection = *pipeline.model().projection();
   if (alpha.rows() != projection.alpha().rows() ||
       alpha.cols() != projection.alpha().cols() ||
       linalg::Matrix::max_abs_diff(alpha, projection.alpha()) != 0.0) {
-    return std::nullopt;
+    return fail("projection weights diverge from the persisted seed");
   }
 
   // Instance states.
@@ -200,7 +225,7 @@ std::optional<core::Pipeline> load_pipeline(std::istream& in) {
       calibrated_counts.size() != config.num_labels) {
     return std::nullopt;
   }
-  if (!r.verify_checksum()) return std::nullopt;
+  if (!r.verify_checksum()) return fail("checkpoint checksum mismatch");
   // The restored config carries the default (centroid) detector spec, so
   // the rebuilt pipeline always has a centroid detector to restore into.
   pipeline.centroid_detector_mutable()->restore(trained, recent, counts,
@@ -218,10 +243,15 @@ bool save_pipeline_file(const std::string& path,
   return save_pipeline(out, pipeline);
 }
 
-std::optional<core::Pipeline> load_pipeline_file(const std::string& path) {
+std::optional<core::Pipeline> load_pipeline_file(
+    const std::string& path, std::optional<linalg::NumericsTier> expect_tier,
+    std::string* error) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  return load_pipeline(in);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return load_pipeline(in, expect_tier, error);
 }
 
 }  // namespace edgedrift::io

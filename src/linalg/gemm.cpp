@@ -293,6 +293,70 @@ void matvec_transposed(const Matrix& a, std::span<const double> x,
   }
 }
 
+void matvec_transposed(const MatrixF32& a, std::span<const float> x,
+                       std::span<float> y) {
+  EDGEDRIFT_ASSERT(a.rows() == x.size(), "matvec_t input size mismatch");
+  EDGEDRIFT_ASSERT(a.cols() == y.size(), "matvec_t output size mismatch");
+  const std::size_t n = a.cols();
+  float* EDGEDRIFT_RESTRICT yp = y.data();
+  if (a.rows() == 0) {
+    std::fill(y.begin(), y.end(), 0.0f);
+    return;
+  }
+  // Row 0 seeds the chain through scaled_copy — no pre-zeroing pass.
+  simd::scaled_copy(x[0], a.data(), yp, n);
+  for (std::size_t i = 1; i < a.rows(); ++i) {
+    simd::scaled_accumulate(x[i], a.data() + i * n, yp, n);
+  }
+}
+
+namespace {
+
+/// C[row_lo:row_hi) = A * B, f32. Each output row is a matvec_transposed of
+/// B against A's row: scaled_copy seeds at k=0, ascending-k
+/// scaled_accumulate links after — one maddf chain per element, no output
+/// pre-zeroing, B read straight from cache.
+void matmul_rows_f32(ConstMatrixViewT<float> a, const MatrixF32& b,
+                     MatrixF32& c, std::size_t row_lo, std::size_t row_hi) {
+  const std::size_t k_dim = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i = row_lo; i < row_hi; ++i) {
+    const float* EDGEDRIFT_RESTRICT arow = a.data() + i * k_dim;
+    float* EDGEDRIFT_RESTRICT crow = c.data() + i * n;
+    if (k_dim == 0) {
+      std::fill(crow, crow + n, 0.0f);
+      continue;
+    }
+    simd::scaled_copy(arow[0], b.data(), crow, n);
+    for (std::size_t kk = 1; kk < k_dim; ++kk) {
+      simd::scaled_accumulate(arow[kk], b.data() + kk * n, crow, n);
+    }
+  }
+}
+
+}  // namespace
+
+void matmul_into(ConstMatrixViewT<float> a, const MatrixF32& b, MatrixF32& c) {
+  EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
+  c.resize_discard(a.rows(), b.cols());
+  matmul_rows_f32(a, b, c, 0, a.rows());
+}
+
+void matmul_parallel_into(ConstMatrixViewT<float> a, const MatrixF32& b,
+                          MatrixF32& c) {
+  EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
+  c.resize_discard(a.rows(), b.cols());
+  const std::size_t flops = a.rows() * a.cols() * b.cols();
+  if (flops < (1u << 20)) {
+    matmul_rows_f32(a, b, c, 0, a.rows());
+    return;
+  }
+  util::ThreadPool::global().parallel_for(
+      0, a.rows(),
+      [&](std::size_t lo, std::size_t hi) { matmul_rows_f32(a, b, c, lo, hi); },
+      /*min_chunk=*/16);
+}
+
 void ger(Matrix& a, double alpha, std::span<const double> u,
          std::span<const double> v) {
   EDGEDRIFT_ASSERT(a.rows() == u.size() && a.cols() == v.size(),

@@ -1,129 +1,33 @@
 #include "edgedrift/linalg/matrix.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "edgedrift/util/rng.hpp"
 
 namespace edgedrift::linalg {
 
-Matrix::Matrix(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
-
-Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
-
-Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
-  rows_ = init.size();
-  cols_ = rows_ == 0 ? 0 : init.begin()->size();
-  data_.reserve(rows_ * cols_);
-  for (const auto& row : init) {
-    EDGEDRIFT_ASSERT(row.size() == cols_, "ragged initializer list");
-    data_.insert(data_.end(), row.begin(), row.end());
-  }
-}
-
-void Matrix::resize_zero(std::size_t rows, std::size_t cols) {
-  rows_ = rows;
-  cols_ = cols;
-  const std::size_t n = rows * cols;
-  // Grow-only: once a workspace matrix has reached its high-water capacity,
-  // repeat batches of any size up to it must not touch the heap (the batch
-  // scoring loop relies on this; pinned by tests/test_allocation_free.cpp).
-  // vector::resize never reallocates when n <= capacity; assign() makes no
-  // such guarantee, so it is only used on genuine growth.
-  if (n <= data_.capacity()) {
-    data_.resize(n);
-    std::fill(data_.begin(), data_.end(), 0.0);
-  } else {
-    data_.assign(n, 0.0);
-  }
-}
-
-void Matrix::resize_discard(std::size_t rows, std::size_t cols) {
-  rows_ = rows;
-  cols_ = cols;
-  // Same grow-only guarantee as resize_zero; newly exposed elements keep
-  // whatever value the storage held (zero only on genuine growth, where
-  // vector::resize value-initializes the tail).
-  data_.resize(rows * cols);
-}
-
-void Matrix::fill(double value) {
-  std::fill(data_.begin(), data_.end(), value);
-}
-
-void Matrix::set_row(std::size_t r, std::span<const double> src) {
-  EDGEDRIFT_ASSERT(r < rows_, "row index out of range");
-  EDGEDRIFT_ASSERT(src.size() == cols_, "row length mismatch");
-  std::copy(src.begin(), src.end(), data_.begin() + r * cols_);
-}
-
-Matrix Matrix::transposed() const {
-  Matrix out(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      out(c, r) = (*this)(r, c);
-    }
-  }
+// The rng-dependent factories live here so matrix.hpp does not pull in the
+// Rng header; everything else is inline in the header since the
+// templatization. The static_cast matters only for the int8 instantiation
+// (test fixtures drawing small integer payloads); double/float narrow as
+// usual.
+template <typename T>
+MatrixT<T> MatrixT<T>::random_uniform(std::size_t rows, std::size_t cols,
+                                      util::Rng& rng, double lo, double hi) {
+  MatrixT out(rows, cols);
+  for (auto& v : out.data_) v = static_cast<T>(rng.uniform(lo, hi));
   return out;
 }
 
-Matrix Matrix::slice_rows(std::size_t begin, std::size_t end) const {
-  EDGEDRIFT_ASSERT(begin <= end && end <= rows_, "slice_rows out of range");
-  Matrix out(end - begin, cols_);
-  std::copy(data_.begin() + begin * cols_, data_.begin() + end * cols_,
-            out.data_.begin());
+template <typename T>
+MatrixT<T> MatrixT<T>::random_gaussian(std::size_t rows, std::size_t cols,
+                                       util::Rng& rng, double stddev) {
+  MatrixT out(rows, cols);
+  for (auto& v : out.data_) v = static_cast<T>(rng.gaussian(0.0, stddev));
   return out;
 }
 
-Matrix& Matrix::operator+=(const Matrix& other) {
-  EDGEDRIFT_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
-                   "shape mismatch in +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
-  return *this;
-}
-
-Matrix& Matrix::operator-=(const Matrix& other) {
-  EDGEDRIFT_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
-                   "shape mismatch in -=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
-  return *this;
-}
-
-Matrix& Matrix::operator*=(double scalar) {
-  for (auto& v : data_) v *= scalar;
-  return *this;
-}
-
-double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
-  EDGEDRIFT_ASSERT(a.rows_ == b.rows_ && a.cols_ == b.cols_,
-                   "shape mismatch in max_abs_diff");
-  double worst = 0.0;
-  for (std::size_t i = 0; i < a.data_.size(); ++i) {
-    worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
-  }
-  return worst;
-}
-
-Matrix Matrix::identity(std::size_t n) {
-  Matrix out(n, n);
-  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
-  return out;
-}
-
-Matrix Matrix::random_uniform(std::size_t rows, std::size_t cols,
-                              util::Rng& rng, double lo, double hi) {
-  Matrix out(rows, cols);
-  for (auto& v : out.data_) v = rng.uniform(lo, hi);
-  return out;
-}
-
-Matrix Matrix::random_gaussian(std::size_t rows, std::size_t cols,
-                               util::Rng& rng, double stddev) {
-  Matrix out(rows, cols);
-  for (auto& v : out.data_) v = rng.gaussian(0.0, stddev);
-  return out;
-}
+// The three tier scalars of the numerics contract (linalg/numerics.hpp).
+template class MatrixT<double>;
+template class MatrixT<float>;
+template class MatrixT<std::int8_t>;
 
 }  // namespace edgedrift::linalg

@@ -70,6 +70,41 @@ double squared_l2_distance(std::span<const double> a,
   return acc;
 }
 
+float squared_l2_distance(std::span<const float> a, std::span<const float> b) {
+  EDGEDRIFT_DASSERT(a.size() == b.size(), "distance size mismatch");
+  using simd::VFloat;
+  const float* EDGEDRIFT_RESTRICT pa = a.data();
+  const float* EDGEDRIFT_RESTRICT pb = b.data();
+  const std::size_t n = a.size();
+  VFloat acc0 = simd::vzero_f();
+  VFloat acc1 = simd::vzero_f();
+  std::size_t i = 0;
+  for (; i + 2 * simd::kLanesF32 <= n; i += 2 * simd::kLanesF32) {
+    const VFloat d0 = simd::vsub(simd::vload(pa + i), simd::vload(pb + i));
+    const VFloat d1 = simd::vsub(simd::vload(pa + i + simd::kLanesF32),
+                                 simd::vload(pb + i + simd::kLanesF32));
+    acc0 = simd::vfmadd(d0, d0, acc0);
+    acc1 = simd::vfmadd(d1, d1, acc1);
+  }
+  for (; i + simd::kLanesF32 <= n; i += simd::kLanesF32) {
+    const VFloat d = simd::vsub(simd::vload(pa + i), simd::vload(pb + i));
+    acc0 = simd::vfmadd(d, d, acc0);
+  }
+  float acc = simd::vreduce_add(simd::vadd(acc0, acc1));
+  for (; i < n; ++i) {
+    const float d = pa[i] - pb[i];
+    acc = simd::maddf(d, d, acc);
+  }
+  return acc;
+}
+
+void narrow(std::span<const double> src, std::span<float> dst) {
+  EDGEDRIFT_DASSERT(src.size() == dst.size(), "narrow size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<float>(src[i]);
+  }
+}
+
 double l1_distance(std::span<const double> a, std::span<const double> b) {
   EDGEDRIFT_DASSERT(a.size() == b.size(), "distance size mismatch");
   using simd::VDouble;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "edgedrift/linalg/gemm.hpp"
+#include "edgedrift/linalg/simd.hpp"
 #include "edgedrift/linalg/vector_ops.hpp"
 #include "edgedrift/util/assert.hpp"
 #include "edgedrift/util/thread_pool.hpp"
@@ -24,6 +25,52 @@ MultiInstanceModel::MultiInstanceModel(std::size_t num_labels,
   packed_beta_.resize_zero(projection_->hidden_dim(),
                            num_labels * projection_->input_dim());
   packed_versions_.assign(num_labels, 0);
+  replica_versions_.assign(num_labels, 0);
+}
+
+void MultiInstanceModel::set_numerics_tier(linalg::NumericsTier tier) {
+  tier_ = tier;
+  if (tier_ == linalg::NumericsTier::kExactF64) return;
+  // Size the active tier's replica (grow-only storage), then derive every
+  // block from the f64 master so the replica is valid before the first
+  // tiered score.
+  if (tier_ == linalg::NumericsTier::kFastF32) {
+    packed_beta_f32_.resize_discard(packed_beta_.rows(), packed_beta_.cols());
+  } else {
+    packed_beta_q_.q.resize_discard(packed_beta_.rows(), packed_beta_.cols());
+    if (packed_beta_q_.scales.size() < packed_beta_.cols()) {
+      packed_beta_q_.scales.resize(packed_beta_.cols());
+    }
+  }
+  for (std::size_t c = 0; c < num_labels(); ++c) refresh_replica_block(c);
+}
+
+void MultiInstanceModel::refresh_replica_block(std::size_t c) {
+  const std::size_t n = input_dim();
+  const std::size_t stride = packed_beta_.cols();
+  if (tier_ == linalg::NumericsTier::kFastF32) {
+    for (std::size_t i = 0; i < hidden_dim(); ++i) {
+      const double* EDGEDRIFT_RESTRICT src =
+          packed_beta_.data() + i * stride + c * n;
+      float* EDGEDRIFT_RESTRICT dst =
+          packed_beta_f32_.data() + i * stride + c * n;
+      for (std::size_t j = 0; j < n; ++j) dst[j] = static_cast<float>(src[j]);
+    }
+  } else {
+    // Fresh per-column scales for the block: a rank-1 train step can move
+    // a column's max|w|, and a stale scale would silently saturate.
+    linalg::quantize_block(packed_beta_, packed_beta_q_, c * n, n);
+  }
+  replica_versions_[c] = packed_versions_[c];
+  ++quantization_epoch_;
+}
+
+bool MultiInstanceModel::replicas_in_sync() const {
+  if (tier_ == linalg::NumericsTier::kExactF64) return true;
+  for (std::size_t c = 0; c < num_labels(); ++c) {
+    if (replica_versions_[c] != packed_versions_[c]) return false;
+  }
+  return true;
 }
 
 void MultiInstanceModel::init_train(const linalg::Matrix& x,
@@ -64,6 +111,9 @@ void MultiInstanceModel::init_train(const linalg::Matrix& x,
         }
       },
       /*min_chunk=*/1);
+  if (tier_ != linalg::NumericsTier::kExactF64) {
+    for (std::size_t c = 0; c < num_labels(); ++c) refresh_replica_block(c);
+  }
 }
 
 void MultiInstanceModel::init_sequential() {
@@ -74,21 +124,60 @@ void MultiInstanceModel::init_sequential() {
 void MultiInstanceModel::scores_from_hidden(std::span<const double> h,
                                             std::span<const double> x,
                                             std::span<double> out,
-                                            std::span<double> recon) const {
+                                            linalg::KernelWorkspace& ws) const {
   EDGEDRIFT_DASSERT(packed_in_sync(), "packed ensemble beta out of sync");
+  EDGEDRIFT_DASSERT(replicas_in_sync(), "tier replica missed a beta update");
   const std::size_t n = input_dim();
-  // One matvec against the packed [L x C*n] beta reconstructs all C
-  // instances: element c*n+j is the same ascending-i madd chain the
-  // per-instance matvec_transposed produces for instance c's element j
-  // (scaled_accumulate is element-wise, so the strided block rounds exactly
-  // like the dense per-instance run).
-  linalg::matvec_transposed(packed_beta_, h, recon);
-  for (std::size_t c = 0; c < num_labels(); ++c) {
-    // Same squared_l2_distance kernel as the per-instance score() — one
-    // shared MSE reduction keeps the fused path bit-identical.
-    out[c] = linalg::squared_l2_distance(
-                 x, recon.subspan(c * n, n)) /
-             static_cast<double>(n);
+  const std::size_t total = num_labels() * n;
+  switch (tier_) {
+    case linalg::NumericsTier::kExactF64: {
+      const std::span<double> recon = ws.recon(total);
+      // One matvec against the packed [L x C*n] beta reconstructs all C
+      // instances: element c*n+j is the same ascending-i madd chain the
+      // per-instance matvec_transposed produces for instance c's element j
+      // (scaled_accumulate is element-wise, so the strided block rounds
+      // exactly like the dense per-instance run).
+      linalg::matvec_transposed(packed_beta_, h, recon);
+      for (std::size_t c = 0; c < num_labels(); ++c) {
+        // Same squared_l2_distance kernel as the per-instance score() — one
+        // shared MSE reduction keeps the fused path bit-identical.
+        out[c] = linalg::squared_l2_distance(x, recon.subspan(c * n, n)) /
+                 static_cast<double>(n);
+      }
+      return;
+    }
+    case linalg::NumericsTier::kFastF32: {
+      const std::span<float> hf = ws.hidden_f32(hidden_dim());
+      const std::span<float> xf = ws.input_f32(n);
+      const std::span<float> rf = ws.recon_f32(total);
+      linalg::narrow(h, hf);
+      linalg::narrow(x, xf);
+      linalg::matvec_transposed(packed_beta_f32_, hf, rf);
+      for (std::size_t c = 0; c < num_labels(); ++c) {
+        out[c] = static_cast<double>(
+                     linalg::squared_l2_distance(xf, rf.subspan(c * n, n))) /
+                 static_cast<double>(n);
+      }
+      return;
+    }
+    case linalg::NumericsTier::kQuantI8: {
+      const std::span<float> xf = ws.input_f32(n);
+      const std::span<float> rf = ws.recon_f32(total);
+      const std::span<std::int8_t> qh = ws.hidden_i8(hidden_dim());
+      const std::span<std::int32_t> acc = ws.accum_i32(total);
+      linalg::narrow(x, xf);
+      // Dynamic per-vector quantization of the hidden activation; the
+      // integer matvec is exact, so the tier's error is just the two grids.
+      const float h_scale = linalg::quantize_vector(h, qh);
+      linalg::i8_matvec_transposed_dequant(packed_beta_q_, qh, h_scale, acc,
+                                           rf);
+      for (std::size_t c = 0; c < num_labels(); ++c) {
+        out[c] = static_cast<double>(
+                     linalg::squared_l2_distance(xf, rf.subspan(c * n, n))) /
+                 static_cast<double>(n);
+      }
+      return;
+    }
   }
 }
 
@@ -100,7 +189,7 @@ void MultiInstanceModel::scores(std::span<const double> x,
                    "scores() before initialization");
   const std::span<double> h = ws.hidden(hidden_dim());
   projection_->hidden(x, h);
-  scores_from_hidden(h, x, out, ws.recon(num_labels() * input_dim()));
+  scores_from_hidden(h, x, out, ws);
 }
 
 void MultiInstanceModel::scores(std::span<const double> x,
@@ -157,23 +246,58 @@ void MultiInstanceModel::score_batch(linalg::ConstMatrixView x,
     EDGEDRIFT_ASSERT(inst.initialized(), "score_batch() before initialization");
   }
   EDGEDRIFT_DASSERT(packed_in_sync(), "packed ensemble beta out of sync");
+  EDGEDRIFT_DASSERT(replicas_in_sync(), "tier replica missed a beta update");
   projection_->hidden_batch_into(x, ws.hidden);
-  // R = H * packed_beta, one fused [rows x C*n] GEMM: row r, columns
-  // [c*n, (c+1)*n) are bit-identical to instance c's scalar reconstruction
-  // of row r (same ascending-k accumulation order in both kernels).
-  linalg::matmul_parallel_into(ws.hidden, packed_beta_, ws.recon);
   ws.scores.resize_discard(x.rows(), num_labels());  // Fully written below.
   const std::size_t n = x.cols();
   const std::size_t packed_n = packed_beta_.cols();
+
+  if (tier_ == linalg::NumericsTier::kExactF64) {
+    // R = H * packed_beta, one fused [rows x C*n] GEMM: row r, columns
+    // [c*n, (c+1)*n) are bit-identical to instance c's scalar reconstruction
+    // of row r (same ascending-k accumulation order in both kernels).
+    linalg::matmul_parallel_into(ws.hidden, packed_beta_, ws.recon);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const std::span<const double> xr{x.data() + r * n, n};
+      const double* recon_row = ws.recon.data() + r * packed_n;
+      for (std::size_t label = 0; label < num_labels(); ++label) {
+        // Same squared_l2_distance kernel as the scalar score() — one shared
+        // MSE reduction, so batch and scalar scores agree bit-for-bit.
+        const std::span<const double> rr{recon_row + label * n, n};
+        ws.scores(r, label) =
+            linalg::squared_l2_distance(xr, rr) / static_cast<double>(n);
+      }
+    }
+    return;
+  }
+
+  // Approximate tiers: narrow the activations and inputs once per chunk,
+  // reconstruct against the tier's replica, reduce the MSE in f32. The
+  // projection stays f64 (it is shared with training), so the tier boundary
+  // is exactly the packed-beta product plus the reduction.
+  ws.hidden_f32.resize_discard(x.rows(), hidden_dim());
+  ws.input_f32.resize_discard(x.rows(), n);
+  linalg::narrow(ws.hidden.flat(), ws.hidden_f32.flat());
   for (std::size_t r = 0; r < x.rows(); ++r) {
-    const std::span<const double> xr{x.data() + r * n, n};
-    const double* recon_row = ws.recon.data() + r * packed_n;
+    linalg::narrow(x.row(r), ws.input_f32.row(r));
+  }
+  if (tier_ == linalg::NumericsTier::kFastF32) {
+    linalg::matmul_parallel_into(ws.hidden_f32, packed_beta_f32_,
+                                 ws.recon_f32);
+  } else {
+    if (ws.q_row.size() < hidden_dim()) ws.q_row.resize(hidden_dim());
+    if (ws.accum.size() < packed_n) ws.accum.resize(packed_n);
+    linalg::i8_gemm_dequant(ws.hidden_f32, packed_beta_q_, ws.recon_f32,
+                            ws.q_row, ws.accum);
+  }
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::span<const float> xr{ws.input_f32.data() + r * n, n};
+    const float* recon_row = ws.recon_f32.data() + r * packed_n;
     for (std::size_t label = 0; label < num_labels(); ++label) {
-      // Same squared_l2_distance kernel as the scalar score() — one shared
-      // MSE reduction, so batch and scalar scores agree bit-for-bit.
-      const std::span<const double> rr{recon_row + label * n, n};
+      const std::span<const float> rr{recon_row + label * n, n};
       ws.scores(r, label) =
-          linalg::squared_l2_distance(xr, rr) / static_cast<double>(n);
+          static_cast<double>(linalg::squared_l2_distance(xr, rr)) /
+          static_cast<double>(n);
     }
   }
 }
@@ -219,7 +343,7 @@ Prediction MultiInstanceModel::train_closest(std::span<const double> x,
   const std::span<double> h = ws.hidden(hidden_dim());
   projection_->hidden(x, h);
   const std::span<double> s = ws.scores(num_labels());
-  scores_from_hidden(h, x, s, ws.recon(num_labels() * input_dim()));
+  scores_from_hidden(h, x, s, ws);
   const Prediction pred = argmin_score(s);
   instances_[pred.label].train_from_hidden(h, x);
   sync_block_after_train(pred.label);
@@ -279,6 +403,9 @@ void MultiInstanceModel::repack_block(std::size_t c) {
     std::copy(src, src + n, packed_beta_.data() + i * stride + c * n);
   }
   packed_versions_[c] = net.beta_version();
+  // Replica refresh is the CALLER's duty after repack_block: init_train
+  // fans repack_block over the pool, and refresh_replica_block bumps the
+  // shared quantization epoch, which must stay single-threaded.
 }
 
 void MultiInstanceModel::sync_block_after_train(std::size_t c) {
@@ -291,10 +418,19 @@ void MultiInstanceModel::sync_block_after_train(std::size_t c) {
   linalg::ger_block(packed_beta_, c * input_dim(), 1.0, net.last_update_ph(),
                     net.last_update_err());
   packed_versions_[c] = net.beta_version();
+  // Approximate tiers re-derive the whole block from the mutated master:
+  // a rank-1 step can move a column's max|w|, so the i8 scales must be
+  // recomputed, and replaying the update in f32 would drift from the master
+  // over many steps. Full re-narrow/re-quantize keeps the replica's error a
+  // pure function of the current master.
+  if (tier_ != linalg::NumericsTier::kExactF64) refresh_replica_block(c);
 }
 
 void MultiInstanceModel::repack_ensemble() {
-  for (std::size_t c = 0; c < num_labels(); ++c) repack_block(c);
+  for (std::size_t c = 0; c < num_labels(); ++c) {
+    repack_block(c);
+    if (tier_ != linalg::NumericsTier::kExactF64) refresh_replica_block(c);
+  }
 }
 
 bool MultiInstanceModel::packed_in_sync() const {
