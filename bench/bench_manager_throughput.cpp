@@ -34,10 +34,19 @@
 // tools/check_obs_overhead.py, which perf-smoke CI uses to pin the obs
 // recording cost under its budget. Pass `--stats-json <path>` to also
 // dump the obs=on manager's edgedrift-obs-v1 snapshot.
+//
+// The nsl-kdd-c23 section additionally sweeps the serving shards (1/2/4/8
+// core-pinned workers × hot=all|half) — those records feed
+// tools/check_shard_scaling.py, which gates drain-scaling efficiency
+// normalized by the runner's core count — and a final stream-density
+// section seeds 100k streams cold from one template and measures
+// end-to-end restore+drain+evict throughput over a rotating touched
+// subset under a 64-stream hot budget.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -289,6 +298,137 @@ int main(int argc, char** argv) {
     config.num_labels = classes.size();
 
     run_modes("nsl-kdd-c23", config, train, stationary.x, 8, table, records);
+
+    // Shard sweep at 8 streams, batch drain: 1/2/4/8 core-pinned shards,
+    // each at two hot ratios — hot=all (no eviction, pure drain scaling)
+    // and hot=half (the per-shard budget halved, so every rep pays
+    // evict/restore churn on top of the drain). All eight managers run
+    // interleaved rep by rep, best-of. The drain work is per-stream
+    // independent, so the hot=all speedup should track min(shards, cores);
+    // perf-smoke normalizes exactly that way (tools/check_shard_scaling.py)
+    // and this host's core count is printed with the records.
+    {
+      core::PipelineConfig frozen = config;
+      frozen.recovery = core::RecoveryPolicy::kDetectOnly;
+      constexpr std::size_t kStreams = 8;
+      std::vector<ModeRun> sweep;
+      for (const std::size_t shards : {1UL, 2UL, 4UL, 8UL}) {
+        for (const bool limit_hot : {false, true}) {
+          ModeRun m;
+          m.label = "shards=" + std::to_string(shards) +
+                    (limit_hot ? "/hot=half" : "/hot=all");
+          m.options.queue_capacity = stationary.x.rows();
+          m.options.shards = shards;
+          m.options.pin_cores = true;
+          if (limit_hot) {
+            // Half the per-shard stream load, at least one resident.
+            m.options.hot_stream_budget =
+                std::max<std::size_t>(1, kStreams / (2 * shards));
+          }
+          m.manager = std::make_unique<core::PipelineManager>(
+              frozen, kStreams, m.options);
+          for (std::size_t s = 0; s < kStreams; ++s) {
+            m.manager->fit(s, train.x, train.labels);
+          }
+          sweep.push_back(std::move(m));
+        }
+      }
+      for (std::size_t rep = 0; rep < kReps; ++rep) {
+        for (ModeRun& m : sweep) {
+          const double sps = run_rep(*m.manager, stationary.x, true);
+          m.best_samples_per_second =
+              std::max(m.best_samples_per_second, sps);
+          for (std::size_t s = 0; s < kStreams; ++s) m.manager->take_steps(s);
+        }
+      }
+      const double one_shard = sweep[0].best_samples_per_second;
+      for (const ModeRun& m : sweep) {
+        const double sps = m.best_samples_per_second;
+        table.add_row({"nsl-kdd-c23", "8", "batch/" + m.label,
+                       util::fmt(sps > 0.0 ? 1e9 / sps : 0.0, 0),
+                       util::fmt(sps / 1e3, 1),
+                       util::fmt(one_shard > 0.0 ? sps / one_shard : 0.0,
+                                 2)});
+        records.push_back(make_record(
+            "nsl-kdd-c23/streams=8/drain=batch/" + m.label, sps));
+      }
+      const obs::Snapshot snap = sweep.back().manager->stats();
+      std::uint64_t evictions = 0;
+      std::uint64_t restores = 0;
+      bool pinned = true;
+      for (const obs::ShardSnapshot& sh : snap.shards) {
+        evictions += sh.evictions;
+        restores += sh.restores;
+        pinned = pinned && sh.pinned;
+      }
+      std::printf(
+          "shard sweep: %u cores, shards=8/hot=half saw %llu evictions / "
+          "%llu restores, workers pinned: %s\n",
+          std::thread::hardware_concurrency(),
+          static_cast<unsigned long long>(evictions),
+          static_cast<unsigned long long>(restores),
+          pinned ? "yes" : "no");
+    }
+  }
+
+  // Stream-density run: registered-stream scale is bounded by cold-store
+  // bytes, not resident models. One fitted template seeds 100k streams
+  // cold (seed_cold_from: one checkpoint blob shared by the whole
+  // population); a rotating subset is then touched with short blocks, so
+  // every touch pays a restore and the budget keeps evicting behind it.
+  // Reported throughput is end-to-end: restore + ingest + drain + evict.
+  {
+    constexpr std::size_t kRegistered = 100000;
+    constexpr std::size_t kTouched = 512;
+    constexpr std::size_t kBlock = 32;
+    constexpr std::size_t kPasses = 2;
+
+    data::NslKddLikeConfig stream_config;
+    stream_config.train_size = 6000;
+    util::Rng train_rng(2033);
+    util::Rng stream_rng(2034);
+    const data::Dataset train = data::NslKddLike().training(train_rng);
+    const data::Dataset stationary =
+        data::NslKddLike(stream_config).training(stream_rng);
+    core::PipelineConfig config = bench::nsl_kdd_config().pipeline;
+    config.input_dim = train.dim();
+    config.recovery = core::RecoveryPolicy::kDetectOnly;
+
+    core::ManagerOptions options;
+    options.queue_capacity = kBlock;
+    options.shards = 4;
+    options.hot_stream_budget = 16;  // 64 hot across 4 shards.
+    core::PipelineManager manager(config, 1, options);
+    manager.fit(0, train.x, train.labels);
+    const std::size_t first = manager.seed_cold_from(0, kRegistered - 1);
+
+    linalg::Matrix block(kBlock, train.dim());
+    for (std::size_t r = 0; r < kBlock; ++r) {
+      block.set_row(r, stationary.x.row(r));
+    }
+    const std::size_t stride = (kRegistered - 1) / kTouched;
+    util::Stopwatch clock;
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+      for (std::size_t t = 0; t < kTouched; ++t) {
+        manager.submit_batch(first + t * stride, block);
+      }
+      manager.drain();
+    }
+    const double seconds = clock.elapsed_seconds();
+    const double sps =
+        seconds > 0.0
+            ? static_cast<double>(kTouched * kBlock * kPasses) / seconds
+            : 0.0;
+    table.add_row({"nsl-kdd", "100k", "density/hot=64",
+                   util::fmt(sps > 0.0 ? 1e9 / sps : 0.0, 0),
+                   util::fmt(sps / 1e3, 1), "-"});
+    records.push_back(make_record(
+        "nsl-kdd/density/registered=100k/hot=64/touched=512", sps));
+    std::printf(
+        "density: %zu registered, %zu resident / %zu cold after %zu "
+        "touched-stream passes\n",
+        manager.num_streams(), manager.hot_streams(),
+        manager.cold_streams(), kPasses);
   }
 
   // Cooling-fan spectra (d=511, C=1): the wide-input regime where the

@@ -6,6 +6,8 @@
 //         [continued] --method quanttree --drift-at 5000
 //   $ ./example_edgedrift_cli --dataset nslkdd --method proposed
 //         [continued] --series 500 --checkpoint /tmp/model.bin
+//   $ ./example_edgedrift_cli --dataset nslkdd --streams 100000
+//         [continued] --shards 4 --hot-streams 64 --pin-cores
 //
 // Options:
 //   --dataset nslkdd | fan-sudden | fan-gradual | fan-reoccurring
@@ -31,6 +33,16 @@
 //                   available for pipeline-backed methods (proposed,
 //                   quanttree, spll, multiwindow) and any --detector
 //   --stats-json P  write the snapshot as edgedrift-obs-v1 JSON to P
+//   --streams N     serve mode: register N streams with PipelineManager
+//                   (stream 0 fitted, the rest seeded cold from it) and
+//                   replay the test stream round-robin across them; reports
+//                   aggregate throughput, residency and eviction counters.
+//                   Proposed-method (centroid) pipelines only — the
+//                   checkpoint format behind eviction requires it
+//   --shards N      serve mode: independent core-affine shards  (default 1)
+//   --hot-streams N serve mode: resident streams each shard keeps; evicted
+//                   streams go to the cold store        (default 0 = all hot)
+//   --pin-cores     serve mode: pin each shard's drain worker to a core
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +50,7 @@
 #include <string>
 
 #include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/core/pipeline_manager.hpp"
 #include "edgedrift/data/cooling_fan_like.hpp"
 #include "edgedrift/data/csv.hpp"
 #include "edgedrift/drift/detector_factory.hpp"
@@ -69,6 +82,10 @@ struct Options {
   std::string checkpoint;
   bool stats = false;
   std::string stats_json;
+  std::size_t streams = 0;
+  std::size_t shards = 1;
+  std::size_t hot_streams = 0;
+  bool pin_cores = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -82,7 +99,9 @@ struct Options {
                "          [--numerics f64|f32|i8]\n"
                "          [--window N] [--drift-at N] [--seed N]\n"
                "          [--series N] [--checkpoint PATH]\n"
-               "          [--stats] [--stats-json PATH]\n",
+               "          [--stats] [--stats-json PATH]\n"
+               "          [--streams N] [--shards N] [--hot-streams N]\n"
+               "          [--pin-cores]\n",
                argv0);
   std::exit(2);
 }
@@ -122,6 +141,14 @@ bool parse_options(int argc, char** argv, Options& opts) {
       opts.stats = true;
     } else if (arg == "--stats-json") {
       opts.stats_json = next();
+    } else if (arg == "--streams") {
+      opts.streams = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--shards") {
+      opts.shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--hot-streams") {
+      opts.hot_streams = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--pin-cores") {
+      opts.pin_cores = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -182,6 +209,72 @@ eval::ExperimentResult run_detector(drift::DetectorKind kind,
     obs_out->streams.push_back(pipeline.obs().snapshot(0));
   }
   return result;
+}
+
+/// Serve mode: replays the test stream round-robin across `--streams`
+/// managed streams through the sharded serving layer (stream 0 fitted from
+/// the training set, the rest seeded cold from it), then reports aggregate
+/// throughput, residency and the eviction/restore counters.
+int run_serve(const Options& opts, const data::Dataset& train,
+              const data::Dataset& test,
+              const eval::ExperimentConfig& config) {
+  core::PipelineConfig pc = config.pipeline;
+  pc.input_dim = train.dim();
+
+  core::ManagerOptions mopts;
+  mopts.shards = std::max<std::size_t>(1, opts.shards);
+  mopts.hot_stream_budget = opts.hot_streams;
+  mopts.pin_cores = opts.pin_cores;
+
+  core::PipelineManager manager(pc, 1, mopts);
+  manager.fit(0, train.x, train.labels);
+  if (opts.streams > 1) manager.seed_cold_from(0, opts.streams - 1);
+
+  util::Stopwatch clock;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const std::size_t id = i % opts.streams;
+    core::SubmitStatus status = core::SubmitStatus::kOk;
+    if (!manager.submit(id, test.x.row(i), test.labels[i], &status)) {
+      std::fprintf(stderr, "submit to stream %zu failed (status %d)\n", id,
+                   static_cast<int>(status));
+      return 1;
+    }
+  }
+  manager.drain();
+  const double seconds = clock.elapsed_seconds();
+
+  const core::PipelineStats totals = manager.totals();
+  const obs::Snapshot snapshot = manager.stats();
+  std::uint64_t evictions = 0;
+  std::uint64_t restores = 0;
+  bool pinned = !snapshot.shards.empty();
+  for (const auto& sh : snapshot.shards) {
+    evictions += sh.evictions;
+    restores += sh.restores;
+    pinned = pinned && sh.pinned;
+  }
+
+  util::Table summary({"Metric", "Value"});
+  summary.add_row({"registered streams",
+                   std::to_string(manager.num_streams())});
+  summary.add_row({"shards", std::to_string(manager.num_shards())});
+  summary.add_row({"hot budget / shard",
+                   opts.hot_streams > 0 ? std::to_string(opts.hot_streams)
+                                        : std::string("unlimited")});
+  summary.add_row({"resident streams",
+                   std::to_string(manager.hot_streams())});
+  summary.add_row({"cold streams", std::to_string(manager.cold_streams())});
+  summary.add_row({"samples processed", std::to_string(totals.samples)});
+  summary.add_row({"throughput",
+                   util::fmt(static_cast<double>(test.size()) / seconds / 1e3,
+                             1) +
+                       " ksamples/s"});
+  summary.add_row({"drift detections", std::to_string(totals.drifts)});
+  summary.add_row({"evictions", std::to_string(evictions)});
+  summary.add_row({"restores", std::to_string(restores)});
+  summary.add_row({"workers pinned", pinned ? "yes" : "no"});
+  std::printf("%s\n", summary.str().c_str());
+  return 0;
 }
 
 /// The detector kind behind a pipeline-backed method, nullopt for methods
@@ -280,6 +373,18 @@ int main(int argc, char** argv) {
                 opts.recovery.c_str());
   } else {
     std::printf("method:  %s\n\n", eval::method_name(*method).c_str());
+  }
+
+  // ----------------------------------------------------------- serve mode
+  if (opts.streams > 0) {
+    if (*method != eval::Method::kProposed || detector_kind) {
+      // Eviction serializes through the checkpoint format, which requires
+      // the proposed method's centroid detector.
+      std::fprintf(stderr,
+                   "--streams serve mode supports only --method proposed\n");
+      return 1;
+    }
+    return run_serve(opts, train, test, config);
   }
 
   // ------------------------------------------------------------------- run

@@ -121,6 +121,16 @@ struct PipelineStats {
   std::size_t recovery_samples = 0; ///< Samples consumed by recoveries.
   std::size_t batch_chunks = 0;     ///< GEMM pre-scored chunks issued.
   std::size_t batch_rows = 0;       ///< Samples served by a pre-scored chunk.
+
+  PipelineStats& operator+=(const PipelineStats& o) {
+    samples += o.samples;
+    drifts += o.drifts;
+    recoveries += o.recoveries;
+    recovery_samples += o.recovery_samples;
+    batch_chunks += o.batch_chunks;
+    batch_rows += o.batch_rows;
+    return *this;
+  }
 };
 
 /// The detect-and-retrain system behind one object.

@@ -1,51 +1,71 @@
-// core::PipelineManager — the multi-stream serving layer: one
-// detect-and-retrain Pipeline per sensor stream, fanned out over the shared
-// thread pool.
+// core::PipelineManager — the sharded multi-stream serving layer: one
+// detect-and-retrain Pipeline per sensor stream, partitioned across N
+// independent shards, with an LRU eviction layer that keeps only a bounded
+// hot set of streams resident.
 //
 // An edge gateway rarely watches a single signal; it aggregates N sensors,
-// each with its own concept. The manager owns one Pipeline per stream and
-// exposes a submit(stream_id, sample) entry point: samples of one stream
-// are processed strictly in submission order (a stream is never touched by
-// two workers at once), while distinct streams run concurrently.
+// each with its own concept. The manager owns one stream slot per sensor
+// and exposes a submit(stream_id, sample) entry point: samples of one
+// stream are processed strictly in submission order (a stream is never
+// touched by two workers at once), while distinct streams run concurrently.
+//
+// Sharding: streams are assigned to shards by a stable hash of the id
+// (core/shard_router.hpp), fixed for the manager's lifetime. Each shard
+// owns a dedicated drain worker (optionally core-pinned), its own ready
+// queue, its own LRU list and cold store — in the steady state no two
+// shards ever touch the same mutex, queue, or stream slab, so drain
+// throughput scales with shards up to the core count. submit() routes to
+// the owning shard lock-free (hash + per-stream producer mutex only).
 //
 // Ingestion is a fixed-capacity SPSC ring per stream: samples are copied
 // into a preallocated [capacity x dim] row slab (zero per-sample heap
 // allocation on the steady path) and published by a monotonic atomic tail
-// counter; the single consumer advances an atomic head. Producers of one
+// counter; the shard worker advances an atomic head. Producers of one
 // stream are serialized by a per-stream mutex (so submit() stays safe from
-// any thread), but no global lock is taken per sample — the drain
-// bookkeeping is one atomic pending counter, decremented once per drained
-// burst. A full ring either blocks the producer until the consumer frees
-// slots or rejects the sample, per BackpressurePolicy.
+// any thread), but no global lock is taken per sample. A full ring either
+// blocks the producer until the worker frees slots or rejects the sample,
+// per BackpressurePolicy.
 //
-// The consumer drains whatever is queued in contiguous bursts of up to
+// Eviction: with hot_stream_budget > 0, each shard keeps at most that many
+// streams resident. After a drain cycle the worker pushes the least-
+// recently-active idle streams out: the Pipeline is serialized through the
+// io checkpoint layer (format v2, tier recorded) into the shard's
+// ColdStore (in-memory, or spilled to cold_spill_dir), and the ring slab
+// is released. The next submit() to a cold stream restores it
+// transparently before enqueueing. The round trip is bit-identical at
+// kExactF64 and drift-decision-equivalent at kFastF32/kQuantI8 — the same
+// contract the checkpoint layer already guarantees (tests/test_eviction.cpp).
+// seed_cold_from() registers large stream populations (100k+) directly in
+// the cold store from one fitted template, so registered-stream count is
+// bounded by cold-store bytes, not by resident models.
+//
+// The worker drains whatever is queued in contiguous bursts of up to
 // drain_batch_max rows straight out of the slab through
 // Pipeline::process_batch_range() — bit-identical to process() row by row —
 // splitting only at the ring-wrap boundary. DrainMode::kSample retains the
-// old one-process()-per-sample drain — per-sample heap copy, queue-mutex
-// pop, and done-counter locking — as the in-binary baseline for
+// old one-process()-per-sample drain as the in-binary baseline for
 // bench_manager_throughput.
 //
 // Thread-safety contract: submit()/submit_batch() may be called from any
-// thread. fit(), stream(), steps(), telemetry() and the stats accessors
-// must not race with in-flight samples for the same stream — drain() first.
+// thread. fit(), stream(), steps(), telemetry() and the per-stream stats
+// accessors must not race with in-flight samples for the same stream —
+// drain() first. stats() (the obs snapshot) and evict() are safe at any
+// time. seed_cold_from() is a setup-phase API: it must not race submits.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/core/serving_shard.hpp"
+#include "edgedrift/core/shard_router.hpp"
 #include "edgedrift/linalg/matrix.hpp"
 #include "edgedrift/obs/snapshot.hpp"
-#include "edgedrift/util/thread_pool.hpp"
 
 namespace edgedrift::core {
 
@@ -65,8 +85,19 @@ enum class DrainMode {
 
 /// Who runs the consumer.
 enum class DispatchMode {
-  kPool,    ///< submit() schedules drain tasks on the thread pool.
+  kShard,   ///< Dedicated per-shard drain workers (optionally core-pinned).
   kManual,  ///< submit() only enqueues; the caller drains via poll()/drain().
+};
+
+/// Why a submit was (partially) refused. kOk also covers kReject
+/// backpressure drops — those are policy, not errors, and are reported via
+/// the return value and telemetry.
+enum class SubmitStatus {
+  kOk,
+  kUnknownStream,      ///< Stream id was never registered.
+  kDimensionMismatch,  ///< Sample width != the manager's input_dim.
+  kBadLabelSpan,       ///< true_labels neither empty nor one per row.
+  kRestoreFailed,      ///< Stream is cold and could not be restored.
 };
 
 /// Serving-layer knobs, fixed at construction.
@@ -75,54 +106,34 @@ struct ManagerOptions {
   std::size_t drain_batch_max = 128;  ///< Largest rows per drain burst.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   DrainMode drain = DrainMode::kBatch;
-  DispatchMode dispatch = DispatchMode::kPool;
+  DispatchMode dispatch = DispatchMode::kShard;
+  /// Independent serving shards (kShard dispatch spawns one worker each).
+  std::size_t shards = 1;
+  /// Hot streams each shard keeps resident; 0 = unlimited (eviction off).
+  std::size_t hot_stream_budget = 0;
+  /// Pin each shard worker to one allowed CPU core (Linux; best-effort —
+  /// ShardSnapshot::pinned reports the outcome).
+  bool pin_cores = false;
+  /// When non-empty, evicted streams spill to files in this directory
+  /// instead of staying in memory (must exist and be writable).
+  std::string cold_spill_dir;
   /// When set, overrides PipelineConfig::numerics for every stream — the
   /// serving-layer knob for trading score precision against stream density
   /// (linalg/numerics.hpp). Unset keeps the per-pipeline setting.
   std::optional<linalg::NumericsTier> numerics;
 };
 
-/// Per-stream serving counters. Written by the consumer (and, for
-/// submitted/rejected/blocked, by producers under the stream's produce
-/// mutex); except for the atomic high-water mark, read them only after
-/// drain() — the drain-first contract above.
-struct StreamTelemetry {
-  std::size_t submitted = 0;   ///< Samples accepted into the ring.
-  std::size_t rejected = 0;    ///< Samples dropped by kReject backpressure.
-  std::size_t blocked = 0;     ///< submit() calls that had to wait (kBlock).
-  std::size_t processed = 0;   ///< Samples drained through the pipeline.
-  std::size_t drain_bursts = 0;         ///< Contiguous drain segments run.
-  /// Max queued depth ever observed. Atomic (relaxed CAS-max) because both
-  /// the producer (after a tail publish) and the drain task (per burst)
-  /// raise it concurrently; every other counter is single-writer.
-  std::atomic<std::size_t> queue_high_water{0};
-  std::uint64_t busy_ns = 0;   ///< Wall time spent inside drain bursts.
-  /// drain_burst_hist[b] counts bursts of size in [2^(b-1)+1, 2^b]
-  /// (bucket 0 = single-sample bursts): the drain-batch-size histogram.
-  std::array<std::size_t, 17> drain_burst_hist{};
-
-  /// Processed samples per second of busy drain time.
-  double samples_per_second() const {
-    return busy_ns == 0
-               ? 0.0
-               : static_cast<double>(processed) * 1e9 /
-                     static_cast<double>(busy_ns);
-  }
-};
-
-/// Owns N per-stream pipelines and schedules their samples over a pool.
+/// Owns N per-stream pipelines partitioned across per-core serving shards.
 class PipelineManager {
  public:
-  /// Builds `num_streams` pipelines from `config`; stream i uses seed
-  /// config.seed + i so the streams' random projections are independent.
-  /// `pool` defaults to the process-wide pool; it must outlive the manager.
+  /// Builds `num_streams` resident pipelines from `config`; stream i uses
+  /// seed config.seed + i so the streams' random projections are
+  /// independent. Larger populations are added cold via seed_cold_from().
+  PipelineManager(const PipelineConfig& config, std::size_t num_streams);
   PipelineManager(const PipelineConfig& config, std::size_t num_streams,
-                  util::ThreadPool* pool = nullptr);
-  PipelineManager(const PipelineConfig& config, std::size_t num_streams,
-                  const ManagerOptions& options,
-                  util::ThreadPool* pool = nullptr);
+                  const ManagerOptions& options);
 
-  /// Drains all in-flight samples before destruction.
+  /// Drains all in-flight samples, then stops the shard workers.
   ~PipelineManager();
 
   PipelineManager(const PipelineManager&) = delete;
@@ -130,9 +141,15 @@ class PipelineManager {
 
   std::size_t num_streams() const { return streams_.size(); }
   const ManagerOptions& options() const { return options_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  /// The shard owning stream `id` (stable hash, core/shard_router.hpp).
+  std::size_t shard_of(std::size_t id) const {
+    return shard_of_stream(static_cast<std::uint64_t>(id), shards_.size());
+  }
 
   /// The per-stream pipeline. Not safe while samples for this stream are
-  /// in flight — drain() first.
+  /// in flight, and the stream must be resident — drain() first, check
+  /// resident(id) under eviction.
   Pipeline& stream(std::size_t id);
   const Pipeline& stream(std::size_t id) const;
 
@@ -141,30 +158,59 @@ class PipelineManager {
            std::span<const int> labels);
 
   /// Enqueues one sample (copied into the stream's ring slab) and returns
-  /// true. On a full ring: kBlock waits for space (in kManual dispatch the
-  /// submitting thread drains the stream inline instead of deadlocking);
-  /// kReject returns false and counts the drop. Processing happens on the
-  /// pool in submission order per stream (kPool) or when the caller polls
-  /// (kManual).
-  bool submit(std::size_t id, std::span<const double> x, int true_label = -1);
+  /// true. A cold stream is restored first (transparently; the sample then
+  /// proceeds as usual). On a full ring: kBlock waits for space (in kManual
+  /// dispatch the submitting thread drains the stream inline instead of
+  /// deadlocking); kReject returns false and counts the drop. Processing
+  /// happens on the owning shard's worker in submission order per stream
+  /// (kShard) or when the caller polls (kManual). On failure `status`
+  /// (when non-null) receives the typed reason; an unknown id or a failed
+  /// restore returns false instead of asserting.
+  bool submit(std::size_t id, std::span<const double> x, int true_label = -1,
+              SubmitStatus* status = nullptr);
 
   /// Enqueues every row of a block under one ring reservation (one producer
   /// lock, one tail publish per contiguous segment, one scheduling check).
-  /// `true_labels` must be empty or hold exactly one label per row —
-  /// anything else fails the assertion loudly; a partial span is never read
-  /// out of bounds. Returns the number of rows accepted (< x.rows() only
-  /// under kReject backpressure).
+  /// `true_labels` must be empty or hold exactly one label per row — a
+  /// partial span enqueues nothing and reports kBadLabelSpan; it is never
+  /// read out of bounds. Returns the number of rows accepted (< x.rows()
+  /// under kReject backpressure or on a typed error, see `status`).
   std::size_t submit_batch(std::size_t id, const linalg::Matrix& x,
-                           std::span<const int> true_labels = {});
+                           std::span<const int> true_labels = {},
+                           SubmitStatus* status = nullptr);
 
   /// Drains the given stream on the calling thread until its ring is empty.
-  /// The kManual dispatch consumer; in kPool mode it is also safe, racing
-  /// pool workers for bursts is prevented by the scheduled flag.
+  /// The kManual dispatch consumer; in kShard mode it is also safe — racing
+  /// the shard worker for bursts is prevented by the scheduled flag.
   void poll(std::size_t id);
 
   /// Blocks until every submitted sample has been processed. In kManual
   /// dispatch, drains every stream on the calling thread.
   void drain();
+
+  /// Evicts stream `id` now if it is resident and idle (empty ring, no
+  /// drain in flight, fitted, not recovering): serializes its state into
+  /// the shard's cold store and releases the pipeline + ring. Returns
+  /// false when the stream is busy or not evictable. Safe from any thread;
+  /// eviction also happens automatically under hot_stream_budget.
+  bool evict(std::size_t id);
+
+  /// True when the stream currently holds a resident Pipeline.
+  bool resident(std::size_t id) const;
+
+  /// Registers `count` new streams cold: stream `source_id` (fitted,
+  /// resident) is serialized once and every new id maps to that shared
+  /// template blob in its shard's cold store — the 100k-stream
+  /// registration path, costing one checkpoint and one blob regardless of
+  /// count. New ids are num_streams()..num_streams()+count-1; returns the
+  /// first new id. Each seeded stream becomes an independent pipeline on
+  /// first submit (restored from the template, then diverging with its own
+  /// samples). Setup-phase API: must not race submits.
+  std::size_t seed_cold_from(std::size_t source_id, std::size_t count);
+
+  /// Resident / evicted stream totals across shards.
+  std::size_t hot_streams() const;
+  std::size_t cold_streams() const;
 
   /// Steps produced so far for a stream, in submission order; clears the
   /// stored steps. Call after drain() for a complete, race-free view.
@@ -178,71 +224,70 @@ class PipelineManager {
   /// One stream's serving counters. drain() first.
   const StreamTelemetry& telemetry(std::size_t id) const;
 
-  /// One stream's pipeline counters (samples, drifts, ...). drain() first.
+  /// One stream's pipeline counters (samples, drifts, ...), summed across
+  /// its evict/restore cycles. drain() first.
   const PipelineStats& stats(std::size_t id) const;
 
-  /// Counters summed across all streams. drain() first.
+  /// Counters summed across all streams (hot and cold). drain() first.
   PipelineStats totals() const;
 
-  /// Observability snapshot across every stream. Unlike the accessors
-  /// above, this is safe to call at any time from any thread — the obs
-  /// layer is lock-free and snapshots are torn-read-safe — so a monitoring
-  /// thread can poll it while producers and drain tasks are live.
+  /// Observability snapshot: every stream (carried history + live block
+  /// for resident streams) plus one ShardSnapshot per shard. Safe to call
+  /// at any time from any thread — per-shard consistency is provided by
+  /// briefly holding each shard's evict mutex while its streams are read,
+  /// so a snapshot never observes a half-evicted stream.
   obs::Snapshot stats() const;
 
  private:
-  /// Per-stream state. Producers serialize on produce_mutex and publish
-  /// rows via tail; the single consumer owns head, the pipeline, steps and
-  /// telemetry. Consumer handoff between pool tasks goes through the
-  /// seq_cst scheduled flag, which orders each burst's plain-field writes
-  /// before the next burst reads them.
-  struct Stream {
-    std::unique_ptr<Pipeline> pipeline;
-
-    linalg::Matrix slab;      ///< [capacity x dim] ring row storage.
-    std::vector<int> labels;  ///< [capacity] ring label storage.
-    /// [capacity] enqueue timestamps feeding the submit->drain histogram;
-    /// written under the same slot ownership rules as slab rows. Empty
-    /// when the obs layer is off.
-    std::vector<std::uint64_t> submit_ns;
-
-    /// Monotonic sample counters; slot = counter % capacity. tail is
-    /// published by producers after the row copy, head by the consumer
-    /// after the row is processed (freeing the slot for reuse).
-    std::atomic<std::uint64_t> head{0};
-    std::atomic<std::uint64_t> tail{0};
-
-    std::atomic<bool> scheduled{false};  ///< A drain task is queued/running.
-
-    std::mutex produce_mutex;  ///< Serializes producers; kBlock cv anchor.
-    std::condition_variable space_cv;
-    std::atomic<std::size_t> space_waiters{0};
-
-    std::mutex steps_mutex;
-    std::vector<PipelineStep> steps;
-
-    StreamTelemetry telemetry;
-  };
+  using Stream = detail::ManagedStream;
+  using Shard = detail::ShardState;
 
   void init_streams(const PipelineConfig& config, std::size_t num_streams);
-  /// Schedules a drain task if none is queued/running (kPool dispatch).
-  void maybe_schedule(Stream& s, std::size_t id);
-  /// Pool-task consumer: drains until empty, with scheduled-flag handoff.
-  void run_stream(std::size_t id);
+  void start_workers();
+  /// Hands the stream to its shard worker if no drain cycle owns it.
+  void maybe_schedule(Stream& s);
+  /// Worker body for one shard: take-all / drain / park loop.
+  void shard_worker(Shard& shard);
+  /// Best-effort core pinning for a shard worker (Linux).
+  void pin_worker(Shard& shard);
+  /// Drains one stream with scheduled-flag handoff, then runs the
+  /// eviction bookkeeping (LRU touch + budget enforcement).
+  void run_stream(Stream& s);
   /// Processes everything currently published. Returns rows processed.
   std::size_t drain_burst(Stream& s);
+  /// LRU touch + enforce_budget after a drain cycle.
+  void after_drain(Stream& s);
+  /// Evicts LRU-idle streams until the shard is within budget. Caller
+  /// holds shard.evict_mutex. `skip` (may be null) is never victimized —
+  /// the stream whose restore triggered this enforcement, whose
+  /// produce_mutex the calling thread already holds.
+  void enforce_budget_locked(Shard& shard, const Stream* skip = nullptr);
+  /// Serializes + releases one stream. Caller holds shard.evict_mutex and
+  /// s.produce_mutex, and s must be eligible (idle, fitted, hot).
+  bool evict_locked(Shard& shard, Stream& s);
+  /// True when `s` may be evicted right now. Caller holds both mutexes.
+  bool evictable_locked(const Stream& s) const;
+  /// Rebuilds a cold stream from its blob. Caller holds s.produce_mutex;
+  /// takes shard.evict_mutex itself. False -> kRestoreFailed.
+  bool restore_cold(Shard& shard, Stream& s);
+  /// Model + ring bytes of a resident stream (the hot-budget unit).
+  std::size_t hot_footprint(const Stream& s) const;
   /// Wakes kBlock producers after head advanced past `head_before`.
   void notify_space(Stream& s);
   /// Wakes drain() waiters when pending and active both reached zero.
   void notify_done();
 
-  util::ThreadPool* pool_;
   ManagerOptions options_;
+  /// Stream-template config (numerics override applied): seeds restored
+  /// pipelines' runtime-only fields (detector spec, recovery, obs,
+  /// max_batch_rows) and fixes input_dim for dimension checks.
+  PipelineConfig template_config_;
   bool obs_on_ = false;  ///< Cached obs gate: kObsCompiled && obs.enabled.
   std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Submitted-not-yet-processed samples (incremented before tail publish,
-  /// decremented once per drained burst) and queued/running drain tasks.
+  /// decremented once per drained burst) and queued/running drain cycles.
   /// No lock is held to update these; done_mutex_ only anchors the
   /// done_cv_ wait in drain().
   std::atomic<std::uint64_t> pending_{0};

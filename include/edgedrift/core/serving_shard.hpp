@@ -1,0 +1,241 @@
+// core::detail — the per-stream and per-shard state behind PipelineManager.
+//
+// The sharded serving layer (see core/pipeline_manager.hpp) is built from
+// three pieces defined here:
+//
+//   ManagedStream — one stream's full serving state: the SPSC ring (slab +
+//     monotonic head/tail), the Pipeline while the stream is hot, the
+//     intrusive hooks linking it into its shard's ready stack and LRU list,
+//     and the counters carried across evict/restore cycles.
+//   ReadyStack — a Treiber stack of streams with published-but-undrained
+//     rows. Producers push after winning a stream's scheduled flag; the
+//     shard's single worker takes the whole stack at once. The scheduled
+//     flag guarantees a stream is pushed at most once per drain cycle, so
+//     the classic ABA hazard (pop racing a reinsertion) cannot arise —
+//     nobody pops single nodes.
+//   ShardState — everything one shard owns: the ready stack, the worker
+//     thread and its park/wake latch, the LRU list + hot/cold gauges under
+//     the shard's evict mutex, the cold store, and the shard obs block.
+//
+// StreamTelemetry also lives here (re-exported through pipeline_manager.hpp,
+// which is the intended include) because ManagedStream embeds it.
+//
+// Lock order (deadlock discipline): a producer holds its own stream's
+// produce_mutex, then may take the shard's evict_mutex (restore/admission),
+// then try_lock another stream's produce_mutex (budget enforcement). The
+// eviction side always acquires victims with try_lock, so the produce ->
+// evict edge never forms a cycle with evict -> produce.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "edgedrift/core/cold_store.hpp"
+#include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/linalg/matrix.hpp"
+#include "edgedrift/obs/shard_obs.hpp"
+#include "edgedrift/obs/snapshot.hpp"
+
+namespace edgedrift::core {
+
+/// Per-stream serving counters. Written by the consumer (and, for
+/// submitted/rejected/blocked, by producers under the stream's produce
+/// mutex); except for the atomic high-water mark, read them only after
+/// drain() — the drain-first contract.
+struct StreamTelemetry {
+  std::size_t submitted = 0;   ///< Samples accepted into the ring.
+  std::size_t rejected = 0;    ///< Samples dropped by kReject backpressure.
+  std::size_t blocked = 0;     ///< submit() calls that had to wait (kBlock).
+  std::size_t processed = 0;   ///< Samples drained through the pipeline.
+  std::size_t drain_bursts = 0;         ///< Contiguous drain segments run.
+  /// Max queued depth ever observed. Atomic (relaxed CAS-max) because both
+  /// the producer (after a tail publish) and the drain task (per burst)
+  /// raise it concurrently; every other counter is single-writer.
+  std::atomic<std::size_t> queue_high_water{0};
+  std::uint64_t busy_ns = 0;   ///< Wall time spent inside drain bursts.
+  /// drain_burst_hist[b] counts bursts of size in [2^(b-1)+1, 2^b]
+  /// (bucket 0 = single-sample bursts): the drain-batch-size histogram.
+  std::array<std::size_t, 17> drain_burst_hist{};
+
+  /// Processed samples per second of busy drain time.
+  double samples_per_second() const {
+    return busy_ns == 0
+               ? 0.0
+               : static_cast<double>(processed) * 1e9 /
+                     static_cast<double>(busy_ns);
+  }
+};
+
+namespace detail {
+
+/// Per-stream serving state. Producers serialize on produce_mutex and
+/// publish rows via tail; the shard's single worker owns head, the
+/// pipeline, steps and telemetry. Consumer handoff between drain cycles
+/// goes through the seq_cst scheduled flag, which orders each burst's
+/// plain-field writes before the next burst reads them.
+///
+/// Residency: a kHot stream owns its pipeline, ring slab and label/stamp
+/// arrays; a kCold stream has released all of them — its state is a
+/// checkpoint blob in the shard's ColdStore — and keeps only the cheap
+/// fields (telemetry, steps, carried counters). Residency writes hold BOTH
+/// the stream's produce_mutex and the shard's evict_mutex, so holding
+/// either is enough to read it.
+struct ManagedStream {
+  enum class Residency : std::uint8_t { kHot, kCold };
+
+  std::size_t id = 0;     ///< Manager-wide stream id.
+  std::size_t shard = 0;  ///< Owning shard (stable: shard_of_stream(id)).
+
+  // ---- hot-only state (released on eviction, rebuilt on restore) ----
+  std::unique_ptr<Pipeline> pipeline;
+  linalg::Matrix slab;      ///< [capacity x dim] ring row storage.
+  std::vector<int> labels;  ///< [capacity] ring label storage.
+  /// [capacity] enqueue timestamps feeding the submit->drain histogram;
+  /// written under the same slot ownership rules as slab rows. Empty
+  /// when the obs layer is off.
+  std::vector<std::uint64_t> submit_ns;
+
+  /// Monotonic sample counters; slot = counter % capacity. tail is
+  /// published by producers after the row copy, head by the consumer
+  /// after the row is processed (freeing the slot for reuse). They keep
+  /// counting across evict/restore cycles (eviction requires an empty
+  /// ring, so head == tail whenever the slab is released).
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> tail{0};
+
+  std::atomic<bool> scheduled{false};  ///< A drain cycle is queued/running.
+
+  std::mutex produce_mutex;  ///< Serializes producers; kBlock cv anchor.
+  std::condition_variable space_cv;
+  std::atomic<std::size_t> space_waiters{0};
+
+  std::mutex steps_mutex;
+  std::vector<PipelineStep> steps;
+
+  StreamTelemetry telemetry;
+
+  // ---- residency / eviction bookkeeping (guarded by shard evict_mutex
+  //      unless noted) ----
+  Residency residency = Residency::kHot;  ///< See class comment for locking.
+  std::size_t hot_footprint_bytes = 0;    ///< Model + ring bytes while hot.
+
+  /// Treiber-stack link; owned by the ready stack between push and take.
+  std::atomic<ManagedStream*> ready_next{nullptr};
+  /// LRU hooks (MRU at the list head). in_lru makes erase idempotent.
+  ManagedStream* lru_prev = nullptr;
+  ManagedStream* lru_next = nullptr;
+  bool in_lru = false;
+
+  /// Observability and pipeline counters accumulated over every previous
+  /// hot period, merged in at eviction time (the live pipeline's books are
+  /// destroyed with it). Null until the first eviction, so the 100k
+  /// cold-seeded streams pay nothing for it.
+  std::unique_ptr<obs::StreamSnapshot> carried_obs;
+  PipelineStats carried_stats;
+  /// Scratch for stats(id)'s return-by-reference contract: filled with
+  /// carried + live counters on each call. mutable-by-convention (stats()
+  /// is const); drain-first contract applies.
+  PipelineStats stats_view;
+};
+
+/// Lock-free multi-producer stack of streams awaiting a drain cycle.
+/// push() is called by producers (at most once per stream per cycle — the
+/// scheduled flag gates it); take_all() by the shard's single worker.
+class ReadyStack {
+ public:
+  void push(ManagedStream* s) {
+    ManagedStream* head = head_.load();
+    do {
+      s->ready_next.store(head, std::memory_order_relaxed);
+    } while (!head_.compare_exchange_weak(head, s));
+  }
+
+  /// Detaches and returns the whole stack (LIFO chain via ready_next),
+  /// or nullptr when empty.
+  ManagedStream* take_all() { return head_.exchange(nullptr); }
+
+  bool empty() const { return head_.load() == nullptr; }
+
+ private:
+  std::atomic<ManagedStream*> head_{nullptr};
+};
+
+/// Intrusive LRU list over ManagedStream (head = MRU, tail = LRU).
+/// Externally guarded by the owning shard's evict_mutex.
+class LruList {
+ public:
+  void push_mru(ManagedStream* s) {
+    s->lru_prev = nullptr;
+    s->lru_next = head_;
+    if (head_ != nullptr) head_->lru_prev = s;
+    head_ = s;
+    if (tail_ == nullptr) tail_ = s;
+    s->in_lru = true;
+    ++size_;
+  }
+
+  void erase(ManagedStream* s) {
+    if (!s->in_lru) return;
+    if (s->lru_prev != nullptr) s->lru_prev->lru_next = s->lru_next;
+    if (s->lru_next != nullptr) s->lru_next->lru_prev = s->lru_prev;
+    if (head_ == s) head_ = s->lru_next;
+    if (tail_ == s) tail_ = s->lru_prev;
+    s->lru_prev = s->lru_next = nullptr;
+    s->in_lru = false;
+    --size_;
+  }
+
+  void touch(ManagedStream* s) {
+    erase(s);
+    push_mru(s);
+  }
+
+  ManagedStream* lru() const { return tail_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  ManagedStream* head_ = nullptr;
+  ManagedStream* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Everything one serving shard owns. No field here is ever touched by
+/// another shard's worker; producers touch only the ready stack, the
+/// park/wake latch, and (under evict_mutex) the LRU + cold store.
+struct ShardState {
+  std::size_t index = 0;
+
+  ReadyStack ready;
+
+  // Worker park/wake latch. The worker sets parked before rechecking the
+  // ready stack; producers push, then check parked — under the seq_cst
+  // total order one of the two always observes the other, so no wakeup is
+  // lost (see manager_shard.cpp).
+  std::thread worker;
+  std::mutex wake_mutex;
+  std::condition_variable wake_cv;
+  std::atomic<bool> parked{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> pinned{false};  ///< Worker successfully core-pinned.
+
+  // Eviction state: LRU order, hot/cold gauges, and every stream's
+  // residency transition for this shard happen under evict_mutex.
+  std::mutex evict_mutex;
+  LruList lru;
+  std::size_t hot_streams = 0;
+  std::size_t cold_streams = 0;
+  std::size_t hot_bytes = 0;  ///< Sum of hot streams' footprints.
+
+  ColdStore cold;
+  obs::ShardObs obs;
+};
+
+}  // namespace detail
+}  // namespace edgedrift::core

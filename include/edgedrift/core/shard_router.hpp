@@ -1,0 +1,38 @@
+// Stream -> shard routing for the sharded serving layer (see
+// core/pipeline_manager.hpp).
+//
+// Assignment must be a pure function of the stream id so a producer can
+// route a submit() to its shard without any shared read-write state, and so
+// the assignment survives restarts (a cold-store blob written by shard k is
+// found by shard k again). A plain `id % shards` would do both, but it maps
+// any structured id space (e.g. device ids allocated in contiguous blocks
+// per site) onto a handful of shards in lockstep; running the id through a
+// finalizing mixer first spreads any id structure evenly. splitmix64's
+// finalizer is the standard choice: bijective, two multiplies and three
+// xor-shifts, and passes the usual avalanche tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace edgedrift::core {
+
+/// splitmix64's finalizing mixer (Steele et al.): bijective avalanche over
+/// 64-bit ids.
+inline std::uint64_t mix_stream_id(std::uint64_t id) {
+  id += 0x9e3779b97f4a7c15ULL;
+  id = (id ^ (id >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  id = (id ^ (id >> 27)) * 0x94d049bb133111ebULL;
+  return id ^ (id >> 31);
+}
+
+/// The shard owning stream `id` under a `shards`-way split. Stable across
+/// processes and calls; `shards` must be > 0.
+inline std::size_t shard_of_stream(std::uint64_t id, std::size_t shards) {
+  return shards <= 1
+             ? 0
+             : static_cast<std::size_t>(mix_stream_id(id) %
+                                        static_cast<std::uint64_t>(shards));
+}
+
+}  // namespace edgedrift::core

@@ -33,10 +33,21 @@ bool save_pipeline(std::ostream& out, const core::Pipeline& pipeline);
 /// format-version, or consistency failure. When `expect_tier` is set, a
 /// checkpoint recorded under any other tier is rejected. When `error` is
 /// non-null it receives a human-readable reason on failure.
+///
+/// `runtime` (optional) overlays the restore site's runtime-only
+/// configuration — detector spec, recovery policy, obs options,
+/// max_batch_rows — none of which the checkpoint persists (they describe
+/// the serving process, not the trained state). Its model shape
+/// (num_labels / input_dim / hidden_dim) must match the checkpoint and its
+/// detector spec must be the centroid family (the only detector this
+/// format can restore state into); anything else fails the load. This is
+/// how PipelineManager's eviction layer rehydrates cold streams with the
+/// manager's own serving knobs instead of checkpoint-era defaults.
 std::optional<core::Pipeline> load_pipeline(
     std::istream& in,
     std::optional<linalg::NumericsTier> expect_tier = std::nullopt,
-    std::string* error = nullptr);
+    std::string* error = nullptr,
+    const core::PipelineConfig* runtime = nullptr);
 
 /// File-path conveniences.
 bool save_pipeline_file(const std::string& path,
@@ -44,6 +55,7 @@ bool save_pipeline_file(const std::string& path,
 std::optional<core::Pipeline> load_pipeline_file(
     const std::string& path,
     std::optional<linalg::NumericsTier> expect_tier = std::nullopt,
-    std::string* error = nullptr);
+    std::string* error = nullptr,
+    const core::PipelineConfig* runtime = nullptr);
 
 }  // namespace edgedrift::io

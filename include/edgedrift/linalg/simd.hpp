@@ -24,6 +24,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #if !defined(EDGEDRIFT_SIMD_FORCE_PORTABLE)
 #if defined(__AVX2__) && defined(__FMA__)
@@ -413,5 +414,169 @@ EDGEDRIFT_ALWAYS_INLINE double dot_product(const double* EDGEDRIFT_RESTRICT a,
   for (; i < n; ++i) acc = madd(a[i], b[i], acc);
   return acc;
 }
+
+// --------------------------------------------------------------------------
+// int8 accumulation lanes — the kQuantI8 tier's matvec/GEMM inner loop
+// (linalg/quant.cpp).
+//
+// Contract: acc[j] += x * row[j] (and the two-row fused form), computed
+// EXACTLY in int32. Integer accumulation is associative, so any lane width,
+// unroll factor or row pairing produces the identical int32 result as the
+// scalar loop — the i8 tier's accumulators stay bit-identical across the
+// portable and native backends by construction. Preconditions: |x| <= 127
+// and |row[j]| <= 127 (the symmetric code domain quantize() emits; -128
+// never appears), so per-element products fit in int16 with headroom for
+// one two-row sum (|x0*r0 + x1*r1| <= 32258 < 32767 — no saturation in the
+// AVX2 maddubs path, no overflow in the NEON int16 path).
+// --------------------------------------------------------------------------
+
+#if defined(EDGEDRIFT_SIMD_AVX2)
+
+/// acc[0:n] += x * row[0:n], exact int32. 16 codes per step: sign-extend to
+/// int16, mullo (exact — |x*r| <= 16129), widen to int32, add.
+EDGEDRIFT_ALWAYS_INLINE void i8_scaled_accumulate(
+    std::int32_t x, const std::int8_t* EDGEDRIFT_RESTRICT row,
+    std::int32_t* EDGEDRIFT_RESTRICT acc, std::size_t n) {
+  const __m256i vx = _mm256_set1_epi16(static_cast<short>(x));
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m128i r8 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + j));
+    const __m256i prod = _mm256_mullo_epi16(vx, _mm256_cvtepi8_epi16(r8));
+    const __m256i lo32 =
+        _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod));
+    const __m256i hi32 =
+        _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1));
+    __m256i* a0 = reinterpret_cast<__m256i*>(acc + j);
+    __m256i* a1 = reinterpret_cast<__m256i*>(acc + j + 8);
+    _mm256_storeu_si256(a0, _mm256_add_epi32(_mm256_loadu_si256(a0), lo32));
+    _mm256_storeu_si256(a1, _mm256_add_epi32(_mm256_loadu_si256(a1), hi32));
+  }
+  for (; j < n; ++j) acc[j] += x * static_cast<std::int32_t>(row[j]);
+}
+
+/// acc[0:n] += x0 * row0[0:n] + x1 * row1[0:n], exact int32. The maddubs
+/// scheme: interleave the two rows byte-wise so each 16-bit lane holds one
+/// output's (row0[j], row1[j]) pair, put |x0|,|x1| in the unsigned operand
+/// and push the signs of x0/x1 onto the row bytes via sign_epi8 — then
+/// maddubs computes |x0|*sgn(x0)*row0[j] + |x1|*sgn(x1)*row1[j] =
+/// x0*row0[j] + x1*row1[j] per lane, saturation-free by the |sum| <= 32258
+/// bound above.
+EDGEDRIFT_ALWAYS_INLINE void i8_scaled_accumulate2(
+    std::int32_t x0, const std::int8_t* EDGEDRIFT_RESTRICT row0,
+    std::int32_t x1, const std::int8_t* EDGEDRIFT_RESTRICT row1,
+    std::int32_t* EDGEDRIFT_RESTRICT acc, std::size_t n) {
+  const int a0 = x0 < 0 ? -x0 : x0;
+  const int a1 = x1 < 0 ? -x1 : x1;
+  const __m256i vmag =
+      _mm256_set1_epi16(static_cast<short>(a0 | (a1 << 8)));
+  const int s0 = (x0 > 0) - (x0 < 0);
+  const int s1 = (x1 > 0) - (x1 < 0);
+  const __m256i vsign =
+      _mm256_set1_epi16(static_cast<short>((s0 & 0xff) | (s1 << 8)));
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m128i r0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row0 + j));
+    const __m128i r1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row1 + j));
+    const __m256i inter = _mm256_set_m128i(_mm_unpackhi_epi8(r0, r1),
+                                           _mm_unpacklo_epi8(r0, r1));
+    const __m256i prod =
+        _mm256_maddubs_epi16(vmag, _mm256_sign_epi8(inter, vsign));
+    const __m256i lo32 =
+        _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod));
+    const __m256i hi32 =
+        _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1));
+    __m256i* p0 = reinterpret_cast<__m256i*>(acc + j);
+    __m256i* p1 = reinterpret_cast<__m256i*>(acc + j + 8);
+    _mm256_storeu_si256(p0, _mm256_add_epi32(_mm256_loadu_si256(p0), lo32));
+    _mm256_storeu_si256(p1, _mm256_add_epi32(_mm256_loadu_si256(p1), hi32));
+  }
+  for (; j < n; ++j) {
+    acc[j] += x0 * static_cast<std::int32_t>(row0[j]) +
+              x1 * static_cast<std::int32_t>(row1[j]);
+  }
+}
+
+#elif defined(EDGEDRIFT_SIMD_NEON)
+
+/// acc[0:n] += x * row[0:n], exact int32. 16 codes per step via the
+/// widening multiply-accumulate (vmlal): int8 -> int16 -> int32.
+EDGEDRIFT_ALWAYS_INLINE void i8_scaled_accumulate(
+    std::int32_t x, const std::int8_t* EDGEDRIFT_RESTRICT row,
+    std::int32_t* EDGEDRIFT_RESTRICT acc, std::size_t n) {
+  const std::int16_t xs = static_cast<std::int16_t>(x);
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const int8x16_t r = vld1q_s8(row + j);
+    const int16x8_t lo = vmovl_s8(vget_low_s8(r));
+    const int16x8_t hi = vmovl_s8(vget_high_s8(r));
+    vst1q_s32(acc + j,
+              vmlal_n_s16(vld1q_s32(acc + j), vget_low_s16(lo), xs));
+    vst1q_s32(acc + j + 4,
+              vmlal_n_s16(vld1q_s32(acc + j + 4), vget_high_s16(lo), xs));
+    vst1q_s32(acc + j + 8,
+              vmlal_n_s16(vld1q_s32(acc + j + 8), vget_low_s16(hi), xs));
+    vst1q_s32(acc + j + 12,
+              vmlal_n_s16(vld1q_s32(acc + j + 12), vget_high_s16(hi), xs));
+  }
+  for (; j < n; ++j) acc[j] += x * static_cast<std::int32_t>(row[j]);
+}
+
+/// acc[0:n] += x0 * row0[0:n] + x1 * row1[0:n], exact int32. Fuses the
+/// per-element pair sum in int16 (|x0*r0 + x1*r1| <= 32258 — no overflow),
+/// then widen-adds into the int32 accumulators.
+EDGEDRIFT_ALWAYS_INLINE void i8_scaled_accumulate2(
+    std::int32_t x0, const std::int8_t* EDGEDRIFT_RESTRICT row0,
+    std::int32_t x1, const std::int8_t* EDGEDRIFT_RESTRICT row1,
+    std::int32_t* EDGEDRIFT_RESTRICT acc, std::size_t n) {
+  const std::int16_t xs0 = static_cast<std::int16_t>(x0);
+  const std::int16_t xs1 = static_cast<std::int16_t>(x1);
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const int8x16_t r0 = vld1q_s8(row0 + j);
+    const int8x16_t r1 = vld1q_s8(row1 + j);
+    const int16x8_t lo = vmlaq_n_s16(
+        vmulq_n_s16(vmovl_s8(vget_low_s8(r0)), xs0),
+        vmovl_s8(vget_low_s8(r1)), xs1);
+    const int16x8_t hi = vmlaq_n_s16(
+        vmulq_n_s16(vmovl_s8(vget_high_s8(r0)), xs0),
+        vmovl_s8(vget_high_s8(r1)), xs1);
+    vst1q_s32(acc + j, vaddw_s16(vld1q_s32(acc + j), vget_low_s16(lo)));
+    vst1q_s32(acc + j + 4,
+              vaddw_s16(vld1q_s32(acc + j + 4), vget_high_s16(lo)));
+    vst1q_s32(acc + j + 8,
+              vaddw_s16(vld1q_s32(acc + j + 8), vget_low_s16(hi)));
+    vst1q_s32(acc + j + 12,
+              vaddw_s16(vld1q_s32(acc + j + 12), vget_high_s16(hi)));
+  }
+  for (; j < n; ++j) {
+    acc[j] += x0 * static_cast<std::int32_t>(row0[j]) +
+              x1 * static_cast<std::int32_t>(row1[j]);
+  }
+}
+
+#else  // portable: plain loops, exact by definition, autovectorizable.
+
+EDGEDRIFT_ALWAYS_INLINE void i8_scaled_accumulate(
+    std::int32_t x, const std::int8_t* EDGEDRIFT_RESTRICT row,
+    std::int32_t* EDGEDRIFT_RESTRICT acc, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    acc[j] += x * static_cast<std::int32_t>(row[j]);
+  }
+}
+
+EDGEDRIFT_ALWAYS_INLINE void i8_scaled_accumulate2(
+    std::int32_t x0, const std::int8_t* EDGEDRIFT_RESTRICT row0,
+    std::int32_t x1, const std::int8_t* EDGEDRIFT_RESTRICT row1,
+    std::int32_t* EDGEDRIFT_RESTRICT acc, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    acc[j] += x0 * static_cast<std::int32_t>(row0[j]) +
+              x1 * static_cast<std::int32_t>(row1[j]);
+  }
+}
+
+#endif
 
 }  // namespace edgedrift::linalg::simd

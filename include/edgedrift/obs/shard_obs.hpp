@@ -1,0 +1,89 @@
+// obs::ShardObs — per-shard serving counters for the sharded manager.
+//
+// Each serving shard (core/pipeline_manager.hpp) owns one ShardObs block,
+// so in the steady state no two shards ever write the same cache line.
+// Unlike obs::Counters, the eviction counters here can be bumped from two
+// threads at once (a producer restoring a cold stream races the shard
+// worker evicting another), so mutators are relaxed fetch_add rather than
+// the single-writer load+store trick. The latency histograms reuse
+// obs::LatencyHistogram, whose record() is already multi-writer-safe.
+//
+// Gauges (hot/cold stream counts, resident bytes, pinning state) live in
+// the shard itself and are copied into the ShardSnapshot by stats(); this
+// block only holds the monotonic event counters and histograms.
+//
+// Under EDGEDRIFT_NO_OBS every mutator compiles to an empty inline
+// function (see obs/counters.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "edgedrift/obs/counters.hpp"
+#include "edgedrift/obs/latency_histogram.hpp"
+
+namespace edgedrift::obs {
+
+/// One shard's complete observability state at a point in time.
+struct ShardSnapshot {
+  std::size_t shard_id = 0;
+  bool pinned = false;            ///< Worker thread is core-pinned.
+  std::uint64_t hot_streams = 0;  ///< Streams resident in this shard.
+  std::uint64_t cold_streams = 0; ///< Streams evicted to the cold store.
+  std::uint64_t hot_bytes = 0;    ///< Resident footprint (models + rings).
+  std::uint64_t cold_bytes = 0;   ///< Cold-store payload bytes.
+  std::uint64_t evictions = 0;    ///< Streams serialized out.
+  std::uint64_t restores = 0;     ///< Streams deserialized back in.
+  std::uint64_t restore_failures = 0;  ///< Restores that failed (typed error).
+  std::uint64_t evict_skipped = 0;     ///< Budget passes that found no victim.
+  std::uint64_t worker_parks = 0;      ///< Times the drain worker slept.
+  HistogramSnapshot evict_ns;          ///< Serialize-and-release latency.
+  HistogramSnapshot restore_ns;        ///< Load-and-admit latency.
+};
+
+/// Per-shard event counters + eviction/restore latency histograms.
+class ShardObs {
+ public:
+  void add_eviction() { add(evictions_); }
+  void add_restore() { add(restores_); }
+  void add_restore_failure() { add(restore_failures_); }
+  void add_evict_skipped() { add(evict_skipped_); }
+  void add_worker_park() { add(worker_parks_); }
+
+  LatencyHistogram& evict_ns() { return evict_ns_; }
+  LatencyHistogram& restore_ns() { return restore_ns_; }
+
+  /// Counter/histogram half of a ShardSnapshot; the caller fills the
+  /// gauges (stream counts, bytes, pinning) from the shard's own state.
+  ShardSnapshot snapshot(std::size_t shard_id) const {
+    ShardSnapshot s;
+    s.shard_id = shard_id;
+    if constexpr (!kObsCompiled) return s;
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.restores = restores_.load(std::memory_order_relaxed);
+    s.restore_failures = restore_failures_.load(std::memory_order_relaxed);
+    s.evict_skipped = evict_skipped_.load(std::memory_order_relaxed);
+    s.worker_parks = worker_parks_.load(std::memory_order_relaxed);
+    s.evict_ns = evict_ns_.snapshot();
+    s.restore_ns = restore_ns_.snapshot();
+    return s;
+  }
+
+ private:
+  /// Multi-writer increment (producer restore path races worker evictions).
+  static void add(std::atomic<std::uint64_t>& c) {
+    if constexpr (!kObsCompiled) return;
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> restores_{0};
+  std::atomic<std::uint64_t> restore_failures_{0};
+  std::atomic<std::uint64_t> evict_skipped_{0};
+  std::atomic<std::uint64_t> worker_parks_{0};
+  LatencyHistogram evict_ns_;
+  LatencyHistogram restore_ns_;
+};
+
+}  // namespace edgedrift::obs

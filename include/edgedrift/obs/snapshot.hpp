@@ -18,6 +18,7 @@
 #include "edgedrift/obs/counters.hpp"
 #include "edgedrift/obs/drift_journal.hpp"
 #include "edgedrift/obs/latency_histogram.hpp"
+#include "edgedrift/obs/shard_obs.hpp"
 
 namespace edgedrift::obs {
 
@@ -31,11 +32,28 @@ struct StreamSnapshot {
   HistogramSnapshot reconstruct;      ///< Recovery step, per sample.
   std::uint64_t drift_events_total = 0;  ///< Lifetime journal count.
   std::vector<DriftEvent> journal;       ///< Retained events, oldest first.
+
+  /// Merges another snapshot of the SAME stream (how PipelineManager folds
+  /// a live obs block into the history carried across evict/restore
+  /// cycles): counters and histograms add, journals concatenate in order.
+  /// Keeps this snapshot's stream_id.
+  StreamSnapshot& operator+=(const StreamSnapshot& o) {
+    counters += o.counters;
+    submit_to_drain += o.submit_to_drain;
+    score += o.score;
+    detect += o.detect;
+    reconstruct += o.reconstruct;
+    drift_events_total += o.drift_events_total;
+    journal.insert(journal.end(), o.journal.begin(), o.journal.end());
+    return *this;
+  }
 };
 
 /// Multi-stream aggregation with text and JSON exporters.
 struct Snapshot {
   std::vector<StreamSnapshot> streams;
+  /// One entry per serving shard (empty outside the sharded manager).
+  std::vector<ShardSnapshot> shards;
 
   /// Counters summed across streams (high-water is the max).
   CounterSnapshot totals() const;

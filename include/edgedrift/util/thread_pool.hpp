@@ -45,6 +45,13 @@ class ThreadPool {
   /// True when called from one of this pool's worker threads.
   static bool in_worker();
 
+  /// Marks the calling thread as an inline worker: parallel_for on it runs
+  /// the whole range inline, exactly as on a pool worker. PipelineManager's
+  /// shard drain workers call this so a pipeline's internal batch kernels
+  /// never fan out onto the shared pool mid-drain — cross-shard isolation
+  /// is the point of sharding.
+  static void mark_inline_worker();
+
   std::size_t size() const { return workers_.size(); }
 
   /// Process-wide pool sized to the hardware.

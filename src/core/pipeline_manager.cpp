@@ -1,3 +1,6 @@
+// PipelineManager: construction, ingestion (submit/submit_batch), the ring
+// drain, and the stats surfaces. The shard worker loop lives in
+// manager_shard.cpp; the eviction/restore layer in manager_eviction.cpp.
 #include "edgedrift/core/pipeline_manager.hpp"
 
 #include <algorithm>
@@ -32,52 +35,91 @@ void raise_high_water(std::atomic<std::size_t>& hw, std::size_t depth) {
   }
 }
 
+void set_status(SubmitStatus* status, SubmitStatus value) {
+  if (status != nullptr) *status = value;
+}
+
 }  // namespace
 
 PipelineManager::PipelineManager(const PipelineConfig& config,
-                                 std::size_t num_streams,
-                                 util::ThreadPool* pool)
-    : PipelineManager(config, num_streams, ManagerOptions{}, pool) {}
+                                 std::size_t num_streams)
+    : PipelineManager(config, num_streams, ManagerOptions{}) {}
 
 PipelineManager::PipelineManager(const PipelineConfig& config,
                                  std::size_t num_streams,
-                                 const ManagerOptions& options,
-                                 util::ThreadPool* pool)
-    : pool_(pool != nullptr ? pool : &util::ThreadPool::global()),
-      options_(options),
+                                 const ManagerOptions& options)
+    : options_(options),
+      template_config_(config),
       obs_on_(obs::kObsCompiled && config.obs.enabled) {
   EDGEDRIFT_ASSERT(num_streams > 0, "need at least one stream");
   EDGEDRIFT_ASSERT(options_.queue_capacity > 0, "queue_capacity must be > 0");
   EDGEDRIFT_ASSERT(options_.drain_batch_max > 0,
                    "drain_batch_max must be > 0");
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.numerics) template_config_.numerics = *options_.numerics;
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    if (!options_.cold_spill_dir.empty()) {
+      shard->cold.set_spill_dir(options_.cold_spill_dir);
+    }
+    shards_.push_back(std::move(shard));
+  }
   init_streams(config, num_streams);
+  if (options_.dispatch == DispatchMode::kShard) start_workers();
 }
 
 void PipelineManager::init_streams(const PipelineConfig& config,
                                    std::size_t num_streams) {
   streams_.reserve(num_streams);
   for (std::size_t i = 0; i < num_streams; ++i) {
-    PipelineConfig stream_config = config;
+    PipelineConfig stream_config = template_config_;
     stream_config.seed = config.seed + i;
-    if (options_.numerics) stream_config.numerics = *options_.numerics;
     auto stream = std::make_unique<Stream>();
+    stream->id = i;
+    stream->shard = shard_of(i);
     stream->pipeline = std::make_unique<Pipeline>(stream_config);
     stream->slab.resize_zero(options_.queue_capacity, config.input_dim);
     stream->labels.assign(options_.queue_capacity, -1);
     if (obs_on_) stream->submit_ns.assign(options_.queue_capacity, 0);
+    Shard& shard = *shards_[stream->shard];
+    {
+      std::lock_guard lock(shard.evict_mutex);
+      stream->hot_footprint_bytes = hot_footprint(*stream);
+      shard.lru.push_mru(stream.get());
+      ++shard.hot_streams;
+      shard.hot_bytes += stream->hot_footprint_bytes;
+    }
     streams_.push_back(std::move(stream));
   }
 }
 
-PipelineManager::~PipelineManager() { drain(); }
+PipelineManager::~PipelineManager() {
+  drain();
+  for (auto& shard : shards_) {
+    shard->stopping.store(true);
+    // Pin the worker either before its park recheck or inside the cv wait,
+    // then wake it — the same no-lost-wakeup argument producers use.
+    { std::lock_guard lock(shard->wake_mutex); }
+    shard->wake_cv.notify_all();
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
 
 Pipeline& PipelineManager::stream(std::size_t id) {
   EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  EDGEDRIFT_ASSERT(streams_[id]->pipeline != nullptr,
+                   "stream is evicted — restore it (submit) or check "
+                   "resident(id) first");
   return *streams_[id]->pipeline;
 }
 
 const Pipeline& PipelineManager::stream(std::size_t id) const {
   EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  EDGEDRIFT_ASSERT(streams_[id]->pipeline != nullptr,
+                   "stream is evicted — restore it (submit) or check "
+                   "resident(id) first");
   return *streams_[id]->pipeline;
 }
 
@@ -87,15 +129,33 @@ void PipelineManager::fit(std::size_t id, const linalg::Matrix& x,
 }
 
 bool PipelineManager::submit(std::size_t id, std::span<const double> x,
-                             int true_label) {
-  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+                             int true_label, SubmitStatus* status) {
+  set_status(status, SubmitStatus::kOk);
+  if (id >= streams_.size()) {
+    set_status(status, SubmitStatus::kUnknownStream);
+    return false;
+  }
   Stream& s = *streams_[id];
-  EDGEDRIFT_ASSERT(x.size() == s.slab.cols(), "sample dimension mismatch");
+  if (x.size() != template_config_.input_dim) {
+    set_status(status, SubmitStatus::kDimensionMismatch);
+    return false;
+  }
+  Shard& shard = *shards_[s.shard];
   const std::uint64_t capacity = options_.queue_capacity;
   {
     std::unique_lock lock(s.produce_mutex);
     bool counted_block = false;
     for (;;) {
+      // Checked inside the loop: every wait below releases produce_mutex,
+      // and an evictor may push the stream cold while this producer sleeps
+      // (space_waiters blocks that for the cv wait, but the kManual poll
+      // unlock has no such guard) — the slab must be re-materialized before
+      // any slot is written.
+      if (s.residency == Stream::Residency::kCold &&
+          !restore_cold(shard, s)) {
+        set_status(status, SubmitStatus::kRestoreFailed);
+        return false;
+      }
       const std::uint64_t tail = s.tail.load();
       if (tail - s.head.load() < capacity) break;
       if (options_.backpressure == BackpressurePolicy::kReject) {
@@ -116,7 +176,7 @@ bool PipelineManager::submit(std::size_t id, std::span<const double> x,
         continue;
       }
       // Make sure a consumer is actually running before sleeping on it.
-      maybe_schedule(s, id);
+      maybe_schedule(s);
       s.space_waiters.fetch_add(1);
       s.space_cv.wait(lock, [&] {
         return s.tail.load() - s.head.load() < capacity;
@@ -154,20 +214,31 @@ bool PipelineManager::submit(std::size_t id, std::span<const double> x,
     raise_high_water(s.telemetry.queue_high_water, depth);
     if (obs_on_) s.pipeline->obs().counters.update_ring_high_water(depth);
   }
-  maybe_schedule(s, id);
+  maybe_schedule(s);
   return true;
 }
 
 std::size_t PipelineManager::submit_batch(std::size_t id,
                                           const linalg::Matrix& x,
-                                          std::span<const int> true_labels) {
-  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+                                          std::span<const int> true_labels,
+                                          SubmitStatus* status) {
+  set_status(status, SubmitStatus::kOk);
+  if (id >= streams_.size()) {
+    set_status(status, SubmitStatus::kUnknownStream);
+    return 0;
+  }
   // A partial label span would silently pair rows with the wrong labels (or
-  // read past the span) — only all-or-nothing is accepted, loudly.
-  EDGEDRIFT_ASSERT(true_labels.empty() || true_labels.size() == x.rows(),
-                   "true_labels must be empty or exactly one per row");
+  // read past the span) — only all-or-nothing is accepted.
+  if (!true_labels.empty() && true_labels.size() != x.rows()) {
+    set_status(status, SubmitStatus::kBadLabelSpan);
+    return 0;
+  }
   Stream& s = *streams_[id];
-  EDGEDRIFT_ASSERT(x.cols() == s.slab.cols(), "sample dimension mismatch");
+  if (x.cols() != template_config_.input_dim) {
+    set_status(status, SubmitStatus::kDimensionMismatch);
+    return 0;
+  }
+  Shard& shard = *shards_[s.shard];
   const std::uint64_t capacity = options_.queue_capacity;
   std::size_t accepted = 0;
   {
@@ -175,6 +246,13 @@ std::size_t PipelineManager::submit_batch(std::size_t id,
     bool counted_block = false;
     std::size_t r = 0;
     while (r < x.rows()) {
+      // Re-checked per iteration: the waits below release produce_mutex
+      // (see submit()), so the stream may have gone cold mid-batch.
+      if (s.residency == Stream::Residency::kCold &&
+          !restore_cold(shard, s)) {
+        set_status(status, SubmitStatus::kRestoreFailed);
+        return accepted;
+      }
       const std::uint64_t tail = s.tail.load();
       const std::uint64_t avail = capacity - (tail - s.head.load());
       if (avail == 0) {
@@ -195,7 +273,7 @@ std::size_t PipelineManager::submit_batch(std::size_t id,
           lock.lock();
           continue;
         }
-        maybe_schedule(s, id);
+        maybe_schedule(s);
         s.space_waiters.fetch_add(1);
         s.space_cv.wait(lock, [&] {
           return s.tail.load() - s.head.load() < capacity;
@@ -233,34 +311,8 @@ std::size_t PipelineManager::submit_batch(std::size_t id,
       r += take;
     }
   }
-  if (accepted > 0) maybe_schedule(s, id);
+  if (accepted > 0) maybe_schedule(s);
   return accepted;
-}
-
-void PipelineManager::maybe_schedule(Stream& s, std::size_t id) {
-  if (options_.dispatch == DispatchMode::kManual) return;
-  if (s.scheduled.exchange(true)) return;  // A drain task already owns it.
-  active_.fetch_add(1);
-  pool_->submit_detached([this, id] { run_stream(id); });
-}
-
-void PipelineManager::run_stream(std::size_t id) {
-  Stream& s = *streams_[id];
-  for (;;) {
-    drain_burst(s);
-    // Handoff: clear the flag, then re-check for rows published in the
-    // gap. exchange(true) == false means we won the flag back and keep
-    // draining; true means a producer already scheduled a successor task.
-    s.scheduled.store(false);
-    if (s.tail.load() == s.head.load()) break;
-    if (s.scheduled.exchange(true)) break;
-  }
-  // The final decrement happens under done_mutex_ so a drain() waiter can
-  // only observe active_ == 0 after this task is past its last member
-  // access — the manager may be destroyed the moment the wait returns.
-  std::lock_guard lock(done_mutex_);
-  active_.fetch_sub(1);
-  if (pending_.load() == 0 && active_.load() == 0) done_cv_.notify_all();
 }
 
 std::size_t PipelineManager::drain_burst(Stream& s) {
@@ -380,14 +432,18 @@ void PipelineManager::notify_done() {
 void PipelineManager::poll(std::size_t id) {
   EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
   Stream& s = *streams_[id];
+  bool drained = false;
   for (;;) {
-    // Take the consumer role through the same flag the pool tasks use, so
-    // poll() never violates the one-consumer-per-stream invariant.
+    // Take the consumer role through the same flag the shard workers use,
+    // so poll() never violates the one-consumer-per-stream invariant.
     if (s.scheduled.exchange(true)) break;
     drain_burst(s);
+    drained = true;
     s.scheduled.store(false);
     if (s.tail.load() == s.head.load()) break;
   }
+  // Keep the LRU order and budget honest in manual mode too.
+  if (drained) after_drain(s);
   notify_done();
 }
 
@@ -428,29 +484,52 @@ const StreamTelemetry& PipelineManager::telemetry(std::size_t id) const {
 }
 
 const PipelineStats& PipelineManager::stats(std::size_t id) const {
-  return stream(id).stats();
+  EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
+  Stream& s = *streams_[id];
+  Shard& shard = *shards_[s.shard];
+  std::lock_guard lock(shard.evict_mutex);
+  s.stats_view = s.carried_stats;
+  if (s.residency == Stream::Residency::kHot) {
+    s.stats_view += s.pipeline->stats();
+  }
+  return s.stats_view;
 }
 
 obs::Snapshot PipelineManager::stats() const {
   obs::Snapshot snap;
   snap.streams.reserve(streams_.size());
   for (std::size_t i = 0; i < streams_.size(); ++i) {
-    snap.streams.push_back(streams_[i]->pipeline->obs().snapshot(i));
+    Stream& s = *streams_[i];
+    Shard& shard = *shards_[s.shard];
+    // The shard's evict mutex freezes this stream's residency for the read:
+    // the snapshot never observes a half-evicted stream. Uncontended unless
+    // an eviction or restore is in flight on the same shard.
+    std::lock_guard lock(shard.evict_mutex);
+    obs::StreamSnapshot ss;
+    if (s.carried_obs != nullptr) ss = *s.carried_obs;
+    ss.stream_id = i;
+    if (s.residency == Stream::Residency::kHot) {
+      ss += s.pipeline->obs().snapshot(i);
+    }
+    snap.streams.push_back(std::move(ss));
+  }
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->evict_mutex);
+    obs::ShardSnapshot sh = shard->obs.snapshot(shard->index);
+    sh.pinned = shard->pinned.load();
+    sh.hot_streams = shard->hot_streams;
+    sh.cold_streams = shard->cold_streams;
+    sh.hot_bytes = shard->hot_bytes;
+    sh.cold_bytes = shard->cold.bytes();
+    snap.shards.push_back(std::move(sh));
   }
   return snap;
 }
 
 PipelineStats PipelineManager::totals() const {
   PipelineStats totals;
-  for (const auto& s : streams_) {
-    const PipelineStats& st = s->pipeline->stats();
-    totals.samples += st.samples;
-    totals.drifts += st.drifts;
-    totals.recoveries += st.recoveries;
-    totals.recovery_samples += st.recovery_samples;
-    totals.batch_chunks += st.batch_chunks;
-    totals.batch_rows += st.batch_rows;
-  }
+  for (std::size_t i = 0; i < streams_.size(); ++i) totals += stats(i);
   return totals;
 }
 

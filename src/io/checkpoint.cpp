@@ -140,7 +140,7 @@ bool save_pipeline(std::ostream& out, const core::Pipeline& pipeline) {
 
 std::optional<core::Pipeline> load_pipeline(
     std::istream& in, std::optional<linalg::NumericsTier> expect_tier,
-    std::string* error) {
+    std::string* error, const core::PipelineConfig* runtime) {
   const auto fail = [error](const std::string& why) {
     if (error != nullptr) *error = why;
     return std::nullopt;
@@ -167,10 +167,31 @@ std::optional<core::Pipeline> load_pipeline(
                 "' — tiers are part of the drift-decision contract and "
                 "cannot be swapped on restore");
   }
+  if (runtime != nullptr) {
+    if (runtime->num_labels != config.num_labels ||
+        runtime->input_dim != config.input_dim ||
+        runtime->hidden_dim != config.hidden_dim) {
+      return fail("runtime config shape (num_labels/input_dim/hidden_dim) "
+                  "does not match the checkpoint");
+    }
+    if (runtime->detector.kind != drift::DetectorKind::kCentroid) {
+      return fail("runtime detector spec is not the centroid family — this "
+                  "checkpoint format only restores centroid detector state");
+    }
+  }
   // Construct with the persisted effective gate so the rebuilt detector
   // carries it from the start.
   core::PipelineConfig effective = config;
   effective.theta_error = theta_error;
+  if (runtime != nullptr) {
+    // Runtime-only fields the checkpoint deliberately does not persist:
+    // they describe the serving process, not the trained state.
+    effective.detector = runtime->detector;
+    effective.recovery = runtime->recovery;
+    effective.reconstruction = runtime->reconstruction;
+    effective.obs = runtime->obs;
+    effective.max_batch_rows = runtime->max_batch_rows;
+  }
   core::Pipeline pipeline(effective);
 
   // Verify projection integrity (same seed => identical weights).
@@ -245,13 +266,13 @@ bool save_pipeline_file(const std::string& path,
 
 std::optional<core::Pipeline> load_pipeline_file(
     const std::string& path, std::optional<linalg::NumericsTier> expect_tier,
-    std::string* error) {
+    std::string* error, const core::PipelineConfig* runtime) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     if (error != nullptr) *error = "cannot open " + path;
     return std::nullopt;
   }
-  return load_pipeline(in, expect_tier, error);
+  return load_pipeline(in, expect_tier, error, runtime);
 }
 
 }  // namespace edgedrift::io

@@ -1,7 +1,9 @@
 // int8 quantization kernels (see quant.hpp for the scheme and the error
-// model). The integer accumulations are plain ascending loops: they are
-// exact in int32, so there is no rounding to control and the compiler's
-// autovectorizer is free to do whatever it likes with them.
+// model). The integer accumulations run on the simd.hpp i8 lanes (AVX2
+// maddubs / NEON widening-mla / portable scalar): they are exact in int32,
+// so lane width and the two-row pairing below cannot change the result —
+// every backend produces the bit-identical accumulator the scalar loop
+// would.
 #include "edgedrift/linalg/quant.hpp"
 
 #include <algorithm>
@@ -113,12 +115,24 @@ void i8_matvec_transposed_dequant(const QuantizedMatrix& a,
   const std::size_t n = a.cols();
   std::int32_t* EDGEDRIFT_RESTRICT ap = acc.data();
   std::fill(ap, ap + n, 0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const std::int32_t xi = q_x[i];
-    if (xi == 0) continue;
-    const std::int8_t* EDGEDRIFT_RESTRICT qrow = a.q.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      ap[j] += xi * static_cast<std::int32_t>(qrow[j]);
+  // Row-pair dispatch: zero codes contribute nothing and are skipped; the
+  // surviving rows go through the fused two-row kernel (one pass over the
+  // accumulators per pair) with a single-row call for the odd tail.
+  std::size_t i = 0;
+  while (i < a.rows()) {
+    if (q_x[i] == 0) {
+      ++i;
+      continue;
+    }
+    std::size_t i2 = i + 1;
+    while (i2 < a.rows() && q_x[i2] == 0) ++i2;
+    if (i2 < a.rows()) {
+      simd::i8_scaled_accumulate2(q_x[i], a.q.data() + i * n, q_x[i2],
+                                  a.q.data() + i2 * n, ap, n);
+      i = i2 + 1;
+    } else {
+      simd::i8_scaled_accumulate(q_x[i], a.q.data() + i * n, ap, n);
+      i = i2;
     }
   }
   const float* EDGEDRIFT_RESTRICT sp = a.scales.data();

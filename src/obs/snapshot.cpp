@@ -106,6 +106,25 @@ std::string Snapshot::to_text() const {
            latency.str() + "\n";
   }
 
+  if (!shards.empty()) {
+    util::Table shard_table({"Shard", "hot", "cold", "hot-bytes",
+                             "cold-bytes", "evictions", "restores",
+                             "evict-p99<=", "restore-p99<=", "parks",
+                             "pinned"});
+    for (const ShardSnapshot& sh : shards) {
+      shard_table.add_row(
+          {std::to_string(sh.shard_id), fmt_u64(sh.hot_streams),
+           fmt_u64(sh.cold_streams), fmt_u64(sh.hot_bytes),
+           fmt_u64(sh.cold_bytes), fmt_u64(sh.evictions),
+           fmt_u64(sh.restores),
+           fmt_ns(static_cast<double>(sh.evict_ns.quantile_upper_ns(0.99))),
+           fmt_ns(static_cast<double>(
+               sh.restore_ns.quantile_upper_ns(0.99))),
+           fmt_u64(sh.worker_parks), sh.pinned ? "yes" : "no"});
+    }
+    out += "shards:\n" + shard_table.str() + "\n";
+  }
+
   util::Table journal({"Stream", "sample", "statistic", "theta", "window",
                        "action", "recovery"});
   for (const StreamSnapshot& s : streams) {
@@ -176,7 +195,35 @@ std::string Snapshot::to_json(std::string_view source) const {
     out += s.journal.empty() ? "]\n" : "\n      ]\n";
     out += i + 1 < streams.size() ? "    },\n" : "    }\n";
   }
-  out += "  ]\n}\n";
+  out += shards.empty() ? "  ]\n" : "  ],\n";
+  if (!shards.empty()) {
+    out += "  \"shards\": [\n";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      const ShardSnapshot& sh = shards[i];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"id\": %zu, \"pinned\": %s,\n"
+                    "      \"hot_streams\": %" PRIu64
+                    ", \"cold_streams\": %" PRIu64
+                    ", \"hot_bytes\": %" PRIu64 ", \"cold_bytes\": %" PRIu64
+                    ",\n"
+                    "      \"evictions\": %" PRIu64 ", \"restores\": %" PRIu64
+                    ", \"restore_failures\": %" PRIu64
+                    ", \"evict_skipped\": %" PRIu64
+                    ", \"worker_parks\": %" PRIu64 ",\n"
+                    "      \"latency\": {\n",
+                    sh.shard_id, sh.pinned ? "true" : "false",
+                    sh.hot_streams, sh.cold_streams, sh.hot_bytes,
+                    sh.cold_bytes, sh.evictions, sh.restores,
+                    sh.restore_failures, sh.evict_skipped, sh.worker_parks);
+      out += buf;
+      append_histogram_json(out, "evict", sh.evict_ns, false);
+      append_histogram_json(out, "restore", sh.restore_ns, true);
+      out += "      }\n";
+      out += i + 1 < shards.size() ? "    },\n" : "    }\n";
+    }
+    out += "  ]\n";
+  }
+  out += "}\n";
   return out;
 }
 

@@ -13,6 +13,8 @@ thread_local bool t_in_worker = false;
 
 bool ThreadPool::in_worker() { return t_in_worker; }
 
+void ThreadPool::mark_inline_worker() { t_in_worker = true; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());

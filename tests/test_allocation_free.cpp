@@ -246,9 +246,10 @@ TEST(AllocationFree, SteadyStateManagerSubmitDrainDoesNotAllocate) {
   // The serving path: submit_batch() copies rows into the preallocated ring
   // slab, the drain feeds contiguous slab ranges straight through
   // process_batch_range(), and take_steps(out) recycles both step buffers.
-  // Manual dispatch keeps the whole loop on this thread — the pool's task
-  // queue is the one part of kPool dispatch that touches the heap (once per
-  // scheduled burst, never per sample). Observability recording (counters,
+  // Manual dispatch keeps the whole loop on this thread — the shard
+  // workers' Treiber ready-stack nodes live inside the Stream structs, but
+  // handing off to another thread would make the allocation count racy, so
+  // the bound is measured single-threaded. Observability recording (counters,
   // submit->drain timestamps, sampled stage latencies) stays enabled
   // throughout, so the zero-allocation bound covers the instrumented path.
   constexpr std::size_t kDim = 48;

@@ -1,0 +1,428 @@
+// LRU eviction / cold-restore semantics of the sharded serving layer
+// (core::PipelineManager with hot_stream_budget / evict() / seed_cold_from):
+// the evict->restore round trip must be bit-identical at kExactF64 and
+// drift-decision-equivalent at kFastF32/kQuantI8, the hot set must track
+// LRU order under the budget, stats must carry across residency cycles, a
+// corrupted spill file must surface kRestoreFailed instead of crashing, and
+// eviction must stay data-race-free against concurrent submits and stats()
+// (this file runs under TSan and ASan/UBSan in CI).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "edgedrift/core/pipeline_manager.hpp"
+#include "edgedrift/data/drift_stream.hpp"
+#include "edgedrift/data/gaussian_concept.hpp"
+#include "edgedrift/linalg/numerics.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace {
+
+using edgedrift::core::DispatchMode;
+using edgedrift::core::ManagerOptions;
+using edgedrift::core::Pipeline;
+using edgedrift::core::PipelineConfig;
+using edgedrift::core::PipelineManager;
+using edgedrift::core::PipelineStep;
+using edgedrift::core::SubmitStatus;
+using edgedrift::data::Dataset;
+using edgedrift::data::GaussianClass;
+using edgedrift::data::GaussianConcept;
+using edgedrift::linalg::NumericsTier;
+using edgedrift::util::Rng;
+
+GaussianConcept pre_concept() {
+  GaussianClass a;
+  a.mean.assign(8, 0.2);
+  a.stddev = {0.15};
+  GaussianClass b;
+  b.mean.assign(8, 1.2);
+  b.stddev = {0.15};
+  return GaussianConcept({a, b});
+}
+
+GaussianConcept post_concept() {
+  GaussianClass a;
+  a.mean.assign(8, 0.2);
+  for (std::size_t j = 0; j < 8; j += 2) a.mean[j] += 0.9;
+  a.stddev = {0.2};
+  GaussianClass b;
+  b.mean.assign(8, 0.55);
+  for (std::size_t j = 0; j < 8; j += 2) b.mean[j] += 0.9;
+  b.stddev = {0.2};
+  return GaussianConcept({a, b});
+}
+
+PipelineConfig make_config() {
+  PipelineConfig config;
+  config.num_labels = 2;
+  config.input_dim = 8;
+  config.hidden_dim = 12;
+  config.window_size = 40;
+  config.detector_initial_count = 0;
+  config.reconstruction.n_search = 20;
+  config.reconstruction.n_update = 100;
+  config.reconstruction.n_total = 400;
+  config.seed = 7;
+  return config;
+}
+
+struct StreamData {
+  Dataset train;
+  Dataset test;
+};
+
+StreamData make_drift_stream(std::size_t seed, std::size_t samples = 1500) {
+  Rng rng(seed);
+  StreamData s;
+  s.train = edgedrift::data::draw(pre_concept(), 600, rng);
+  s.test = edgedrift::data::make_sudden_drift(pre_concept(), post_concept(),
+                                              samples, samples / 2, rng);
+  return s;
+}
+
+void expect_steps_equal(const std::vector<PipelineStep>& actual,
+                        const std::vector<PipelineStep>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE("sample " + std::to_string(i));
+    EXPECT_EQ(actual[i].prediction.label, expected[i].prediction.label);
+    EXPECT_EQ(actual[i].prediction.score, expected[i].prediction.score);
+    EXPECT_EQ(actual[i].drift_detected, expected[i].drift_detected);
+    EXPECT_EQ(actual[i].reconstructing, expected[i].reconstructing);
+    EXPECT_EQ(actual[i].reconstruction_finished,
+              expected[i].reconstruction_finished);
+  }
+}
+
+/// Runs `data` through a one-stream manager with evictions forced at each
+/// index in `evict_at` (sorted), returning the full step sequence. Every
+/// forced eviction must succeed, and the stream must come back
+/// transparently on the next submit.
+std::vector<PipelineStep> run_with_evictions(
+    const PipelineConfig& config, const ManagerOptions& options,
+    const StreamData& data, const std::vector<std::size_t>& evict_at) {
+  PipelineManager manager(config, 1, options);
+  manager.fit(0, data.train.x, data.train.labels);
+  std::size_t next_evict = 0;
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    if (next_evict < evict_at.size() && i == evict_at[next_evict]) {
+      manager.drain();
+      EXPECT_TRUE(manager.evict(0)) << "eviction refused at sample " << i;
+      EXPECT_FALSE(manager.resident(0));
+      ++next_evict;
+    }
+    SubmitStatus status = SubmitStatus::kOk;
+    EXPECT_TRUE(manager.submit(0, data.test.x.row(i), -1, &status));
+    EXPECT_EQ(status, SubmitStatus::kOk);
+  }
+  manager.drain();
+  EXPECT_TRUE(manager.resident(0));
+  return manager.take_steps(0);
+}
+
+// The f64 contract: interrupting a stream with evict -> cold store ->
+// restore cycles must not perturb a single bit of any step. The reference
+// is a plain sequential Pipeline fed the same samples.
+TEST(Eviction, EvictRestoreRoundTripIsBitIdenticalAtF64) {
+  const StreamData data = make_drift_stream(100);
+  const PipelineConfig config = make_config();
+
+  Pipeline reference(config);
+  reference.fit(data.train.x, data.train.labels);
+  std::vector<PipelineStep> expected;
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    expected.push_back(reference.process(data.test.x.row(i)));
+  }
+
+  // Evictions straddle the quiet phase, the drift point, and the
+  // post-recovery regime.
+  const std::vector<std::size_t> evict_at = {120, 700, 1300};
+  const auto actual =
+      run_with_evictions(config, ManagerOptions{}, data, evict_at);
+  expect_steps_equal(actual, expected);
+}
+
+/// Drift positions and predicted labels of a step sequence.
+struct DecisionTrace {
+  std::vector<std::size_t> drift_positions;
+  std::vector<int> labels;
+};
+
+DecisionTrace trace_of(const std::vector<PipelineStep>& steps) {
+  DecisionTrace t;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    t.labels.push_back(steps[i].prediction.label);
+    if (steps[i].drift_detected) t.drift_positions.push_back(i);
+  }
+  return t;
+}
+
+/// The reduced-precision contract: same drift events (within a small
+/// detection shift), near-total label agreement. The restored replica is
+/// requantized from the persisted f64 masters, so it may differ at the last
+/// bit from the incrementally-refreshed live replica — decisions, not bits,
+/// are what the tier guarantees (linalg/numerics.hpp).
+void check_decision_equivalent_under_eviction(NumericsTier tier) {
+  const StreamData data = make_drift_stream(200);
+  ManagerOptions options;
+  options.numerics = tier;
+
+  PipelineManager uninterrupted(make_config(), 1, options);
+  uninterrupted.fit(0, data.train.x, data.train.labels);
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    uninterrupted.submit(0, data.test.x.row(i));
+  }
+  uninterrupted.drain();
+  const DecisionTrace ref = trace_of(uninterrupted.take_steps(0));
+  ASSERT_GE(ref.drift_positions.size(), 1u)
+      << "scenario must actually drift or the comparison is vacuous";
+
+  const std::vector<std::size_t> evict_at = {120, 700, 1300};
+  const DecisionTrace evicted = trace_of(
+      run_with_evictions(make_config(), options, data, evict_at));
+
+  ASSERT_EQ(evicted.drift_positions.size(), ref.drift_positions.size());
+  for (std::size_t d = 0; d < ref.drift_positions.size(); ++d) {
+    const std::size_t a = ref.drift_positions[d];
+    const std::size_t b = evicted.drift_positions[d];
+    EXPECT_LE(a > b ? a - b : b - a, 25u) << "drift event " << d;
+  }
+  ASSERT_EQ(evicted.labels.size(), ref.labels.size());
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < ref.labels.size(); ++i) {
+    if (ref.labels[i] != evicted.labels[i]) ++disagreements;
+  }
+  EXPECT_LE(disagreements, ref.labels.size() / 200)
+      << "label agreement below 99.5%";
+}
+
+TEST(Eviction, EvictRestoreKeepsDriftDecisionsAtF32) {
+  check_decision_equivalent_under_eviction(NumericsTier::kFastF32);
+}
+
+TEST(Eviction, EvictRestoreKeepsDriftDecisionsAtI8) {
+  check_decision_equivalent_under_eviction(NumericsTier::kQuantI8);
+}
+
+// Pipeline counters must accumulate across residency cycles: stats(id)
+// reports carried + live, totals() sums hot and cold streams alike.
+TEST(Eviction, StatsCarryAcrossEvictRestoreCycles) {
+  const StreamData data = make_drift_stream(300, 600);
+  PipelineManager manager(make_config(), 1);
+  manager.fit(0, data.train.x, data.train.labels);
+
+  for (std::size_t i = 0; i < 200; ++i) {
+    manager.submit(0, data.test.x.row(i));
+  }
+  manager.drain();
+  ASSERT_TRUE(manager.evict(0));
+  EXPECT_EQ(manager.stats(0).samples, 200u);  // Carried while cold.
+  EXPECT_EQ(manager.totals().samples, 200u);
+
+  for (std::size_t i = 200; i < 600; ++i) {
+    manager.submit(0, data.test.x.row(i));
+  }
+  manager.drain();
+  EXPECT_EQ(manager.stats(0).samples, 600u);  // Carried + live.
+  EXPECT_EQ(manager.totals().samples, 600u);
+
+  const edgedrift::obs::Snapshot snap = manager.stats();
+  ASSERT_EQ(snap.streams.size(), 1u);
+  ASSERT_EQ(snap.shards.size(), 1u);
+  EXPECT_EQ(snap.shards[0].evictions, 1u);
+  EXPECT_EQ(snap.shards[0].restores, 1u);
+  EXPECT_EQ(snap.shards[0].hot_streams, 1u);
+  EXPECT_EQ(snap.shards[0].cold_streams, 0u);
+}
+
+// With a hot budget under manual dispatch the resident set must be exactly
+// the budget's worth of most-recently-drained streams — the LRU property,
+// checked against a model of the expected recency order at every step.
+TEST(Eviction, HotSetTracksLruOrderUnderBudget) {
+  constexpr std::size_t kStreams = 5;
+  constexpr std::size_t kBudget = 2;
+  const StreamData data = make_drift_stream(400, 300);
+
+  ManagerOptions options;
+  options.dispatch = DispatchMode::kManual;
+  options.hot_stream_budget = kBudget;
+
+  PipelineManager manager(make_config(), kStreams, options);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    manager.fit(s, data.train.x, data.train.labels);
+  }
+
+  // A deterministic pseudo-random stream schedule; the model below tracks
+  // most-recently-used order by hand.
+  Rng rng(9);
+  std::vector<std::size_t> recency;  // Front = most recent.
+  std::size_t row = 0;
+  for (std::size_t step = 0; step < 200; ++step) {
+    const std::size_t s =
+        static_cast<std::size_t>(rng.uniform() * kStreams) % kStreams;
+    ASSERT_TRUE(manager.submit(s, data.test.x.row(row)));
+    row = (row + 1) % data.test.size();
+    manager.poll(s);
+
+    auto it = std::find(recency.begin(), recency.end(), s);
+    if (it != recency.end()) recency.erase(it);
+    recency.insert(recency.begin(), s);
+
+    EXPECT_LE(manager.hot_streams(), kBudget);
+    for (std::size_t r = 0; r < recency.size(); ++r) {
+      SCOPED_TRACE("step " + std::to_string(step) + " recency rank " +
+                   std::to_string(r));
+      EXPECT_EQ(manager.resident(recency[r]), r < kBudget);
+    }
+  }
+  EXPECT_EQ(manager.hot_streams() + manager.cold_streams(), kStreams);
+}
+
+// evict() refuses streams that are not evictable: unknown ids, already-cold
+// streams, and unfitted pipelines (nothing serializable yet).
+TEST(Eviction, EvictRefusesIneligibleStreams) {
+  const StreamData data = make_drift_stream(500, 200);
+  PipelineManager manager(make_config(), 2);
+  manager.fit(0, data.train.x, data.train.labels);
+  // Stream 1 stays unfitted.
+
+  EXPECT_FALSE(manager.evict(99));  // Unknown id.
+  EXPECT_FALSE(manager.evict(1));   // Unfitted — nothing to serialize.
+  EXPECT_TRUE(manager.resident(1));
+
+  ASSERT_TRUE(manager.evict(0));
+  EXPECT_FALSE(manager.evict(0));  // Already cold.
+  EXPECT_FALSE(manager.resident(0));
+}
+
+// Cold blobs spill to disk when a spill dir is configured; a truncated
+// spill file must surface SubmitStatus::kRestoreFailed on the next submit
+// instead of crashing, and the stream must stay addressable (cold).
+TEST(Eviction, CorruptSpillFileReportsRestoreFailed) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "edgedrift-eviction-spill";
+  fs::create_directories(dir);
+
+  const StreamData data = make_drift_stream(600, 200);
+  ManagerOptions options;
+  options.cold_spill_dir = dir.string();
+
+  PipelineManager manager(make_config(), 1, options);
+  manager.fit(0, data.train.x, data.train.labels);
+  for (std::size_t i = 0; i < 50; ++i) manager.submit(0, data.test.x.row(i));
+  manager.drain();
+  ASSERT_TRUE(manager.evict(0));
+
+  const fs::path blob = dir / "edgedrift-stream-0.ckpt";
+  ASSERT_TRUE(fs::exists(blob)) << "eviction must have spilled to disk";
+  ASSERT_GT(fs::file_size(blob), 64u);
+  fs::resize_file(blob, fs::file_size(blob) / 2);  // Truncate: corrupt.
+
+  SubmitStatus status = SubmitStatus::kOk;
+  EXPECT_FALSE(manager.submit(0, data.test.x.row(50), -1, &status));
+  EXPECT_EQ(status, SubmitStatus::kRestoreFailed);
+  EXPECT_FALSE(manager.resident(0));
+
+  const edgedrift::obs::Snapshot snap = manager.stats();
+  ASSERT_EQ(snap.shards.size(), 1u);
+  EXPECT_GE(snap.shards[0].restore_failures, 1u);
+  fs::remove_all(dir);
+}
+
+// seed_cold_from registers a large population cold from one serialized
+// template; any seeded id becomes an independent resident pipeline on its
+// first submit.
+TEST(Eviction, SeedColdFromRegistersPopulationCold) {
+  const StreamData data = make_drift_stream(700, 200);
+  ManagerOptions options;
+  options.hot_stream_budget = 4;
+  PipelineManager manager(make_config(), 1, options);
+  manager.fit(0, data.train.x, data.train.labels);
+
+  const std::size_t first = manager.seed_cold_from(0, 500);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(manager.num_streams(), 501u);
+  EXPECT_EQ(manager.hot_streams(), 1u);
+  EXPECT_EQ(manager.cold_streams(), 500u);
+
+  // Touch a handful of seeded streams: each restores from the template and
+  // processes on its own.
+  for (std::size_t id : {first, first + 123, first + 499}) {
+    SubmitStatus status = SubmitStatus::kOk;
+    ASSERT_TRUE(manager.submit(id, data.test.x.row(0), -1, &status));
+    EXPECT_EQ(status, SubmitStatus::kOk);
+  }
+  manager.drain();
+  for (std::size_t id : {first, first + 123, first + 499}) {
+    EXPECT_EQ(manager.stats(id).samples, 1u);
+  }
+  // The budget kept the hot set bounded despite the restores.
+  EXPECT_LE(manager.hot_streams(), options.hot_stream_budget);
+  EXPECT_EQ(manager.hot_streams() + manager.cold_streams(), 501u);
+}
+
+// The race surface of the eviction layer: concurrent producers, a stats()
+// poller, and an evictor hammering the same small hot budget. Run under
+// TSan in CI; the invariant checked here is only that no sample is lost.
+TEST(Eviction, EvictionRacesSubmitAndStats) {
+  constexpr std::size_t kStreams = 6;
+  constexpr std::size_t kPerStream = 300;
+  const StreamData data = make_drift_stream(800, 400);
+
+  ManagerOptions options;
+  options.shards = 2;
+  options.hot_stream_budget = 1;
+  options.queue_capacity = 32;
+
+  PipelineManager manager(make_config(), kStreams, options);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    manager.fit(s, data.train.x, data.train.labels);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const edgedrift::obs::Snapshot snap = manager.stats();
+      ASSERT_EQ(snap.shards.size(), 2u);
+      (void)manager.hot_streams();
+    }
+  });
+  std::thread evictor([&] {
+    std::size_t id = 0;
+    while (!stop.load()) {
+      (void)manager.evict(id);
+      id = (id + 1) % kStreams;
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < 2; ++t) {
+    producers.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerStream; ++i) {
+        for (std::size_t s = t; s < kStreams; s += 2) {
+          ASSERT_TRUE(manager.submit(s, data.test.x.row(i % 400)));
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  stop.store(true);
+  poller.join();
+  evictor.join();
+  manager.drain();
+
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    EXPECT_EQ(manager.stats(s).samples, kPerStream) << "stream " << s;
+  }
+  EXPECT_EQ(manager.totals().samples, kStreams * kPerStream);
+}
+
+}  // namespace

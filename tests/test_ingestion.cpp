@@ -2,8 +2,8 @@
 // per-stream FIFO and step-for-step equality against a sequential Pipeline
 // reference under chunked drain, ring-wrap tails, backpressure kBlock vs
 // kReject, manual dispatch (submit-then-poll), multi-producer submission
-// into distinct streams, telemetry accounting, and the loud failure on a
-// partial true_labels span.
+// into distinct streams, telemetry accounting, and the typed SubmitStatus
+// errors on malformed requests (unknown id, partial label span, bad width).
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -27,6 +27,7 @@ using edgedrift::core::PipelineConfig;
 using edgedrift::core::PipelineManager;
 using edgedrift::core::PipelineStep;
 using edgedrift::core::StreamTelemetry;
+using edgedrift::core::SubmitStatus;
 using edgedrift::data::Dataset;
 using edgedrift::data::GaussianClass;
 using edgedrift::data::GaussianConcept;
@@ -342,20 +343,44 @@ TEST(Ingestion, BatchDrainRoutesThroughProcessBatch) {
   EXPECT_EQ(manager.totals().batch_rows, manager.stats(0).batch_rows);
 }
 
-// A partial true_labels span must fail loudly — silently pairing rows with
-// the wrong labels (or reading past the span) corrupts the supervised
-// error stream of DDM/EDDM/ADWIN.
-TEST(IngestionDeathTest, SubmitBatchRejectsPartialLabelSpan) {
+// Malformed submissions must fail with a typed status instead of asserting:
+// a serving layer fed by untrusted ids cannot crash the process on a bad
+// request. A partial true_labels span in particular would silently pair
+// rows with the wrong labels and corrupt the supervised error stream.
+TEST(Ingestion, SubmitReturnsTypedErrorsInsteadOfAsserting) {
   const auto data = make_streams(1, 100);
   PipelineManager manager(make_config(), 1);
   manager.fit(0, data[0].train.x, data[0].train.labels);
 
+  SubmitStatus status = SubmitStatus::kOk;
+
+  // Unknown stream id: both entry points refuse and name the cause.
+  EXPECT_FALSE(manager.submit(99, data[0].test.x.row(0), -1, &status));
+  EXPECT_EQ(status, SubmitStatus::kUnknownStream);
+  EXPECT_EQ(manager.submit_batch(99, data[0].test.x, {}, &status), 0u);
+  EXPECT_EQ(status, SubmitStatus::kUnknownStream);
+
+  // Partial / excess label spans: all-or-nothing.
   std::vector<int> partial(data[0].test.size() - 1, 0);
-  EXPECT_DEATH(manager.submit_batch(0, data[0].test.x, partial),
-               "true_labels must be empty or exactly one per row");
+  EXPECT_EQ(manager.submit_batch(0, data[0].test.x, partial, &status), 0u);
+  EXPECT_EQ(status, SubmitStatus::kBadLabelSpan);
   std::vector<int> excess(data[0].test.size() + 1, 0);
-  EXPECT_DEATH(manager.submit_batch(0, data[0].test.x, excess),
-               "true_labels must be empty or exactly one per row");
+  EXPECT_EQ(manager.submit_batch(0, data[0].test.x, excess, &status), 0u);
+  EXPECT_EQ(status, SubmitStatus::kBadLabelSpan);
+
+  // Row width that does not match the configured input_dim.
+  const std::vector<double> narrow(4, 0.0);
+  EXPECT_FALSE(manager.submit(0, narrow, -1, &status));
+  EXPECT_EQ(status, SubmitStatus::kDimensionMismatch);
+  edgedrift::linalg::Matrix wide(2, 16);
+  EXPECT_EQ(manager.submit_batch(0, wide, {}, &status), 0u);
+  EXPECT_EQ(status, SubmitStatus::kDimensionMismatch);
+
+  // None of the failures disturbed the stream: a good submit still lands.
+  EXPECT_TRUE(manager.submit(0, data[0].test.x.row(0), -1, &status));
+  EXPECT_EQ(status, SubmitStatus::kOk);
+  manager.drain();
+  EXPECT_EQ(manager.telemetry(0).processed, 1u);
 }
 
 }  // namespace

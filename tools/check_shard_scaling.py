@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate the sharded serving layer's drain-scaling efficiency.
+
+Reads an edgedrift-bench-v1 JSON file produced by bench_manager_throughput
+and checks the shard-sweep rows
+
+    nsl-kdd-c23/streams=8/drain=batch/shards=<N>/hot=all
+
+for near-linear drain scaling. Because per-stream drains are independent,
+the ideal speedup of N shards over 1 is min(N, cores) — bounded by the
+machine, not the shard count — so the gate is core-count-normalized:
+
+    efficiency(N) = (sps[N] / sps[1]) / min(N, cores)
+
+must be >= --threshold (default 0.7) at N = 4. The normalization keeps the
+check meaningful on constrained runners: on a single-core container the
+ideal speedup is 1.0x and the gate degenerates to "sharding must not cost
+more than 30%", while on a 4+-core runner it demands a real >= 2.8x.
+
+The hot=half sibling rows (eviction churn in the loop) are reported for
+context but not gated — eviction cost has its own latency histograms in
+the obs snapshot.
+
+Exit code 0 when efficient, 1 when below threshold or records are missing.
+"""
+import argparse
+import json
+import os
+import re
+import sys
+
+ROW_RE = re.compile(
+    r"^nsl-kdd-c23/streams=8/drain=batch/shards=(\d+)/hot=(all|half)$"
+)
+GATED_SHARDS = 4
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="bench_manager_throughput --json output")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.7,
+        help="min core-normalized efficiency at 4 shards (default 0.7)",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=0,
+        help="override detected core count (default: os.cpu_count())",
+    )
+    args = parser.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    if data.get("schema") != "edgedrift-bench-v1":
+        print(f"unexpected schema: {data.get('schema')!r}", file=sys.stderr)
+        return 1
+
+    sweep = {}
+    for row in data.get("results", []):
+        m = ROW_RE.match(row.get("name", ""))
+        if m:
+            sweep[(int(m.group(1)), m.group(2))] = row["samples_per_second"]
+
+    needed = [(1, "all"), (GATED_SHARDS, "all")]
+    missing = [k for k in needed if k not in sweep]
+    if missing:
+        print(f"missing shard-sweep records: {missing}", file=sys.stderr)
+        return 1
+
+    cores = args.cores if args.cores > 0 else (os.cpu_count() or 1)
+    base = sweep[(1, "all")]
+    if base <= 0.0:
+        print(f"1-shard throughput is {base}; cannot compare", file=sys.stderr)
+        return 1
+
+    ok = True
+    for (shards, hot), sps in sorted(sweep.items()):
+        speedup = sps / base
+        ideal = min(shards, cores)
+        eff = speedup / ideal
+        gated = shards == GATED_SHARDS and hot == "all"
+        verdict = ""
+        if gated:
+            if eff < args.threshold:
+                ok = False
+                verdict = f"  <-- FAIL (< {args.threshold:.2f})"
+            else:
+                verdict = f"  (gate: >= {args.threshold:.2f}, ok)"
+        print(
+            f"shards={shards} hot={hot}: {sps / 1e3:8.1f} ksamples/s, "
+            f"speedup {speedup:.2f}x, efficiency {eff:.2f} "
+            f"(ideal {ideal}x on {cores} cores){verdict}"
+        )
+
+    if not ok:
+        print("shard drain scaling below efficiency threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
