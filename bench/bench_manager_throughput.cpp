@@ -35,6 +35,13 @@
 // recording cost under its budget. Pass `--stats-json <path>` to also
 // dump the obs=on manager's edgedrift-obs-v1 snapshot.
 //
+// The nsl-kdd section also carries the coalescing ablation: a seeded
+// projection group of 16/64 resident streams drained at 1-8 pending
+// rows/stream with the cross-stream planner on vs off
+// (DrainOptions::coalesce). The resident=64 records feed
+// tools/check_coalesce_gain.py, which perf-smoke CI uses to gate the
+// mega-batch drain's advantage at high density.
+//
 // The nsl-kdd-c23 section additionally sweeps the serving shards (1/2/4/8
 // core-pinned workers × hot=all|half) — those records feed
 // tools/check_shard_scaling.py, which gates drain-scaling efficiency
@@ -43,8 +50,10 @@
 // end-to-end restore+drain+evict throughput over a rotating touched
 // subset under a 64-stream hot budget.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,6 +65,7 @@
 #include "edgedrift/data/gaussian_concept.hpp"
 #include "edgedrift/data/nsl_kdd_like.hpp"
 #include "edgedrift/data/stream.hpp"
+#include "edgedrift/linalg/numerics.hpp"
 #include "edgedrift/util/rng.hpp"
 #include "edgedrift/util/stopwatch.hpp"
 #include "edgedrift/util/table.hpp"
@@ -97,12 +107,129 @@ double run_rep(core::PipelineManager& manager, const linalg::Matrix& stream,
                        : 0.0;
 }
 
-bench::KernelRecord make_record(const std::string& name, double sps) {
+bench::KernelRecord make_record(const std::string& name, double sps,
+                                const char* precision = "f64") {
   bench::KernelRecord rec;
   rec.name = name;
+  rec.precision = precision;
   rec.samples_per_second = sps;
   rec.ns_per_op = sps > 0.0 ? 1e9 / sps : 0.0;
   return rec;
+}
+
+/// Coalescing ablation: `resident` streams seeded from one fitted template
+/// (so the whole population is one projection group) each carrying `burst`
+/// pending rows per drain cycle — the high-density regime the drain planner
+/// targets, where the per-stream path runs one tiny projection GEMM per
+/// stream. kManual dispatch so every drain() is exactly one planning pass
+/// over all resident streams; coalesce on vs off interleaved rep by rep,
+/// best-of. `tier` runs the whole comparison under a numerics override
+/// (records carry it in `precision`).
+void run_coalesce_ablation(const core::PipelineConfig& config,
+                           const data::Dataset& train,
+                           const linalg::Matrix& stream,
+                           std::size_t resident, std::size_t burst,
+                           std::optional<linalg::NumericsTier> tier,
+                           const char* precision, util::Table& table,
+                           std::vector<bench::KernelRecord>& records) {
+  constexpr std::size_t kSamplesPerRep = 8192;
+  constexpr std::size_t kBlockRotation = 32;
+  const std::size_t rounds =
+      std::max<std::size_t>(1, kSamplesPerRep / (resident * burst));
+
+  // Rotating pre-built submit blocks: no per-submit Matrix construction on
+  // the measured path, modest variety so the windows don't degenerate.
+  std::vector<linalg::Matrix> blocks;
+  for (std::size_t b = 0; b < kBlockRotation; ++b) {
+    linalg::Matrix block(burst, stream.cols());
+    for (std::size_t r = 0; r < burst; ++r) {
+      block.set_row(r, stream.row((b * burst + r) % stream.rows()));
+    }
+    blocks.push_back(std::move(block));
+  }
+
+  std::vector<ModeRun> modes(2);
+  modes[0].label = "coalesce=on";
+  modes[1].label = "coalesce=off";
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    core::ManagerOptions options;
+    options.dispatch = core::DispatchMode::kManual;
+    options.queue_capacity = std::max<std::size_t>(64, burst);
+    options.drain_opts.coalesce = m == 0;
+    options.numerics = tier;
+    modes[m].options = options;
+    modes[m].manager =
+        std::make_unique<core::PipelineManager>(config, 1, options);
+    modes[m].manager->fit(0, train.x, train.labels);
+    modes[m].manager->seed_cold_from(0, resident - 1);
+    // Warm every seeded stream hot once so the measured reps never pay the
+    // first-touch restore.
+    for (std::size_t s = 0; s < resident; ++s) {
+      modes[m].manager->submit_batch(s, blocks[0]);
+    }
+    modes[m].manager->drain();
+    for (std::size_t s = 0; s < resident; ++s) {
+      modes[m].manager->take_steps(s);
+    }
+  }
+
+  // More reps than the stream-count sweeps, and median instead of best-of:
+  // the on/off ratio feeds a CI gate (tools/check_coalesce_gain.py), and a
+  // best-of ratio is biased by whichever mode draws the luckier outlier —
+  // the interleaved medians estimate the typical cost of each mode.
+  constexpr std::size_t kCoalesceReps = 9;
+  std::array<std::vector<double>, 2> rep_sps;
+  for (std::size_t rep = 0; rep < kCoalesceReps; ++rep) {
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      util::Stopwatch clock;
+      for (std::size_t round = 0; round < rounds; ++round) {
+        const linalg::Matrix& block = blocks[round % kBlockRotation];
+        for (std::size_t s = 0; s < resident; ++s) {
+          modes[m].manager->submit_batch(s, block);
+        }
+        modes[m].manager->drain();
+      }
+      const double seconds = clock.elapsed_seconds();
+      const double sps =
+          seconds > 0.0
+              ? static_cast<double>(resident * burst * rounds) / seconds
+              : 0.0;
+      rep_sps[m].push_back(sps);
+      for (std::size_t s = 0; s < resident; ++s) {
+        modes[m].manager->take_steps(s);
+      }
+    }
+  }
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    auto& reps = rep_sps[m];
+    auto mid = reps.begin() + reps.size() / 2;
+    std::nth_element(reps.begin(), mid, reps.end());
+    modes[m].best_samples_per_second = *mid;
+  }
+
+  const std::string prefix = "nsl-kdd/coalesce/resident=" +
+                             std::to_string(resident) +
+                             "/burst=" + std::to_string(burst);
+  const double off = modes[1].best_samples_per_second;
+  for (const ModeRun& m : modes) {
+    const double sps = m.best_samples_per_second;
+    table.add_row({"nsl-kdd",
+                   std::to_string(resident) + std::string("/") + precision,
+                   "burst=" + std::to_string(burst) + "/" + m.label,
+                   util::fmt(sps > 0.0 ? 1e9 / sps : 0.0, 0),
+                   util::fmt(sps / 1e3, 1),
+                   util::fmt(off > 0.0 ? sps / off : 0.0, 2)});
+    records.push_back(
+        make_record(prefix + "/" + m.label, sps, precision));
+  }
+  const obs::Snapshot snap = modes[0].manager->stats();
+  const obs::ShardSnapshot& sh = snap.shards[0];
+  std::printf(
+      "coalesce resident=%zu burst=%zu (%s): %llu mega-batch GEMMs, "
+      "%.1f rows/GEMM, %llu fallback streams\n",
+      resident, burst, precision,
+      static_cast<unsigned long long>(sh.coalesced_gemms), sh.rows_per_gemm(),
+      static_cast<unsigned long long>(sh.coalesce_fallbacks));
 }
 
 /// Interleaved best-of comparison of the sample-wise baseline vs the
@@ -271,6 +398,29 @@ int main(int argc, char** argv) {
         } else {
           std::fprintf(stderr, "cannot write %s\n", stats_json_path.c_str());
         }
+      }
+    }
+
+    // Coalescing ablation: resident-streams sweep at 1-8 pending
+    // samples/stream — the high-density drain regime. Every resident
+    // population is one seeded projection group; coalesce=off is the
+    // per-stream drain over identical submissions. The 64-resident rows
+    // feed tools/check_coalesce_gain.py (perf-smoke gates coalesced >=
+    // 1.3x per-stream there); the i8 rows show the gain carries to the
+    // density tier.
+    {
+      core::PipelineConfig frozen = config;
+      frozen.recovery = core::RecoveryPolicy::kDetectOnly;
+      for (const std::size_t resident : {16UL, 64UL}) {
+        for (const std::size_t burst : {1UL, 4UL, 8UL}) {
+          run_coalesce_ablation(frozen, train, stationary.x, resident, burst,
+                                std::nullopt, "f64", table, records);
+        }
+      }
+      for (const std::size_t burst : {1UL, 8UL}) {
+        run_coalesce_ablation(frozen, train, stationary.x, 64, burst,
+                              linalg::NumericsTier::kQuantI8, "i8", table,
+                              records);
       }
     }
   }

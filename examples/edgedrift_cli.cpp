@@ -247,10 +247,16 @@ int run_serve(const Options& opts, const data::Dataset& train,
   const obs::Snapshot snapshot = manager.stats();
   std::uint64_t evictions = 0;
   std::uint64_t restores = 0;
+  std::uint64_t coalesced_gemms = 0;
+  std::uint64_t coalesced_rows = 0;
+  std::uint64_t coalesce_fallbacks = 0;
   bool pinned = !snapshot.shards.empty();
   for (const auto& sh : snapshot.shards) {
     evictions += sh.evictions;
     restores += sh.restores;
+    coalesced_gemms += sh.coalesced_gemms;
+    coalesced_rows += sh.coalesced_rows;
+    coalesce_fallbacks += sh.coalesce_fallbacks;
     pinned = pinned && sh.pinned;
   }
 
@@ -272,8 +278,29 @@ int run_serve(const Options& opts, const data::Dataset& train,
   summary.add_row({"drift detections", std::to_string(totals.drifts)});
   summary.add_row({"evictions", std::to_string(evictions)});
   summary.add_row({"restores", std::to_string(restores)});
+  summary.add_row({"mega-batch GEMMs", std::to_string(coalesced_gemms)});
+  summary.add_row(
+      {"rows / mega-batch",
+       coalesced_gemms > 0
+           ? util::fmt(static_cast<double>(coalesced_rows) /
+                           static_cast<double>(coalesced_gemms),
+                       1)
+           : std::string("-")});
+  summary.add_row({"coalesce fallbacks", std::to_string(coalesce_fallbacks)});
   summary.add_row({"workers pinned", pinned ? "yes" : "no"});
   std::printf("%s\n", summary.str().c_str());
+
+  if (opts.stats) {
+    std::printf("observability snapshot:\n%s\n", snapshot.to_text().c_str());
+  }
+  if (!opts.stats_json.empty()) {
+    if (!snapshot.write_json(opts.stats_json, "edgedrift_cli")) {
+      std::fprintf(stderr, "failed to write %s\n", opts.stats_json.c_str());
+      return 1;
+    }
+    std::printf("observability snapshot written to %s\n",
+                opts.stats_json.c_str());
+  }
   return 0;
 }
 

@@ -47,8 +47,13 @@ class ColdStore {
   /// point, where many ids deliberately share one template blob.
   void put_memory(std::uint64_t id, std::shared_ptr<const std::string> blob);
 
-  /// The blob for `id`; nullptr when absent or when a spilled file cannot
-  /// be read back. Does not remove the entry.
+  /// The blob for `id`; nullptr when absent, when a spilled file cannot be
+  /// read back, or when the read-back bytes fail the checksum recorded at
+  /// put() time (a truncated or bit-flipped spill file is reported as a
+  /// restore failure here, before the checkpoint parser ever sees it).
+  /// Verification is folded into the single read pass — the file is read
+  /// once and hashed from the in-memory buffer, never re-read. Does not
+  /// remove the entry.
   std::shared_ptr<const std::string> peek(std::uint64_t id) const;
 
   /// Drops the entry (and deletes its spill file, if any).
@@ -68,6 +73,10 @@ class ColdStore {
     std::shared_ptr<const std::string> blob;  ///< Null when spilled.
     std::string path;                         ///< Spill file, or empty.
     std::size_t bytes = 0;
+    /// FNV-1a of the blob, recorded when a spilled entry is written and
+    /// verified by peek() when it is read back. In-memory entries skip it —
+    /// their bytes never leave the process.
+    std::uint64_t checksum = 0;
   };
 
   std::string spill_path_locked(std::uint64_t id) const;

@@ -169,6 +169,48 @@ class Pipeline {
                            std::span<const int> true_labels,
                            std::vector<PipelineStep>& out);
 
+  /// process_batch_range with the hidden-space projection supplied by the
+  /// caller: `hidden` row i holds g(x.row(i) * A + b) for this pipeline's
+  /// projection (or any projection with an equal fingerprint — see
+  /// projection_fingerprint()). This is the scatter half of the serving
+  /// layer's coalesced drain: the shard worker projects one mega-batch for
+  /// a whole projection group, then each member stream scores its row block
+  /// through here without re-running the GEMM. The projection is immutable
+  /// and row-independent, so the steps are bit-identical to
+  /// process_batch_range() on the same rows at f64 and identical in the
+  /// approximate tiers — including across a mid-range drift: once a
+  /// recovery starts, the remaining rows fall back to the sequential
+  /// recovery path exactly as process_batch_range() does (the supplied
+  /// hidden rows stay valid regardless, since recovery retrains beta, never
+  /// the projection).
+  void process_batch_from_hidden(const linalg::Matrix& x,
+                                 const linalg::Matrix& hidden,
+                                 std::size_t row_begin, std::size_t row_end,
+                                 std::span<const int> true_labels,
+                                 std::vector<PipelineStep>& out);
+
+  /// Scalar process() with the hidden-space projection supplied by the
+  /// caller (same contract on `hidden` as process_batch_from_hidden, for
+  /// one row). The coalesced drain's single-row scatter path: a 1-row
+  /// member pays the lean per-sample step — exactly what the per-stream
+  /// drain's burst==1 fast path pays, minus the projection matvec — instead
+  /// of the batch machinery. Bit-identical to process(x, true_label) at
+  /// f64; falls back to the sequential recovery path exactly as process()
+  /// does (`hidden` is unused there — recovery retrains beta, never the
+  /// projection).
+  PipelineStep process_from_hidden(std::span<const double> x,
+                                   std::span<const double> hidden,
+                                   int true_label = -1);
+
+  /// Identity of this pipeline's shared-projection coalescing group: the
+  /// projection's alpha/bias/shape/activation fingerprint folded with the
+  /// numerics tier. Equal values guarantee bit-identical hidden batches and
+  /// the same scoring replica format, which is the precondition for the
+  /// serving layer to share one projection GEMM across streams. Recorded at
+  /// construction, carried through checkpoints (the restored projection
+  /// recomputes the same digest from the same bytes).
+  std::uint64_t projection_fingerprint() const { return projection_fp_; }
+
   bool fitted() const { return fitted_; }
   bool reconstructing() const {
     return state_ == RecoveryState::kReconstructing;
@@ -257,7 +299,18 @@ class Pipeline {
            state_ == RecoveryState::kCollectingReference;
   }
 
+  /// Shared body of process_batch_range / process_batch_from_hidden. When
+  /// `hidden` is non-null its rows [row_begin, row_end) are used in place of
+  /// the projection GEMM.
+  void process_batch_range_impl(const linalg::Matrix& x,
+                                const linalg::Matrix* hidden,
+                                std::size_t row_begin, std::size_t row_end,
+                                std::span<const int> true_labels,
+                                std::vector<PipelineStep>& out);
+
   model::Prediction timed_predict(std::span<const double> x);
+  model::Prediction timed_predict_from_hidden(std::span<const double> x,
+                                              std::span<const double> hidden);
   /// count_io=false lets the batch path bulk-update the samples_in/out
   /// counters once per chunk instead of twice per sample.
   PipelineStep frozen_step(std::span<const double> x,
@@ -277,6 +330,10 @@ class Pipeline {
   std::unique_ptr<drift::Detector> detector_;
   drift::CentroidDetector* centroid_ = nullptr;  ///< Downcast view or null.
   drift::Reconstructor reconstructor_;
+  /// Cached coalescing-group digest (projection fingerprint folded with the
+  /// numerics tier); immutable after construction, read by the drain
+  /// planner's sort comparator on every planning pass.
+  std::uint64_t projection_fp_ = 0;
   double theta_error_ = 0.0;
   bool fitted_ = false;
   util::StageTimer* stages_ = nullptr;

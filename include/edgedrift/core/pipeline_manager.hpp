@@ -100,10 +100,36 @@ enum class SubmitStatus {
   kRestoreFailed,      ///< Stream is cold and could not be restored.
 };
 
+/// Cross-stream drain-planner knobs (see manager_coalesce.cpp). When a
+/// drain cycle covers several ready streams that share a projection group —
+/// equal alpha/bias fingerprint, dims, activation and numerics tier, which
+/// is every stream seeded from one template via seed_cold_from() — the
+/// planner gathers their pending ring bursts into one staging slab, runs a
+/// single shared projection GEMM over the mega-batch, and scatters the
+/// hidden rows back into each stream's own scoring/detection. Results are
+/// bit-identical to per-stream draining at kExactF64 (the projection is
+/// row-independent) and decision-equivalent at the approximate tiers.
+struct DrainOptions {
+  /// Coalesce eligible streams within a drain cycle (kBatch drains only).
+  bool coalesce = true;
+  /// Largest mega-batch the planner stages for one shared GEMM. Rows
+  /// beyond this drain through the normal per-stream path the same cycle.
+  std::size_t coalesce_rows = 1024;
+  /// Minimum streams that must share a projection group before coalescing
+  /// pays for the staging copy; smaller groups fall back per-stream.
+  std::size_t coalesce_min_streams = 2;
+  /// Extra time a shard worker may wait after waking, letting more ready
+  /// streams accumulate into the cycle before planning. 0 (default) means
+  /// the planner only ever coalesces rows already published at wake-up —
+  /// a lone stream is never delayed waiting for company.
+  std::uint64_t coalesce_wait_ns = 0;
+};
+
 /// Serving-layer knobs, fixed at construction.
 struct ManagerOptions {
   std::size_t queue_capacity = 1024;  ///< Ring slots per stream.
   std::size_t drain_batch_max = 128;  ///< Largest rows per drain burst.
+  DrainOptions drain_opts;            ///< Cross-stream coalescing knobs.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   DrainMode drain = DrainMode::kBatch;
   DispatchMode dispatch = DispatchMode::kShard;
@@ -253,6 +279,16 @@ class PipelineManager {
   /// Drains one stream with scheduled-flag handoff, then runs the
   /// eviction bookkeeping (LRU touch + budget enforcement).
   void run_stream(Stream& s);
+  /// The drain planner (manager_coalesce.cpp): partitions the streams in
+  /// shard.plan_candidates by projection fingerprint and runs one shared
+  /// mega-batch GEMM per group, scattering hidden rows into each member's
+  /// scoring. The caller owns every candidate's scheduled flag; leftover
+  /// rows (caps, recovery handoff) drain per-stream afterwards.
+  void coalesce_candidates(Shard& shard);
+  /// One group's stage-GEMM-scatter step over shard.plan.
+  void coalesce_group(Shard& shard);
+  /// True when the planner may put `s` into a shared mega-batch.
+  bool coalesce_eligible(const Stream& s) const;
   /// Processes everything currently published. Returns rows processed.
   std::size_t drain_burst(Stream& s);
   /// LRU touch + enforce_budget after a drain cycle.

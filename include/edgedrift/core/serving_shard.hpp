@@ -27,8 +27,10 @@
 // evict edge never forms a cycle with evict -> produce.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -39,6 +41,7 @@
 
 #include "edgedrift/core/cold_store.hpp"
 #include "edgedrift/core/pipeline.hpp"
+#include "edgedrift/linalg/gemm.hpp"
 #include "edgedrift/linalg/matrix.hpp"
 #include "edgedrift/obs/shard_obs.hpp"
 #include "edgedrift/obs/snapshot.hpp"
@@ -74,6 +77,23 @@ struct StreamTelemetry {
 };
 
 namespace detail {
+
+/// Histogram bucket for a drain burst of `n` rows: bucket 0 holds
+/// single-sample bursts, bucket b holds sizes (2^(b-1), 2^b].
+inline std::size_t burst_bucket(std::size_t n) {
+  const std::size_t b = n <= 1 ? 0 : std::bit_width(n - 1);
+  return std::min<std::size_t>(b, 16);
+}
+
+/// Relaxed CAS-max: producers and the drain task raise the high-water mark
+/// concurrently; losing a race to a larger value is the desired outcome.
+inline void raise_high_water(std::atomic<std::size_t>& hw,
+                             std::size_t depth) {
+  std::size_t cur = hw.load(std::memory_order_relaxed);
+  while (depth > cur &&
+         !hw.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+  }
+}
 
 /// Per-stream serving state. Producers serialize on produce_mutex and
 /// publish rows via tail; the shard's single worker owns head, the
@@ -235,6 +255,36 @@ struct ShardState {
 
   ColdStore cold;
   obs::ShardObs obs;
+
+  // ---- coalesced-drain staging (core/manager_coalesce.cpp) ----
+  // Touched only by the thread currently acting as this shard's consumer:
+  // the shard worker in kShard dispatch, or the single caller running
+  // drain() in kManual dispatch. Grow-only scratch, so the steady state is
+  // allocation-free once the high-water group size has been seen.
+  struct GroupMember {
+    ManagedStream* stream = nullptr;
+    std::uint64_t head = 0;    ///< Ring head at planning time.
+    std::size_t take = 0;      ///< Rows packed from this stream.
+    std::size_t offset = 0;    ///< First staging row of this stream's block.
+    std::size_t queued = 0;    ///< Ring depth at planning time (telemetry).
+  };
+  std::vector<ManagedStream*> plan_candidates;  ///< This cycle's chain.
+  /// Eligible candidates keyed by projection fingerprint — one pipeline
+  /// pointer chase per stream per planning pass; the group sort and the
+  /// run scan compare flat keys.
+  std::vector<std::pair<std::uint64_t, ManagedStream*>> plan_keys;
+  std::vector<GroupMember> plan;                ///< The current group.
+  linalg::Matrix stage_x;       ///< [coalesce_rows x dim] gathered inputs.
+  linalg::Matrix stage_hidden;  ///< Shared projection of stage_x.
+  std::vector<int> stage_labels;
+  /// Prepacked GEMM panels of the group projection's alpha, keyed by the
+  /// raw projection fingerprint (tier-independent — the pack depends only
+  /// on alpha's bytes). The high-density steady state drains one seeded
+  /// template group per shard, so the pack survives across mega-batches and
+  /// each GEMM skips its per-call B-pack.
+  linalg::PackedGemmB packed_alpha;
+  std::uint64_t packed_alpha_fp = 0;
+  bool packed_alpha_valid = false;
 };
 
 }  // namespace detail

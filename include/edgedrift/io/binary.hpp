@@ -21,6 +21,9 @@ inline constexpr std::uint32_t kMagic = 0x45444446;  // "EDDF".
 /// v2: PipelineConfig gained the NumericsTier field (the tiered numerics
 /// contract). v1 blobs are rejected — the tier is part of the drift-decision
 /// contract, so silently defaulting it on restore would be wrong.
+/// v2 also carries the projection fingerprint after the projection block
+/// (verified on load against the rebuilt projection's digest), so restored
+/// streams rejoin their save-side coalescing groups.
 inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Streaming writer; check ok() once at the end.

@@ -1,0 +1,61 @@
+// Wrap-aware row gather for ring-buffer slabs.
+//
+// The serving layer's coalesced drain packs pending ring rows from many
+// streams into one contiguous staging slab before running a single shared
+// projection GEMM (docs/ARCHITECTURE.md, "Cross-stream coalesced drain").
+// A ring burst occupies at most two contiguous row segments of its slab, so
+// the gather is at most two memcpy calls — never a per-row loop.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "edgedrift/linalg/matrix.hpp"
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::linalg {
+
+/// Copies `count` rows of the ring slab `src` into rows
+/// [dst_begin, dst_begin + count) of `dst`, reading from ring slot
+/// `first_slot` and wrapping at src.rows(). `dst` must already be sized;
+/// column counts must match. Row-major storage makes each unwrapped segment
+/// one contiguous block, so the copy is one memcpy, or two when the burst
+/// wraps.
+inline void gather_ring_rows(const Matrix& src, std::size_t first_slot,
+                             std::size_t count, Matrix& dst,
+                             std::size_t dst_begin) {
+  EDGEDRIFT_ASSERT(src.cols() == dst.cols(), "gather column mismatch");
+  EDGEDRIFT_ASSERT(first_slot < src.rows() && count <= src.rows(),
+                   "gather burst exceeds ring capacity");
+  EDGEDRIFT_ASSERT(dst_begin + count <= dst.rows(),
+                   "gather destination overflow");
+  if (count == 0) return;
+  const std::size_t first_len = std::min(count, src.rows() - first_slot);
+  std::memcpy(dst.row(dst_begin).data(), src.row(first_slot).data(),
+              first_len * src.cols() * sizeof(double));
+  if (first_len < count) {
+    std::memcpy(dst.row(dst_begin + first_len).data(), src.row(0).data(),
+                (count - first_len) * src.cols() * sizeof(double));
+  }
+}
+
+/// The same wrap rule for a ring's per-slot side array (labels). Reads
+/// `count` values starting at `first_slot`, wrapping at src.size(); writes
+/// them to dst[0..count).
+inline void gather_ring_values(std::span<const int> src,
+                               std::size_t first_slot, std::size_t count,
+                               std::span<int> dst) {
+  EDGEDRIFT_ASSERT(first_slot < src.size() && count <= src.size(),
+                   "gather burst exceeds ring capacity");
+  EDGEDRIFT_ASSERT(dst.size() >= count, "gather destination overflow");
+  if (count == 0) return;
+  const std::size_t first_len = std::min(count, src.size() - first_slot);
+  std::memcpy(dst.data(), src.data() + first_slot, first_len * sizeof(int));
+  if (first_len < count) {
+    std::memcpy(dst.data() + first_len, src.data(),
+                (count - first_len) * sizeof(int));
+  }
+}
+
+}  // namespace edgedrift::linalg

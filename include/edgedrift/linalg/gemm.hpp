@@ -3,11 +3,35 @@
 // by the batch paths (initial ELM training, baseline batch detectors).
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <vector>
 
 #include "edgedrift/linalg/matrix.hpp"
 
 namespace edgedrift::linalg {
+
+/// Reusable packed-panel cache for a B operand that is multiplied many
+/// times against small row blocks — e.g. the serving layer's coalesced
+/// drain projecting thousands of mega-batches through one immutable random
+/// projection. pack_gemm_b() builds exactly the panel layout the per-call
+/// GEMM path packs internally, so matmul_packed_parallel_into() produces
+/// bit-identical results to matmul_parallel_into() while skipping the
+/// per-call pack of B.
+struct PackedGemmB {
+  std::vector<double> panels;
+  std::size_t rows = 0;  ///< k of the packed B.
+  std::size_t cols = 0;  ///< n of the packed B.
+};
+
+/// Packs B's column panels into `out` (grow-only; reusable across calls).
+void pack_gemm_b(const Matrix& b, PackedGemmB& out);
+
+/// matmul_parallel_into() with B's panels supplied by a prior
+/// pack_gemm_b(b, packed). `b` must be the same matrix that was packed —
+/// the kernel still reads B directly for the final n % kLanes columns.
+void matmul_packed_parallel_into(ConstMatrixView a, const Matrix& b,
+                                 const PackedGemmB& packed, Matrix& c);
 
 /// C = A * B (shapes: [m,k] x [k,n] -> [m,n]). Cache-blocked single-thread.
 /// A is a row-block view, so callers can multiply a contiguous row range of

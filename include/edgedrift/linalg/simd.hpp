@@ -499,6 +499,84 @@ EDGEDRIFT_ALWAYS_INLINE void i8_scaled_accumulate2(
   }
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+// AVX-VNNI four-row lane: vpdpbusd fuses the byte multiply, the four-way
+// lane sum AND the int32 accumulate in one instruction, with no int16
+// saturation stage at all (maddubs saturates; the two-row pairing above
+// exists to stay under that bound). Compiled behind a function-level target
+// attribute so the binary still runs on plain-AVX2 hosts; callers must gate
+// on i8_vnni_available().
+#define EDGEDRIFT_HAVE_I8_VNNI 1
+
+/// Runtime gate for the VNNI lane, resolved once per process.
+inline bool i8_vnni_available() {
+  static const bool available = __builtin_cpu_supports("avx512vnni") &&
+                                __builtin_cpu_supports("avx512vl");
+  return available;
+}
+
+/// acc[0:n] += sum_k x[k] * rows[k][0:n] for four rows, exact int32.
+/// Column-major byte interleave puts (row0[j], row1[j], row2[j], row3[j])
+/// into one 32-bit lane; |x|s ride in the unsigned vpdpbusd operand and
+/// their signs are pushed onto the row bytes (sign_epi8), so each lane
+/// accumulates x0*r0[j] + x1*r1[j] + x2*r2[j] + x3*r3[j]. The four-product
+/// sum is bounded by 4 * 127 * 127 = 64516 and vpdpbusd widens to int32
+/// before adding — no saturation anywhere, so the result is bit-identical
+/// to the scalar loop (integer accumulation is associative).
+__attribute__((target("avx512vnni,avx512vl"))) inline void
+i8_scaled_accumulate4_vnni(const std::int32_t* EDGEDRIFT_RESTRICT x,
+                           const std::int8_t* const* EDGEDRIFT_RESTRICT rows,
+                           std::int32_t* EDGEDRIFT_RESTRICT acc,
+                           std::size_t n) {
+  const auto mag = [](std::int32_t v) {
+    return static_cast<std::uint32_t>(v < 0 ? -v : v);
+  };
+  const auto sgn = [](std::int32_t v) { return v < 0 ? -1 : 1; };
+  const __m256i vmag = _mm256_set1_epi32(static_cast<int>(
+      mag(x[0]) | (mag(x[1]) << 8) | (mag(x[2]) << 16) | (mag(x[3]) << 24)));
+  const __m256i vsign = _mm256_set1_epi32(
+      static_cast<int>((sgn(x[0]) & 0xff) | ((sgn(x[1]) & 0xff) << 8) |
+                       ((sgn(x[2]) & 0xff) << 16) |
+                       (static_cast<std::uint32_t>(sgn(x[3]) & 0xff) << 24)));
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m128i r0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[0] + j));
+    const __m128i r1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[1] + j));
+    const __m128i r2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[2] + j));
+    const __m128i r3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[3] + j));
+    // Byte interleave to column-major: lane j holds r0[j],r1[j],r2[j],r3[j].
+    const __m128i ab_lo = _mm_unpacklo_epi8(r0, r1);
+    const __m128i ab_hi = _mm_unpackhi_epi8(r0, r1);
+    const __m128i cd_lo = _mm_unpacklo_epi8(r2, r3);
+    const __m128i cd_hi = _mm_unpackhi_epi8(r2, r3);
+    const __m256i cols0 =
+        _mm256_set_m128i(_mm_unpackhi_epi16(ab_lo, cd_lo),
+                         _mm_unpacklo_epi16(ab_lo, cd_lo));  // cols j..j+7
+    const __m256i cols1 =
+        _mm256_set_m128i(_mm_unpackhi_epi16(ab_hi, cd_hi),
+                         _mm_unpacklo_epi16(ab_hi, cd_hi));  // cols j+8..j+15
+    __m256i* p0 = reinterpret_cast<__m256i*>(acc + j);
+    __m256i* p1 = reinterpret_cast<__m256i*>(acc + j + 8);
+    _mm256_storeu_si256(
+        p0, _mm256_dpbusd_epi32(_mm256_loadu_si256(p0), vmag,
+                                _mm256_sign_epi8(cols0, vsign)));
+    _mm256_storeu_si256(
+        p1, _mm256_dpbusd_epi32(_mm256_loadu_si256(p1), vmag,
+                                _mm256_sign_epi8(cols1, vsign)));
+  }
+  for (; j < n; ++j) {
+    acc[j] += x[0] * static_cast<std::int32_t>(rows[0][j]) +
+              x[1] * static_cast<std::int32_t>(rows[1][j]) +
+              x[2] * static_cast<std::int32_t>(rows[2][j]) +
+              x[3] * static_cast<std::int32_t>(rows[3][j]);
+  }
+}
+#endif  // __GNUC__ || __clang__
+
 #elif defined(EDGEDRIFT_SIMD_NEON)
 
 /// acc[0:n] += x * row[0:n], exact int32. 16 codes per step via the

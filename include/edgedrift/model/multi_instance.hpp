@@ -102,6 +102,17 @@ class MultiInstanceModel {
                      linalg::KernelWorkspace& ws) const;
   Prediction predict(std::span<const double> x) const;
 
+  /// predict() with the hidden activation h = g(x * A + b) supplied by the
+  /// caller (same contract on `h` as score_batch_from_hidden, for one row).
+  /// Bit-identical to predict(x, ws): both run the identical scalar fused
+  /// scorer after the projection, and the coalesced mega-batch projection
+  /// is row-independent and bit-identical to the scalar one. This is the
+  /// serving layer's single-row scatter path — at 1-row bursts the batch
+  /// entry's per-call machinery costs more than the projection it skips.
+  Prediction predict_from_hidden(std::span<const double> x,
+                                 std::span<const double> h,
+                                 linalg::KernelWorkspace& ws) const;
+
   /// Scores every instance on every row of X with one fused
   /// [rows x (num_labels * input_dim)] GEMM against the packed ensemble
   /// beta, then a vectorized per-label MSE reduction:
@@ -111,10 +122,30 @@ class MultiInstanceModel {
   /// in place with zero copies.
   void score_batch(linalg::ConstMatrixView x, BatchWorkspace& ws) const;
 
+  /// score_batch with the hidden activations H = g(X * A + b) supplied by
+  /// the caller instead of projected here. `h` must be [x.rows() x
+  /// hidden_dim] rows computed by this model's projection (or any
+  /// projection with an equal fingerprint) on exactly the rows of `x` — the
+  /// serving layer's coalesced drain projects one mega-batch for a whole
+  /// projection group and scatters row blocks of it into each stream's
+  /// scoring through this entry. Because hidden_batch_into is row-
+  /// independent and bit-identical across batch shapes, the result is
+  /// bit-identical to score_batch(x, ws) at f64 and identical to it in the
+  /// approximate tiers (same narrowed / quantized operands).
+  void score_batch_from_hidden(linalg::ConstMatrixView x,
+                               linalg::ConstMatrixView h,
+                               BatchWorkspace& ws) const;
+
   /// Batch prediction: out[r] is identical to predict(x.row(r)). `out`
   /// must have length x.rows().
   void predict_batch(linalg::ConstMatrixView x, BatchWorkspace& ws,
                      std::span<Prediction> out) const;
+
+  /// predict_batch from caller-supplied hidden activations (see
+  /// score_batch_from_hidden for the contract on `h`).
+  void predict_batch_from_hidden(linalg::ConstMatrixView x,
+                                 linalg::ConstMatrixView h, BatchWorkspace& ws,
+                                 std::span<Prediction> out) const;
 
   /// Anomaly score of one specific instance.
   double score_of(std::span<const double> x, std::size_t label,
@@ -193,6 +224,12 @@ class MultiInstanceModel {
   void scores_from_hidden(std::span<const double> h,
                           std::span<const double> x, std::span<double> out,
                           linalg::KernelWorkspace& ws) const;
+
+  /// Shared tail of score_batch / score_batch_from_hidden: everything after
+  /// the projection (tier dispatch, fused reconstruction, MSE reduction).
+  /// `h` holds the hidden activations of exactly the rows of `x`.
+  void score_batch_core(linalg::ConstMatrixView x, linalg::ConstMatrixView h,
+                        BatchWorkspace& ws) const;
 
   /// Copies instance c's beta into its column block of the packed mirror.
   void repack_block(std::size_t c);

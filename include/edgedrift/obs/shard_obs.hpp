@@ -38,8 +38,24 @@ struct ShardSnapshot {
   std::uint64_t restore_failures = 0;  ///< Restores that failed (typed error).
   std::uint64_t evict_skipped = 0;     ///< Budget passes that found no victim.
   std::uint64_t worker_parks = 0;      ///< Times the drain worker slept.
+  // Cross-stream coalescing efficiency (the drain planner,
+  // core/manager_coalesce.cpp). rows/gemms is the mega-batch fill the
+  // planner achieved; streams/gemms the mean group width; fallbacks counts
+  // streams that drained per-stream because their projection group was too
+  // small (group-of-one, fingerprint mismatch, or ineligible state).
+  std::uint64_t coalesced_gemms = 0;    ///< Shared projection GEMMs issued.
+  std::uint64_t coalesced_rows = 0;     ///< Rows scored through those GEMMs.
+  std::uint64_t coalesced_streams = 0;  ///< Group memberships (sum of widths).
+  std::uint64_t coalesce_fallbacks = 0; ///< Streams left to per-stream drain.
   HistogramSnapshot evict_ns;          ///< Serialize-and-release latency.
   HistogramSnapshot restore_ns;        ///< Load-and-admit latency.
+
+  /// Mean rows per shared projection GEMM (0 when none ran).
+  double rows_per_gemm() const {
+    return coalesced_gemms == 0 ? 0.0
+                                : static_cast<double>(coalesced_rows) /
+                                      static_cast<double>(coalesced_gemms);
+  }
 };
 
 /// Per-shard event counters + eviction/restore latency histograms.
@@ -50,6 +66,18 @@ class ShardObs {
   void add_restore_failure() { add(restore_failures_); }
   void add_evict_skipped() { add(evict_skipped_); }
   void add_worker_park() { add(worker_parks_); }
+  /// One coalesced mega-batch: `rows` ring rows from `streams` streams
+  /// went through a single shared projection GEMM.
+  void add_coalesced_gemm(std::size_t rows, std::size_t streams) {
+    if constexpr (!kObsCompiled) return;
+    coalesced_gemms_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_rows_.fetch_add(rows, std::memory_order_relaxed);
+    coalesced_streams_.fetch_add(streams, std::memory_order_relaxed);
+  }
+  void add_coalesce_fallback(std::size_t streams) {
+    if constexpr (!kObsCompiled) return;
+    coalesce_fallbacks_.fetch_add(streams, std::memory_order_relaxed);
+  }
 
   LatencyHistogram& evict_ns() { return evict_ns_; }
   LatencyHistogram& restore_ns() { return restore_ns_; }
@@ -65,6 +93,11 @@ class ShardObs {
     s.restore_failures = restore_failures_.load(std::memory_order_relaxed);
     s.evict_skipped = evict_skipped_.load(std::memory_order_relaxed);
     s.worker_parks = worker_parks_.load(std::memory_order_relaxed);
+    s.coalesced_gemms = coalesced_gemms_.load(std::memory_order_relaxed);
+    s.coalesced_rows = coalesced_rows_.load(std::memory_order_relaxed);
+    s.coalesced_streams = coalesced_streams_.load(std::memory_order_relaxed);
+    s.coalesce_fallbacks =
+        coalesce_fallbacks_.load(std::memory_order_relaxed);
     s.evict_ns = evict_ns_.snapshot();
     s.restore_ns = restore_ns_.snapshot();
     return s;
@@ -82,6 +115,10 @@ class ShardObs {
   std::atomic<std::uint64_t> restore_failures_{0};
   std::atomic<std::uint64_t> evict_skipped_{0};
   std::atomic<std::uint64_t> worker_parks_{0};
+  std::atomic<std::uint64_t> coalesced_gemms_{0};
+  std::atomic<std::uint64_t> coalesced_rows_{0};
+  std::atomic<std::uint64_t> coalesced_streams_{0};
+  std::atomic<std::uint64_t> coalesce_fallbacks_{0};
   LatencyHistogram evict_ns_;
   LatencyHistogram restore_ns_;
 };

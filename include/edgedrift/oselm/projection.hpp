@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "edgedrift/linalg/gemm.hpp"
 #include "edgedrift/linalg/matrix.hpp"
 #include "edgedrift/oselm/activation.hpp"
 
@@ -48,6 +50,18 @@ class Projection {
   /// being copied out first.
   void hidden_batch_into(linalg::ConstMatrixView x, linalg::Matrix& h) const;
 
+  /// hidden_batch_into with alpha's GEMM panels prepacked by a prior
+  /// pack_alpha(). Bit-identical to the plain overload; skips the per-call
+  /// pack of alpha, which matters when the serving layer projects thousands
+  /// of small mega-batches through one immutable projection.
+  void hidden_batch_into(linalg::ConstMatrixView x, linalg::Matrix& h,
+                         const linalg::PackedGemmB& packed_alpha) const;
+
+  /// Packs alpha's GEMM panels into `out` for the packed hidden_batch_into
+  /// overload. Valid as long as this projection is alive (alpha is
+  /// immutable).
+  void pack_alpha(linalg::PackedGemmB& out) const;
+
   /// Bytes of weight storage.
   std::size_t memory_bytes() const;
 
@@ -55,10 +69,24 @@ class Projection {
   const linalg::Matrix& alpha() const { return alpha_; }
   std::span<const double> bias() const { return bias_; }
 
+  /// FNV-1a digest of (input_dim, hidden_dim, activation, alpha bytes, bias
+  /// bytes), computed once at construction. Two projections with equal
+  /// fingerprints produce bit-identical hidden() output for the same input,
+  /// so the serving layer keys its cross-stream coalescing groups on this
+  /// value: streams seeded from one template blob (seed_cold_from) or
+  /// restored from the same checkpoint all land in the same group. The
+  /// deserialization constructor recomputes the digest from the restored
+  /// bytes, so the fingerprint survives checkpoint round trips by
+  /// construction.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
+  std::uint64_t compute_fingerprint() const;
+
   linalg::Matrix alpha_;
   std::vector<double> bias_;
   Activation act_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 using ProjectionPtr = std::shared_ptr<const Projection>;

@@ -6,6 +6,21 @@
 #include <utility>
 
 namespace edgedrift::core {
+namespace {
+
+/// FNV-1a over a byte string — the same digest the io layer uses, applied
+/// here to whole spill files so silent storage corruption is caught at
+/// read-back time.
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 ColdStore::~ColdStore() {
   // Spill files belong to this store's lifetime; leave nothing behind.
@@ -30,6 +45,7 @@ bool ColdStore::put(std::uint64_t id,
   entry.bytes = blob->size();
   bool spilled_ok = true;
   if (!spill_dir_.empty()) {
+    entry.checksum = fnv1a(*blob);
     entry.path = spill_path_locked(id);
     std::ofstream out(entry.path, std::ios::binary | std::ios::trunc);
     if (out && out.write(blob->data(),
@@ -64,15 +80,22 @@ void ColdStore::put_memory(std::uint64_t id,
 
 std::shared_ptr<const std::string> ColdStore::peek(std::uint64_t id) const {
   std::string path;
+  std::uint64_t expected = 0;
+  std::size_t expected_bytes = 0;
   {
     std::lock_guard lock(mutex_);
     const auto it = entries_.find(id);
     if (it == entries_.end()) return nullptr;
     if (it->second.blob != nullptr) return it->second.blob;
     path = it->second.path;
+    expected = it->second.checksum;
+    expected_bytes = it->second.bytes;
   }
   // Spilled entry: read the file outside the lock (the per-stream produce
-  // mutex already serializes accesses to one id).
+  // mutex already serializes accesses to one id), then verify the put-time
+  // checksum from the buffer just read — one pass over the file, one over
+  // memory, no re-read. A truncated or bit-flipped file surfaces as a
+  // restore failure here instead of reaching the checkpoint parser.
   std::ifstream in(path, std::ios::binary);
   if (!in) return nullptr;
   auto blob = std::make_shared<std::string>();
@@ -82,6 +105,9 @@ std::shared_ptr<const std::string> ColdStore::peek(std::uint64_t id) const {
   blob->resize(static_cast<std::size_t>(size));
   in.seekg(0, std::ios::beg);
   if (!in.read(blob->data(), size)) return nullptr;
+  if (blob->size() != expected_bytes || fnv1a(*blob) != expected) {
+    return nullptr;
+  }
   return blob;
 }
 

@@ -1,0 +1,220 @@
+// The cross-stream drain planner: shared-projection mega-batch scoring.
+//
+// A high-density shard wakes with many ready streams, each carrying a small
+// burst (often 1-8 rows). Draining them one stream at a time runs one tiny
+// projection GEMM per stream — all kernel ramp, no steady state. But every
+// stream seeded from one template (seed_cold_from) or restored from the
+// same checkpoint shares a bit-identical random projection, so their bursts
+// can share ONE GEMM: the planner gathers the pending ring rows of every
+// ready stream in the same projection group into a staging slab, projects
+// the whole mega-batch once, and scatters the hidden rows back into each
+// stream's own packed-beta scoring and drift detection
+// (Pipeline::process_batch_from_hidden).
+//
+// Grouping is keyed on Pipeline::projection_fingerprint() — the alpha/bias/
+// shape/activation digest folded with the numerics tier — so two streams
+// land in one group only when their hidden batches are bit-identical and
+// their scoring replicas have the same format. The projection GEMM is
+// row-independent, which makes the coalesced drain bit-identical to the
+// per-stream drain at kExactF64 and decision-equivalent at the approximate
+// tiers (tests/test_coalesced_drain.cpp).
+//
+// Scheduling safety: the caller owns every candidate's `scheduled` flag
+// (the shard worker took them off the ready stack; the kManual drain wins
+// the flag explicitly), which is exactly the condition that blocks eviction
+// (evictable_locked requires !scheduled) — so no stream can be evicted or
+// restored between group formation and scatter. Streams that are
+// ineligible (recovering, unfitted, released) or whose group is too small
+// fall back to the ordinary per-stream drain that always follows a
+// planning pass; the same pass also picks up rows the staging caps left
+// behind.
+#include <algorithm>
+
+#include "edgedrift/core/pipeline_manager.hpp"
+#include "edgedrift/linalg/gather.hpp"
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::core {
+
+bool PipelineManager::coalesce_eligible(const Stream& s) const {
+  // Residency and the pipeline pointer are stable while the caller holds
+  // the stream's scheduled flag: eviction requires !scheduled. A stream
+  // mid-recovery drains per-sample anyway, so it drops out of the group
+  // and keeps the sequential path's exact update order.
+  return s.residency == Stream::Residency::kHot && s.pipeline != nullptr &&
+         s.pipeline->fitted() && !s.pipeline->recovering() &&
+         s.head.load() != s.tail.load();
+}
+
+void PipelineManager::coalesce_candidates(Shard& shard) {
+  const DrainOptions& opts = options_.drain_opts;
+  auto& cand = shard.plan_candidates;
+  if (cand.empty()) return;
+  if (cand.size() < opts.coalesce_min_streams) {
+    shard.obs.add_coalesce_fallback(cand.size());
+    return;
+  }
+  // One fingerprint read (and pipeline pointer chase) per stream; the sort
+  // and the run scan below compare flat keys. Sorting by fingerprint makes
+  // every projection group one contiguous run.
+  auto& keys = shard.plan_keys;
+  keys.clear();
+  std::size_t ineligible = 0;
+  for (Stream* s : cand) {
+    if (coalesce_eligible(*s)) {
+      keys.emplace_back(s->pipeline->projection_fingerprint(), s);
+    } else {
+      ++ineligible;
+    }
+  }
+  shard.obs.add_coalesce_fallback(ineligible);
+  const auto fp_less = [](const std::pair<std::uint64_t, Stream*>& a,
+                          const std::pair<std::uint64_t, Stream*>& b) {
+    return a.first < b.first;
+  };
+  // The high-density steady state is one seeded template group — already
+  // "sorted". Pay O(n) to check before paying O(n log n) to sort.
+  if (!std::is_sorted(keys.begin(), keys.end(), fp_less)) {
+    std::sort(keys.begin(), keys.end(), fp_less);
+  }
+
+  auto run_begin = keys.begin();
+  while (run_begin != keys.end()) {
+    auto run_end = run_begin + 1;
+    while (run_end != keys.end() && run_end->first == run_begin->first) {
+      ++run_end;
+    }
+    const std::size_t width = static_cast<std::size_t>(run_end - run_begin);
+    if (width < opts.coalesce_min_streams) {
+      // Group of one (or a fingerprint mismatch splitting the shard):
+      // staging would only add a copy on top of the same GEMM.
+      shard.obs.add_coalesce_fallback(width);
+      run_begin = run_end;
+      continue;
+    }
+    // Pack the group: one row block per member, bounded per stream by
+    // drain_batch_max and overall by the staging budget. Only rows already
+    // published at planning time are taken — the planner never waits on a
+    // producer.
+    shard.plan.clear();
+    std::size_t total = 0;
+    for (auto it = run_begin; it != run_end && total < opts.coalesce_rows;
+         ++it) {
+      Stream& s = *it->second;
+      const std::uint64_t head = s.head.load();
+      const std::size_t queued =
+          static_cast<std::size_t>(s.tail.load() - head);
+      const std::size_t take =
+          std::min({queued, options_.drain_batch_max,
+                    opts.coalesce_rows - total});
+      if (take == 0) continue;
+      shard.plan.push_back({&s, head, take, total, queued});
+      total += take;
+    }
+    if (shard.plan.empty() || shard.plan.size() < opts.coalesce_min_streams) {
+      shard.obs.add_coalesce_fallback(width);
+    } else {
+      coalesce_group(shard);
+    }
+    run_begin = run_end;
+  }
+}
+
+void PipelineManager::coalesce_group(Shard& shard) {
+  auto& plan = shard.plan;
+  const std::size_t capacity = options_.queue_capacity;
+  const std::size_t total = plan.back().offset + plan.back().take;
+  const std::uint64_t t0 = obs::now_ns();
+
+  // Gather: each member's ring burst is at most two contiguous segments of
+  // its slab, copied into its reserved staging block. Labels ride along in
+  // a parallel array so the scatter can hand each stream a span indexed by
+  // staging row, exactly like the per-stream drain hands s.labels indexed
+  // by ring slot.
+  shard.stage_x.resize_discard(total, template_config_.input_dim);
+  if (shard.stage_labels.size() < total) shard.stage_labels.resize(total);
+  for (const auto& m : plan) {
+    const std::size_t slot = static_cast<std::size_t>(m.head % capacity);
+    linalg::gather_ring_rows(m.stream->slab, slot, m.take, shard.stage_x,
+                             m.offset);
+    linalg::gather_ring_values(
+        m.stream->labels, slot, m.take,
+        std::span<int>(shard.stage_labels).subspan(m.offset, m.take));
+  }
+
+  // One shared projection GEMM for the whole group. Any member's
+  // projection produces bit-identical rows (equal fingerprints), so the
+  // first one serves. Alpha's GEMM panels are prepacked and cached on the
+  // shard keyed by the raw projection fingerprint — in the one-template
+  // steady state every mega-batch reuses the pack.
+  const oselm::Projection& proj =
+      *plan.front().stream->pipeline->model().projection();
+  if (!shard.packed_alpha_valid ||
+      shard.packed_alpha_fp != proj.fingerprint()) {
+    proj.pack_alpha(shard.packed_alpha);
+    shard.packed_alpha_fp = proj.fingerprint();
+    shard.packed_alpha_valid = true;
+  }
+  proj.hidden_batch_into(shard.stage_x, shard.stage_hidden,
+                         shard.packed_alpha);
+
+  // Scatter: each stream scores its row block against its own packed beta
+  // and runs its own detector, then releases its ring slots. Per-slot
+  // bookkeeping mirrors drain_burst exactly — latency stamps are read
+  // before the head advance frees the slots for producer reuse.
+  for (const auto& m : plan) {
+    Stream& s = *m.stream;
+    {
+      std::lock_guard lock(s.steps_mutex);
+      if (m.take == 1) {
+        // Single-row member: the lean scalar step, mirroring drain_burst's
+        // burst==1 fast path. At 1-row bursts the batch entry's per-call
+        // machinery costs more than the projection it skips; the scalar
+        // from-hidden step keeps only the saving.
+        s.steps.push_back(s.pipeline->process_from_hidden(
+            shard.stage_x.row(m.offset), shard.stage_hidden.row(m.offset),
+            shard.stage_labels[m.offset]));
+      } else {
+        s.pipeline->process_batch_from_hidden(
+            shard.stage_x, shard.stage_hidden, m.offset, m.offset + m.take,
+            shard.stage_labels, s.steps);
+      }
+    }
+    if (obs_on_) {
+      obs::StreamObs& ob = s.pipeline->obs();
+      const std::uint64_t mask = ob.latency_sample_mask();
+      const std::uint64_t first = (m.head + mask) & ~mask;
+      if (first < m.head + m.take) {
+        const std::uint64_t t_end = obs::now_ns();
+        for (std::uint64_t a = first; a < m.head + m.take; a += mask + 1) {
+          ob.submit_to_drain.record(
+              t_end - s.submit_ns[static_cast<std::size_t>(a % capacity)]);
+        }
+      }
+      ob.counters.update_ring_high_water(m.queued);
+    }
+    s.head.store(m.head + m.take);
+    notify_space(s);
+    ++s.telemetry.drain_bursts;
+    ++s.telemetry.drain_burst_hist[detail::burst_bucket(m.take)];
+    s.telemetry.processed += m.take;
+    detail::raise_high_water(s.telemetry.queue_high_water, m.queued);
+  }
+
+  // One decrement for the whole group: nothing reads pending_ between the
+  // member scatters (done-notification happens in the caller's per-stream
+  // sweep), so batching the RMW is observationally equivalent and drops
+  // group_size-1 contended atomics per mega-batch.
+  pending_.fetch_sub(total);
+
+  // The group's wall time covers gather + GEMM + every member's scatter;
+  // attribute it to members by row share so per-stream samples_per_second
+  // stays meaningful.
+  const std::uint64_t elapsed = obs::now_ns() - t0;
+  for (const auto& m : plan) {
+    m.stream->telemetry.busy_ns += elapsed * m.take / total;
+  }
+  shard.obs.add_coalesced_gemm(total, plan.size());
+}
+
+}  // namespace edgedrift::core

@@ -71,6 +71,15 @@ Pipeline::Pipeline(PipelineConfig config)
   if (config_.detector.kind == drift::DetectorKind::kCentroid) {
     centroid_ = static_cast<drift::CentroidDetector*>(detector_.get());
   }
+  // Cache the coalescing-group digest: the projection is immutable for the
+  // pipeline's whole life (recovery retrains beta, reconstruction keeps the
+  // projection, checkpoint restore builds a new Pipeline) and the numerics
+  // tier is fixed at construction, so the fold never changes. The drain
+  // planner reads this in its sort comparator every planning pass.
+  std::uint64_t fp = model_->projection()->fingerprint();
+  fp ^= static_cast<std::uint64_t>(config_.numerics) +
+        0x9e3779b97f4a7c15ULL + (fp << 6) + (fp >> 2);
+  projection_fp_ = fp;
 }
 
 void Pipeline::fit(const linalg::Matrix& x, std::span<const int> labels) {
@@ -153,6 +162,14 @@ PipelineStep Pipeline::process(std::span<const double> x, int true_label) {
   return frozen_step(x, timed_predict(x), true_label);
 }
 
+PipelineStep Pipeline::process_from_hidden(std::span<const double> x,
+                                           std::span<const double> hidden,
+                                           int true_label) {
+  EDGEDRIFT_ASSERT(fitted_, "process_from_hidden() before fit()");
+  if (!model_frozen()) return recovery_step(x);
+  return frozen_step(x, timed_predict_from_hidden(x, hidden), true_label);
+}
+
 std::vector<PipelineStep> Pipeline::process_batch(
     const linalg::Matrix& x, std::span<const int> true_labels) {
   EDGEDRIFT_ASSERT(true_labels.empty() || true_labels.size() == x.rows(),
@@ -166,6 +183,27 @@ void Pipeline::process_batch_range(const linalg::Matrix& x,
                                    std::size_t row_begin, std::size_t row_end,
                                    std::span<const int> true_labels,
                                    std::vector<PipelineStep>& out) {
+  process_batch_range_impl(x, nullptr, row_begin, row_end, true_labels, out);
+}
+
+void Pipeline::process_batch_from_hidden(const linalg::Matrix& x,
+                                         const linalg::Matrix& hidden,
+                                         std::size_t row_begin,
+                                         std::size_t row_end,
+                                         std::span<const int> true_labels,
+                                         std::vector<PipelineStep>& out) {
+  EDGEDRIFT_ASSERT(
+      hidden.rows() == x.rows() && hidden.cols() == config_.hidden_dim,
+      "hidden block must be row-parallel to x");
+  process_batch_range_impl(x, &hidden, row_begin, row_end, true_labels, out);
+}
+
+void Pipeline::process_batch_range_impl(const linalg::Matrix& x,
+                                        const linalg::Matrix* hidden,
+                                        std::size_t row_begin,
+                                        std::size_t row_end,
+                                        std::span<const int> true_labels,
+                                        std::vector<PipelineStep>& out) {
   EDGEDRIFT_ASSERT(fitted_, "process_batch() before fit()");
   EDGEDRIFT_ASSERT(row_begin <= row_end && row_end <= x.rows(),
                    "row range out of bounds");
@@ -176,7 +214,9 @@ void Pipeline::process_batch_range(const linalg::Matrix& x,
   while (i < row_end) {
     if (!model_frozen()) {
       // A recovery is training the model; predictions depend on every
-      // intervening update, so fall back to the sequential path.
+      // intervening update, so fall back to the sequential path. When a
+      // coalesced drain hands us pre-projected hidden rows, those rows stay
+      // valid but unused here — recovery retrains beta, not the projection.
       out.push_back(recovery_step(x.row(i)));
       ++i;
       continue;
@@ -197,7 +237,15 @@ void Pipeline::process_batch_range(const linalg::Matrix& x,
     const std::uint64_t obs_t0 = obs_on ? obs::now_ns() : 0;
     if (stages_ != nullptr) {
       util::StageTimer::Scope scope(*stages_, kStagePredict);
-      model_->predict_batch(chunk_view, batch_ws_, chunk_preds_);
+      if (hidden != nullptr) {
+        model_->predict_batch_from_hidden(chunk_view, {*hidden, i, i + chunk},
+                                          batch_ws_, chunk_preds_);
+      } else {
+        model_->predict_batch(chunk_view, batch_ws_, chunk_preds_);
+      }
+    } else if (hidden != nullptr) {
+      model_->predict_batch_from_hidden(chunk_view, {*hidden, i, i + chunk},
+                                        batch_ws_, chunk_preds_);
     } else {
       model_->predict_batch(chunk_view, batch_ws_, chunk_preds_);
     }
@@ -237,6 +285,23 @@ model::Prediction Pipeline::timed_predict(std::span<const double> x) {
     pred = model_->predict(x, kernel_ws_);
   } else {
     pred = model_->predict(x, kernel_ws_);
+  }
+  if (timed) obs_->score.record(obs::now_ns() - obs_t0);
+  return pred;
+}
+
+model::Prediction Pipeline::timed_predict_from_hidden(
+    std::span<const double> x, std::span<const double> hidden) {
+  // Same sampling discipline as timed_predict — the coalesced single-row
+  // scatter times the identical Nth samples the per-stream drain would.
+  const bool timed = obs_enabled_ && (obs_tick_ & obs_mask_) == 0;
+  const std::uint64_t obs_t0 = timed ? obs::now_ns() : 0;
+  model::Prediction pred;
+  if (stages_ != nullptr) {
+    util::StageTimer::Scope scope(*stages_, kStagePredict);
+    pred = model_->predict_from_hidden(x, hidden, kernel_ws_);
+  } else {
+    pred = model_->predict_from_hidden(x, hidden, kernel_ws_);
   }
   if (timed) obs_->score.record(obs::now_ns() - obs_t0);
   return pred;

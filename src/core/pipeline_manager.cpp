@@ -19,21 +19,8 @@ std::uint64_t now_ns() {
           .count());
 }
 
-/// Histogram bucket for a drain burst of `n` rows: bucket 0 holds
-/// single-sample bursts, bucket b holds sizes (2^(b-1), 2^b].
-std::size_t burst_bucket(std::size_t n) {
-  const std::size_t b = n <= 1 ? 0 : std::bit_width(n - 1);
-  return std::min<std::size_t>(b, 16);
-}
-
-/// Relaxed CAS-max: producers and the drain task raise the high-water mark
-/// concurrently; losing a race to a larger value is the desired outcome.
-void raise_high_water(std::atomic<std::size_t>& hw, std::size_t depth) {
-  std::size_t cur = hw.load(std::memory_order_relaxed);
-  while (depth > cur &&
-         !hw.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
-  }
-}
+using detail::burst_bucket;
+using detail::raise_high_water;
 
 void set_status(SubmitStatus* status, SubmitStatus value) {
   if (status != nullptr) *status = value;
@@ -432,6 +419,10 @@ void PipelineManager::notify_done() {
 void PipelineManager::poll(std::size_t id) {
   EDGEDRIFT_ASSERT(id < streams_.size(), "stream id out of range");
   Stream& s = *streams_[id];
+  // Empty-ring fast path: the manual drain loop polls every stream after
+  // the coalesced planning pass has already emptied most rings — skip the
+  // scheduled-flag claim and the after_drain bookkeeping for those.
+  if (s.tail.load() == s.head.load()) return;
   bool drained = false;
   for (;;) {
     // Take the consumer role through the same flag the shard workers use,
@@ -449,7 +440,38 @@ void PipelineManager::poll(std::size_t id) {
 
 void PipelineManager::drain() {
   if (options_.dispatch == DispatchMode::kManual) {
+    const bool planning = options_.drain_opts.coalesce &&
+                          options_.drain == DrainMode::kBatch;
     while (pending_.load() != 0) {
+      if (planning) {
+        // Deterministic coalescing for the manual dispatcher: every shard
+        // plans over all of its streams with published rows, then the poll
+        // sweep drains the leftovers. Manual mode is single-threaded
+        // operation by design, but the consumer role is still claimed per
+        // stream through the scheduled flag so a concurrent poll() can
+        // never double-drain.
+        for (auto& shard : shards_) shard->plan_candidates.clear();
+        for (auto& sp : streams_) {
+          Stream& s = *sp;
+          if (s.tail.load() == s.head.load()) continue;
+          if (s.scheduled.exchange(true)) continue;
+          shards_[s.shard]->plan_candidates.push_back(&s);
+        }
+        for (auto& shard : shards_) {
+          coalesce_candidates(*shard);
+          for (Stream* s : shard->plan_candidates) {
+            s->scheduled.store(false);
+            after_drain(*s);
+          }
+        }
+        if (pending_.load() == 0) {
+          // The planning pass consumed every published row — the usual
+          // steady state when all streams fit one group. Skip the poll
+          // sweep; the loop condition re-checks for racing producers.
+          notify_done();
+          continue;
+        }
+      }
       for (std::size_t id = 0; id < streams_.size(); ++id) poll(id);
     }
     return;

@@ -113,10 +113,15 @@ bool save_pipeline(std::ostream& out, const core::Pipeline& pipeline) {
   write_config(w, pipeline.config());
   w.write_f64(pipeline.theta_error());
 
-  // Shared projection weights (for integrity verification at load time).
+  // Shared projection weights (for integrity verification at load time),
+  // followed by the projection fingerprint — the digest the serving layer
+  // keys coalescing groups on. Persisting it lets load verify that the
+  // rebuilt projection hashes to the same identity the save-side stream
+  // grouped under, so a restored stream rejoins exactly its old group.
   const auto& projection = *pipeline.model().projection();
   w.write_matrix(projection.alpha());
   w.write_doubles(projection.bias());
+  w.write_u64(projection.fingerprint());
 
   // Per-instance trained state.
   const auto& model = pipeline.model();
@@ -205,6 +210,14 @@ std::optional<core::Pipeline> load_pipeline(
       alpha.cols() != projection.alpha().cols() ||
       linalg::Matrix::max_abs_diff(alpha, projection.alpha()) != 0.0) {
     return fail("projection weights diverge from the persisted seed");
+  }
+  std::uint64_t fingerprint = 0;
+  if (!r.read_u64(fingerprint)) {
+    return fail("truncated projection fingerprint");
+  }
+  if (fingerprint != projection.fingerprint()) {
+    return fail("projection fingerprint mismatch — the restored stream "
+                "would not rejoin its save-side coalescing group");
   }
 
   // Instance states.

@@ -42,12 +42,11 @@ std::vector<double>& pack_buffer() {
 /// then — when the n % kNr tail still holds a whole vector — one narrow
 /// kLanes-wide panel in the same k-major layout. Only the final n % kLanes
 /// columns run through the strided scalar path.
-const double* pack_b(const Matrix& b) {
+const double* pack_b_into(const Matrix& b, std::vector<double>& buf) {
   const std::size_t k_dim = b.rows();
   const std::size_t n = b.cols();
   const std::size_t panels = n / kNr;
   const bool narrow = (n - panels * kNr) >= simd::kLanes;
-  std::vector<double>& buf = pack_buffer();
   const std::size_t need =
       panels * k_dim * kNr + (narrow ? k_dim * simd::kLanes : 0);
   if (buf.size() < need) buf.resize(need);
@@ -67,6 +66,11 @@ const double* pack_b(const Matrix& b) {
     }
   }
   return buf.data();
+}
+
+/// Per-call packing into the thread-local scratch.
+const double* pack_b(const Matrix& b) {
+  return pack_b_into(b, pack_buffer());
 }
 
 /// C[0:MR_, 0:kNr] = A[0:MR_, 0:k] * panel. Accumulators live in registers
@@ -264,6 +268,32 @@ void matmul_parallel_into(ConstMatrixView a, const Matrix& b, Matrix& c) {
       0, a.rows(),
       [&](std::size_t lo, std::size_t hi) {
         matmul_rows(a, b, c, lo, hi, packed);
+      },
+      /*min_chunk=*/16);
+}
+
+void pack_gemm_b(const Matrix& b, PackedGemmB& out) {
+  pack_b_into(b, out.panels);
+  out.rows = b.rows();
+  out.cols = b.cols();
+}
+
+void matmul_packed_parallel_into(ConstMatrixView a, const Matrix& b,
+                                 const PackedGemmB& packed, Matrix& c) {
+  EDGEDRIFT_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
+  EDGEDRIFT_ASSERT(packed.rows == b.rows() && packed.cols == b.cols(),
+                   "packed panels do not match B");
+  c.resize_discard(a.rows(), b.cols());
+  const double* pp = packed.panels.data();
+  const std::size_t flops = a.rows() * a.cols() * b.cols();
+  if (flops < (1u << 20)) {
+    matmul_rows(a, b, c, 0, a.rows(), pp);
+    return;
+  }
+  util::ThreadPool::global().parallel_for(
+      0, a.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        matmul_rows(a, b, c, lo, hi, pp);
       },
       /*min_chunk=*/16);
 }

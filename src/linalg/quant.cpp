@@ -115,6 +115,43 @@ void i8_matvec_transposed_dequant(const QuantizedMatrix& a,
   const std::size_t n = a.cols();
   std::int32_t* EDGEDRIFT_RESTRICT ap = acc.data();
   std::fill(ap, ap + n, 0);
+#if defined(EDGEDRIFT_HAVE_I8_VNNI)
+  if (simd::i8_vnni_available()) {
+    // Quad dispatch for the VNNI lane: gather the next four nonzero rows,
+    // feed them through vpdpbusd (exact int32 — same accumulator the pair
+    // path produces), then flush any sub-quad remainder through the
+    // maddubs kernels. All three paths are bit-identical.
+    std::int32_t xs[4];
+    const std::int8_t* rows[4];
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      if (q_x[i] == 0) continue;
+      xs[k] = q_x[i];
+      rows[k] = a.q.data() + i * n;
+      if (++k == 4) {
+        simd::i8_scaled_accumulate4_vnni(xs, rows, ap, n);
+        k = 0;
+      }
+    }
+    if (k >= 2) {
+      simd::i8_scaled_accumulate2(static_cast<std::int8_t>(xs[0]), rows[0],
+                                  static_cast<std::int8_t>(xs[1]), rows[1],
+                                  ap, n);
+      if (k == 3) {
+        simd::i8_scaled_accumulate(static_cast<std::int8_t>(xs[2]), rows[2],
+                                   ap, n);
+      }
+    } else if (k == 1) {
+      simd::i8_scaled_accumulate(static_cast<std::int8_t>(xs[0]), rows[0],
+                                 ap, n);
+    }
+    const float* EDGEDRIFT_RESTRICT vsp = a.scales.data();
+    for (std::size_t j = 0; j < n; ++j) {
+      y[j] = static_cast<float>(ap[j]) * x_scale * vsp[j];
+    }
+    return;
+  }
+#endif
   // Row-pair dispatch: zero codes contribute nothing and are skipped; the
   // surviving rows go through the fused two-row kernel (one pass over the
   // accumulators per pair) with a single-row call for the odd tail.

@@ -222,6 +222,18 @@ Prediction MultiInstanceModel::predict(std::span<const double> x,
   return argmin_score(s);
 }
 
+Prediction MultiInstanceModel::predict_from_hidden(
+    std::span<const double> x, std::span<const double> h,
+    linalg::KernelWorkspace& ws) const {
+  EDGEDRIFT_DASSERT(h.size() == hidden_dim(),
+                    "predict_from_hidden hidden size mismatch");
+  EDGEDRIFT_ASSERT(instances_.front().initialized(),
+                   "predict_from_hidden() before initialization");
+  const std::span<double> s = ws.scores(num_labels());
+  scores_from_hidden(h, x, s, ws);
+  return argmin_score(s);
+}
+
 Prediction MultiInstanceModel::predict(std::span<const double> x) const {
   // Scores on the stack (heap fallback for very wide label sets) so
   // concurrent predict() calls on a frozen model never share scratch.
@@ -245,9 +257,27 @@ void MultiInstanceModel::score_batch(linalg::ConstMatrixView x,
   for (const auto& inst : instances_) {
     EDGEDRIFT_ASSERT(inst.initialized(), "score_batch() before initialization");
   }
+  projection_->hidden_batch_into(x, ws.hidden);
+  score_batch_core(x, ws.hidden, ws);
+}
+
+void MultiInstanceModel::score_batch_from_hidden(linalg::ConstMatrixView x,
+                                                 linalg::ConstMatrixView h,
+                                                 BatchWorkspace& ws) const {
+  EDGEDRIFT_ASSERT(x.cols() == input_dim(), "batch feature dim mismatch");
+  EDGEDRIFT_ASSERT(h.rows() == x.rows() && h.cols() == hidden_dim(),
+                   "hidden block shape mismatch");
+  for (const auto& inst : instances_) {
+    EDGEDRIFT_ASSERT(inst.initialized(), "score_batch() before initialization");
+  }
+  score_batch_core(x, h, ws);
+}
+
+void MultiInstanceModel::score_batch_core(linalg::ConstMatrixView x,
+                                          linalg::ConstMatrixView h,
+                                          BatchWorkspace& ws) const {
   EDGEDRIFT_DASSERT(packed_in_sync(), "packed ensemble beta out of sync");
   EDGEDRIFT_DASSERT(replicas_in_sync(), "tier replica missed a beta update");
-  projection_->hidden_batch_into(x, ws.hidden);
   ws.scores.resize_discard(x.rows(), num_labels());  // Fully written below.
   const std::size_t n = x.cols();
   const std::size_t packed_n = packed_beta_.cols();
@@ -256,7 +286,7 @@ void MultiInstanceModel::score_batch(linalg::ConstMatrixView x,
     // R = H * packed_beta, one fused [rows x C*n] GEMM: row r, columns
     // [c*n, (c+1)*n) are bit-identical to instance c's scalar reconstruction
     // of row r (same ascending-k accumulation order in both kernels).
-    linalg::matmul_parallel_into(ws.hidden, packed_beta_, ws.recon);
+    linalg::matmul_parallel_into(h, packed_beta_, ws.recon);
     for (std::size_t r = 0; r < x.rows(); ++r) {
       const std::span<const double> xr{x.data() + r * n, n};
       const double* recon_row = ws.recon.data() + r * packed_n;
@@ -277,7 +307,7 @@ void MultiInstanceModel::score_batch(linalg::ConstMatrixView x,
   // is exactly the packed-beta product plus the reduction.
   ws.hidden_f32.resize_discard(x.rows(), hidden_dim());
   ws.input_f32.resize_discard(x.rows(), n);
-  linalg::narrow(ws.hidden.flat(), ws.hidden_f32.flat());
+  linalg::narrow({h.data(), h.rows() * h.cols()}, ws.hidden_f32.flat());
   for (std::size_t r = 0; r < x.rows(); ++r) {
     linalg::narrow(x.row(r), ws.input_f32.row(r));
   }
@@ -308,15 +338,17 @@ void MultiInstanceModel::predict_batch(linalg::ConstMatrixView x,
   EDGEDRIFT_ASSERT(out.size() == x.rows(), "prediction buffer size mismatch");
   score_batch(x, ws);
   for (std::size_t r = 0; r < x.rows(); ++r) {
-    Prediction best{0, std::numeric_limits<double>::infinity()};
-    for (std::size_t l = 0; l < num_labels(); ++l) {
-      const double s = ws.scores(r, l);
-      if (s < best.score) {
-        best.label = l;
-        best.score = s;
-      }
-    }
-    out[r] = best;
+    out[r] = argmin_score(ws.scores.row(r));
+  }
+}
+
+void MultiInstanceModel::predict_batch_from_hidden(
+    linalg::ConstMatrixView x, linalg::ConstMatrixView h, BatchWorkspace& ws,
+    std::span<Prediction> out) const {
+  EDGEDRIFT_ASSERT(out.size() == x.rows(), "prediction buffer size mismatch");
+  score_batch_from_hidden(x, h, ws);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out[r] = argmin_score(ws.scores.row(r));
   }
 }
 

@@ -123,6 +123,24 @@ std::string Snapshot::to_text() const {
            fmt_u64(sh.worker_parks), sh.pinned ? "yes" : "no"});
     }
     out += "shards:\n" + shard_table.str() + "\n";
+
+    util::Table coalesce_table({"Shard", "gemms", "rows", "streams",
+                                "rows/gemm", "fallbacks"});
+    bool any_coalescing = false;
+    for (const ShardSnapshot& sh : shards) {
+      if (sh.coalesced_gemms > 0 || sh.coalesce_fallbacks > 0) {
+        any_coalescing = true;
+      }
+      coalesce_table.add_row(
+          {std::to_string(sh.shard_id), fmt_u64(sh.coalesced_gemms),
+           fmt_u64(sh.coalesced_rows), fmt_u64(sh.coalesced_streams),
+           util::fmt(sh.rows_per_gemm(), 1),
+           fmt_u64(sh.coalesce_fallbacks)});
+    }
+    if (any_coalescing) {
+      out += "coalesced drains (shared-projection mega-batches):\n" +
+             coalesce_table.str() + "\n";
+    }
   }
 
   util::Table journal({"Stream", "sample", "statistic", "theta", "window",
@@ -152,7 +170,7 @@ std::string Snapshot::to_json(std::string_view source) const {
   out += "  \"binary\": \"" + std::string(source) + "\",\n";
   out += "  \"simd\": \"" + std::string(linalg::simd::kLevelName) + "\",\n";
   out += "  \"streams\": [\n";
-  char buf[512];
+  char buf[768];
   for (std::size_t i = 0; i < streams.size(); ++i) {
     const StreamSnapshot& s = streams[i];
     const CounterSnapshot& c = s.counters;
@@ -210,11 +228,17 @@ std::string Snapshot::to_json(std::string_view source) const {
                     ", \"restore_failures\": %" PRIu64
                     ", \"evict_skipped\": %" PRIu64
                     ", \"worker_parks\": %" PRIu64 ",\n"
+                    "      \"coalesced_gemms\": %" PRIu64
+                    ", \"coalesced_rows\": %" PRIu64
+                    ", \"coalesced_streams\": %" PRIu64
+                    ", \"coalesce_fallbacks\": %" PRIu64 ",\n"
                     "      \"latency\": {\n",
                     sh.shard_id, sh.pinned ? "true" : "false",
                     sh.hot_streams, sh.cold_streams, sh.hot_bytes,
                     sh.cold_bytes, sh.evictions, sh.restores,
-                    sh.restore_failures, sh.evict_skipped, sh.worker_parks);
+                    sh.restore_failures, sh.evict_skipped, sh.worker_parks,
+                    sh.coalesced_gemms, sh.coalesced_rows,
+                    sh.coalesced_streams, sh.coalesce_fallbacks);
       out += buf;
       append_histogram_json(out, "evict", sh.evict_ns, false);
       append_histogram_json(out, "restore", sh.restore_ns, true);

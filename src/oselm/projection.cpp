@@ -5,6 +5,18 @@
 #include "edgedrift/util/rng.hpp"
 
 namespace edgedrift::oselm {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 Projection::Projection(std::size_t input_dim, std::size_t hidden_dim,
                        Activation act, util::Rng& rng, double scale)
@@ -15,6 +27,7 @@ Projection::Projection(std::size_t input_dim, std::size_t hidden_dim,
   EDGEDRIFT_ASSERT(input_dim > 0 && hidden_dim > 0,
                    "projection dims must be positive");
   for (auto& b : bias_) b = rng.uniform(-scale, scale);
+  fingerprint_ = compute_fingerprint();
 }
 
 Projection::Projection(linalg::Matrix alpha, std::vector<double> bias,
@@ -24,6 +37,20 @@ Projection::Projection(linalg::Matrix alpha, std::vector<double> bias,
                    "projection dims must be positive");
   EDGEDRIFT_ASSERT(bias_.size() == alpha_.cols(),
                    "bias length must match hidden dim");
+  fingerprint_ = compute_fingerprint();
+}
+
+std::uint64_t Projection::compute_fingerprint() const {
+  // Doubles hash by byte pattern, which is exactly the contract needed:
+  // equal fingerprints must imply bit-identical hidden() output, and the
+  // projection weights are immutable after construction.
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+  const std::uint64_t shape[3] = {alpha_.rows(), alpha_.cols(),
+                                  static_cast<std::uint64_t>(act_)};
+  h = fnv1a(h, shape, sizeof(shape));
+  h = fnv1a(h, alpha_.data(), alpha_.size() * sizeof(double));
+  h = fnv1a(h, bias_.data(), bias_.size() * sizeof(double));
+  return h;
 }
 
 void Projection::hidden(std::span<const double> x,
@@ -52,6 +79,22 @@ void Projection::hidden_batch_into(linalg::ConstMatrixView x,
     for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias_[j];
     apply_activation(act_, row);
   }
+}
+
+void Projection::hidden_batch_into(
+    linalg::ConstMatrixView x, linalg::Matrix& h,
+    const linalg::PackedGemmB& packed_alpha) const {
+  EDGEDRIFT_ASSERT(x.cols() == input_dim(), "projection batch size mismatch");
+  linalg::matmul_packed_parallel_into(x, alpha_, packed_alpha, h);
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    auto row = h.row(r);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias_[j];
+    apply_activation(act_, row);
+  }
+}
+
+void Projection::pack_alpha(linalg::PackedGemmB& out) const {
+  linalg::pack_gemm_b(alpha_, out);
 }
 
 std::size_t Projection::memory_bytes() const {

@@ -240,6 +240,13 @@ TEST(Eviction, StatsCarryAcrossEvictRestoreCycles) {
   EXPECT_EQ(snap.shards[0].restores, 1u);
   EXPECT_EQ(snap.shards[0].hot_streams, 1u);
   EXPECT_EQ(snap.shards[0].cold_streams, 0u);
+  // The eviction/restore latency histograms must record exactly one sample
+  // per transition, with a sane (non-zero, bounded) magnitude — the
+  // restore-latency surface the density benchmarks gate on.
+  EXPECT_EQ(snap.shards[0].evict_ns.count(), 1u);
+  ASSERT_EQ(snap.shards[0].restore_ns.count(), 1u);
+  EXPECT_GT(snap.shards[0].restore_ns.max_ns, 0u);
+  EXPECT_LT(snap.shards[0].restore_ns.mean_ns(), 1e9);  // < 1 s each.
 }
 
 // With a hot budget under manual dispatch the resident set must be exactly

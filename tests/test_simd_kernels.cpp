@@ -14,13 +14,16 @@
 // never fill a register tile, single row/column, and zero-sized edges.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "edgedrift/linalg/gemm.hpp"
 #include "edgedrift/linalg/matrix.hpp"
 #include "edgedrift/linalg/naive.hpp"
+#include "edgedrift/linalg/quant.hpp"
 #include "edgedrift/linalg/simd.hpp"
 #include "edgedrift/linalg/vector_ops.hpp"
 #include "edgedrift/util/rng.hpp"
@@ -206,6 +209,114 @@ TEST(SimdKernels, SquaredL2MatchesScalarAtTolerance) {
     double l1 = 0.0;
     for (std::size_t i = 0; i < n; ++i) l1 += std::abs(a[i] - b[i]);
     expect_close(linalg::l1_distance(a, b), l1, "l1_distance");
+  }
+}
+
+// --- int8 lanes -----------------------------------------------------------
+//
+// The i8 kernels are exact in int32 (2^16 terms x 127^2 < 2^31), so every
+// backend — portable scalar, AVX2 maddubs pairs, and the AVX-VNNI quad lane
+// — must produce the bit-identical accumulator of the naive ascending loop.
+// EXPECT_EQ throughout, no tolerance.
+
+std::vector<std::int8_t> random_codes(Rng& rng, std::size_t n) {
+  std::vector<std::int8_t> codes(n);
+  for (auto& c : codes) {
+    // Full symmetric code domain including the +/-127 extremes.
+    c = static_cast<std::int8_t>(
+        std::lround(std::clamp(rng.gaussian() * 64.0, -127.0, 127.0)));
+  }
+  return codes;
+}
+
+const std::size_t kI8Sizes[] = {1, 2, 7, 15, 16, 17, 31, 32, 33, 64, 129};
+
+TEST(SimdKernels, I8ScaledAccumulateMatchesScalarExactly) {
+  namespace simd = linalg::simd;
+  Rng rng(53);
+  for (const std::size_t n : kI8Sizes) {
+    const auto row0 = random_codes(rng, n);
+    const auto row1 = random_codes(rng, n);
+    for (const int x0 : {-127, -3, 0, 1, 127}) {
+      for (const int x1 : {-127, 2, 127}) {
+        std::vector<std::int32_t> got(n), want(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          got[j] = static_cast<std::int32_t>(rng.gaussian() * 1000.0);
+          want[j] = got[j] + x0 * row0[j] + x1 * row1[j];
+        }
+        std::vector<std::int32_t> got2 = got;
+        simd::i8_scaled_accumulate(static_cast<std::int8_t>(x0), row0.data(),
+                                   got.data(), n);
+        simd::i8_scaled_accumulate(static_cast<std::int8_t>(x1), row1.data(),
+                                   got.data(), n);
+        simd::i8_scaled_accumulate2(static_cast<std::int8_t>(x0), row0.data(),
+                                    static_cast<std::int8_t>(x1), row1.data(),
+                                    got2.data(), n);
+        for (std::size_t j = 0; j < n; ++j) {
+          EXPECT_EQ(got[j], want[j]) << "accumulate n=" << n << " j=" << j;
+          EXPECT_EQ(got2[j], want[j]) << "accumulate2 n=" << n << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+#if defined(EDGEDRIFT_HAVE_I8_VNNI)
+TEST(SimdKernels, I8VnniQuadMatchesScalarExactly) {
+  namespace simd = linalg::simd;
+  if (!simd::i8_vnni_available()) {
+    GTEST_SKIP() << "host CPU lacks avx512vnni+avx512vl";
+  }
+  Rng rng(54);
+  for (const std::size_t n : kI8Sizes) {
+    std::vector<std::vector<std::int8_t>> rows;
+    for (int r = 0; r < 4; ++r) rows.push_back(random_codes(rng, n));
+    // Extremes plus a zero multiplier (a zero x must contribute nothing —
+    // the sign trick maps it to zero magnitude, not to a stray sign).
+    const std::int32_t xs[4] = {127, -127, 0, -5};
+    const std::int8_t* row_ptrs[4] = {rows[0].data(), rows[1].data(),
+                                      rows[2].data(), rows[3].data()};
+    std::vector<std::int32_t> got(n), want(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      got[j] = static_cast<std::int32_t>(rng.gaussian() * 1000.0);
+      want[j] = got[j];
+      for (int r = 0; r < 4; ++r) want[j] += xs[r] * rows[r][j];
+    }
+    simd::i8_scaled_accumulate4_vnni(xs, row_ptrs, got.data(), n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(got[j], want[j]) << "vnni quad n=" << n << " j=" << j;
+    }
+  }
+}
+#endif  // EDGEDRIFT_HAVE_I8_VNNI
+
+TEST(SimdKernels, I8MatvecTransposedDequantMatchesReference) {
+  // End-to-end over the dispatcher (zero-skip + pair/quad selection + VNNI
+  // runtime gate): the int32 accumulator is exact, and the dequant multiply
+  // happens in the same order on both sides, so the floats match EXACTLY.
+  Rng rng(55);
+  for (const Shape& s : kShapes) {
+    if (s.m == 0 || s.n == 0) continue;
+    const Matrix a = Matrix::random_gaussian(s.m, s.n, rng);
+    linalg::QuantizedMatrix qa;
+    linalg::quantize(a, qa);
+    auto q_x = random_codes(rng, s.m);
+    // Sprinkle zeros so the zero-skip path sees uneven run lengths.
+    for (std::size_t i = 0; i < s.m; i += 3) q_x[i] = 0;
+    const float x_scale = 0.0125f;
+    std::vector<std::int32_t> acc(s.n);
+    std::vector<float> got(s.n), want(s.n);
+    linalg::i8_matvec_transposed_dequant(qa, q_x, x_scale, acc, got);
+    for (std::size_t j = 0; j < s.n; ++j) {
+      std::int32_t sum = 0;
+      for (std::size_t i = 0; i < s.m; ++i) {
+        sum += static_cast<std::int32_t>(q_x[i]) *
+               static_cast<std::int32_t>(qa.q(i, j));
+      }
+      want[j] = static_cast<float>(sum) * x_scale * qa.scales[j];
+      EXPECT_EQ(got[j], want[j])
+          << "i8 matvec_t " << s.m << "x" << s.n << " j=" << j;
+    }
   }
 }
 

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Gate the cross-stream coalesced drain's high-density advantage.
+
+Reads an edgedrift-bench-v1 JSON file produced by bench_manager_throughput
+and checks the coalescing-ablation rows
+
+    nsl-kdd/coalesce/resident=<R>/burst=<B>/coalesce=<on|off>
+
+at the planner's target regime: 64 resident streams in one seeded
+projection group, each draining 1-row bursts — where the per-stream path
+runs one tiny projection GEMM per stream and the planner folds all 64 into
+one mega-batch. The gated ratio
+
+    gain = sps[resident=64, burst=1, on] / sps[resident=64, burst=1, off]
+
+must be >= --threshold (default 1.3) on the f64 rows. Both sides are
+interleaved medians from the same binary over identical submissions, so
+the ratio is a paired comparison, not two independent runs.
+
+The remaining rows (16-resident, larger bursts, the i8 density tier) are
+reported for context but not gated: at 16 residents or 8-row bursts the
+per-stream GEMMs are already wide enough that coalescing is a small win,
+and the i8 rows ride the same planner as f64 — gating one regime is
+enough to catch a planner regression.
+
+Exit code 0 when the gain holds, 1 when below threshold or records are
+missing.
+"""
+import argparse
+import json
+import re
+import sys
+
+ROW_RE = re.compile(
+    r"^nsl-kdd/coalesce/resident=(\d+)/burst=(\d+)/coalesce=(on|off)$"
+)
+GATED = (64, 1, "f64")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="bench_manager_throughput --json output")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.3,
+        help="min coalesced/per-stream gain at 64 residents, burst=1 "
+        "(default 1.3)",
+    )
+    args = parser.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    if data.get("schema") != "edgedrift-bench-v1":
+        print(f"unexpected schema: {data.get('schema')!r}", file=sys.stderr)
+        return 1
+
+    sweep = {}
+    for row in data.get("results", []):
+        m = ROW_RE.match(row.get("name", ""))
+        if m:
+            key = (int(m.group(1)), int(m.group(2)),
+                   row.get("precision", "f64"), m.group(3))
+            sweep[key] = row["samples_per_second"]
+
+    resident, burst, precision = GATED
+    needed = [(resident, burst, precision, "on"),
+              (resident, burst, precision, "off")]
+    missing = [k for k in needed if k not in sweep]
+    if missing:
+        print(f"missing coalesce-ablation records: {missing}", file=sys.stderr)
+        return 1
+
+    ok = True
+    pairs = sorted({k[:3] for k in sweep})
+    for r, b, prec in pairs:
+        on = sweep.get((r, b, prec, "on"))
+        off = sweep.get((r, b, prec, "off"))
+        if on is None or off is None or off <= 0.0:
+            continue
+        gain = on / off
+        gated = (r, b, prec) == GATED
+        verdict = ""
+        if gated:
+            if gain < args.threshold:
+                ok = False
+                verdict = f"  <-- FAIL (< {args.threshold:.2f}x)"
+            else:
+                verdict = f"  (gate: >= {args.threshold:.2f}x, ok)"
+        print(
+            f"resident={r} burst={b} {prec}: on {on / 1e3:8.1f} ksamples/s, "
+            f"off {off / 1e3:8.1f} ksamples/s, gain {gain:.2f}x{verdict}"
+        )
+
+    if not ok:
+        print("coalesced drain gain below threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
