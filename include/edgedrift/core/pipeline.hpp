@@ -84,6 +84,19 @@ struct PipelineConfig {
   /// (bounds the batch workspace size).
   std::size_t max_batch_rows = 256;
 
+  /// Chunked rank-k training (opt-in). 1 — the default — keeps the exact
+  /// per-sample recovery path, bit-identical to every release so far. A
+  /// value k > 1 lets a batched drain consume recovery training samples in
+  /// chunks of up to k: the chunk's winners are bucketed per instance, each
+  /// bucket absorbed by one Woodbury block update
+  /// (OsElm::train_batch_from_hidden), and the f32/i8 replica requantized
+  /// once per bucket instead of once per sample. Decision-equivalent, not
+  /// bit-identical, to the per-sample path (validated for k in {2,4,8} by
+  /// tests/test_chunked_train.cpp across all numerics tiers); the effective
+  /// chunk is capped by max_batch_rows. Scalar process() always stays
+  /// per-sample — chunking is a property of the batch entry points.
+  std::size_t train_chunk = 1;
+
   /// Scoring numerics tier (linalg/numerics.hpp): kExactF64 is the
   /// bit-identical reference, kFastF32/kQuantI8 score against the
   /// packed-beta replicas under the error-bounded drift-decision-
@@ -250,6 +263,15 @@ class Pipeline {
   void finish_restore(double theta_error) {
     theta_error_ = theta_error;
     fitted_ = true;
+    if (config_.train_chunk > 1) {
+      // Mirror fit()'s pre-grow: a restored stream must honor the
+      // allocation-free drain contract from its first recovery chunk, and
+      // restore (unlike the drain) is allowed to allocate.
+      const std::size_t chunk =
+          std::min(config_.train_chunk, config_.max_batch_rows);
+      model_->reserve_chunk_train(chunk, batch_ws_);
+      chunk_labels_.resize(chunk);
+    }
   }
 
   /// Bytes of the complete on-device state (model + detector + recovery
@@ -318,6 +340,19 @@ class Pipeline {
                            bool count_io = true);
   PipelineStep recovery_step(std::span<const double> x);
   PipelineStep recovery_step_impl(std::span<const double> x);
+
+  /// Chunked recovery training (config_.train_chunk > 1 only): consumes up
+  /// to train_chunk rows starting at row_begin through the bucketed rank-k
+  /// path — Reconstructor::train_chunk for the reconstruction training
+  /// phases, an inline chunked kRecalibrating body otherwise — and appends
+  /// their steps to `out`. Returns how many rows were consumed; 0 means the
+  /// caller must fall back to the per-sample recovery_step() (coordinate
+  /// phases, the finishing sample, or a 1-row tail). When `hidden` is
+  /// non-null its rows are used in place of the projection GEMM.
+  std::size_t recovery_chunk(const linalg::Matrix& x,
+                             const linalg::Matrix* hidden,
+                             std::size_t row_begin, std::size_t row_end,
+                             std::vector<PipelineStep>& out);
   void record_drift_event(const drift::Detection& detection);
   void start_recovery();
   void finish_reconstruction();
@@ -373,6 +408,7 @@ class Pipeline {
   // in place through ConstMatrixView — no staging matrix.
   model::BatchWorkspace batch_ws_;
   std::vector<model::Prediction> chunk_preds_;
+  std::vector<std::size_t> chunk_labels_;  ///< Chunked-training winners.
 
   // Per-sample kernel scratch: the pipeline is the thread of control, so
   // one workspace serves every predict()/score() it issues and keeps the

@@ -123,6 +123,12 @@ struct DrainOptions {
   /// the planner only ever coalesces rows already published at wake-up —
   /// a lone stream is never delayed waiting for company.
   std::uint64_t coalesce_wait_ns = 0;
+  /// Chunked rank-k recovery training for every managed stream
+  /// (PipelineConfig::train_chunk): 0 (default) keeps each pipeline's own
+  /// setting; a value > 0 overrides it at construction. With chunking on,
+  /// recovering streams stay eligible for the coalesced mega-batch drain
+  /// instead of being carved out to the per-stream path.
+  std::size_t train_chunk = 0;
 };
 
 /// Serving-layer knobs, fixed at construction.

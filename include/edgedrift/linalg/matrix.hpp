@@ -317,6 +317,12 @@ class ConstMatrixViewT {
                       "view row range out of bounds");
   }
 
+  /// The first `rows` rows of an existing view (chunk-prefix narrowing).
+  ConstMatrixViewT(const ConstMatrixViewT& v, std::size_t rows)
+      : data_(v.data_), rows_(rows), cols_(v.cols_) {
+    EDGEDRIFT_DASSERT(rows <= v.rows_, "view prefix out of bounds");
+  }
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   const T* data() const { return data_; }

@@ -45,6 +45,9 @@ struct CounterSnapshot {
   std::uint64_t windows_opened = 0;  ///< Detector evaluation windows opened.
   std::uint64_t drifts = 0;          ///< Drift detections fired.
   std::uint64_t retrains = 0;        ///< Recoveries completed.
+  std::uint64_t chunk_trains = 0;    ///< Rank-k bucket updates applied.
+  std::uint64_t chunk_train_rows = 0;  ///< Samples absorbed by those updates.
+  std::uint64_t requants_saved = 0;  ///< Replica refreshes amortized away.
   std::uint64_t ring_high_water = 0; ///< Max observed ring depth.
 
   CounterSnapshot& operator+=(const CounterSnapshot& o) {
@@ -54,6 +57,9 @@ struct CounterSnapshot {
     windows_opened += o.windows_opened;
     drifts += o.drifts;
     retrains += o.retrains;
+    chunk_trains += o.chunk_trains;
+    chunk_train_rows += o.chunk_train_rows;
+    requants_saved += o.requants_saved;
     ring_high_water = ring_high_water > o.ring_high_water
                           ? ring_high_water
                           : o.ring_high_water;
@@ -78,6 +84,13 @@ class Counters {
   void add_window_opened() { add(windows_opened_, 1); }
   void add_drift() { add(drifts_, 1); }
   void add_retrain() { add(retrains_, 1); }
+  // Chunked-training instrumentation (written by the drain task like the
+  // other consumer-side counters): rank-k bucket updates issued, samples
+  // they absorbed, and f32/i8 replica requantizations the per-bucket
+  // amortization avoided relative to the per-sample path.
+  void add_chunk_trains(std::uint64_t n) { add(chunk_trains_, n); }
+  void add_chunk_train_rows(std::uint64_t n) { add(chunk_train_rows_, n); }
+  void add_requants_saved(std::uint64_t n) { add(requants_saved_, n); }
 
   /// Relaxed CAS-max: producers of one stream may race each other here.
   void update_ring_high_water(std::uint64_t depth) {
@@ -98,6 +111,9 @@ class Counters {
     s.windows_opened = windows_opened_.load(std::memory_order_relaxed);
     s.drifts = drifts_.load(std::memory_order_relaxed);
     s.retrains = retrains_.load(std::memory_order_relaxed);
+    s.chunk_trains = chunk_trains_.load(std::memory_order_relaxed);
+    s.chunk_train_rows = chunk_train_rows_.load(std::memory_order_relaxed);
+    s.requants_saved = requants_saved_.load(std::memory_order_relaxed);
     s.ring_high_water = ring_high_water_.load(std::memory_order_relaxed);
     return s;
   }
@@ -110,6 +126,9 @@ class Counters {
     windows_opened_.store(0, std::memory_order_relaxed);
     drifts_.store(0, std::memory_order_relaxed);
     retrains_.store(0, std::memory_order_relaxed);
+    chunk_trains_.store(0, std::memory_order_relaxed);
+    chunk_train_rows_.store(0, std::memory_order_relaxed);
+    requants_saved_.store(0, std::memory_order_relaxed);
     ring_high_water_.store(0, std::memory_order_relaxed);
   }
 
@@ -127,6 +146,9 @@ class Counters {
   std::atomic<std::uint64_t> windows_opened_{0};
   std::atomic<std::uint64_t> drifts_{0};
   std::atomic<std::uint64_t> retrains_{0};
+  std::atomic<std::uint64_t> chunk_trains_{0};
+  std::atomic<std::uint64_t> chunk_train_rows_{0};
+  std::atomic<std::uint64_t> requants_saved_{0};
   std::atomic<std::uint64_t> ring_high_water_{0};
 };
 

@@ -38,11 +38,16 @@ namespace edgedrift::core {
 
 bool PipelineManager::coalesce_eligible(const Stream& s) const {
   // Residency and the pipeline pointer are stable while the caller holds
-  // the stream's scheduled flag: eviction requires !scheduled. A stream
-  // mid-recovery drains per-sample anyway, so it drops out of the group
-  // and keeps the sequential path's exact update order.
+  // the stream's scheduled flag: eviction requires !scheduled. With the
+  // default per-sample training (train_chunk <= 1) a stream mid-recovery
+  // drains per-stream, keeping the sequential path's exact update order;
+  // with chunked training opted in, recovery consumes whole bursts through
+  // the bucketed rank-k path, so the stream stays inside the mega-batch
+  // group and keeps reusing the shared-projection GEMM rows.
   return s.residency == Stream::Residency::kHot && s.pipeline != nullptr &&
-         s.pipeline->fitted() && !s.pipeline->recovering() &&
+         s.pipeline->fitted() &&
+         (!s.pipeline->recovering() ||
+          s.pipeline->config().train_chunk > 1) &&
          s.head.load() != s.tail.load();
 }
 

@@ -102,6 +102,16 @@ void Pipeline::fit(const linalg::Matrix& x, std::span<const int> labels) {
     kernel_ws_.hidden_i8(config_.hidden_dim);
     kernel_ws_.accum_i32(config_.num_labels * config_.input_dim);
   }
+  if (config_.train_chunk > 1) {
+    // Chunked training scratch: every instance's Woodbury workspace and
+    // rank-k buffers plus the bucket gather scratch, pre-grown so a chunked
+    // drain honors the steady-state allocation-free contract from its very
+    // first recovery chunk (pinned by tests/test_allocation_free.cpp).
+    const std::size_t chunk =
+        std::min(config_.train_chunk, config_.max_batch_rows);
+    model_->reserve_chunk_train(chunk, batch_ws_);
+    chunk_labels_.resize(chunk);
+  }
 
   if (config_.theta_error <= 0.0) {
     // Auto-calibrate the anomaly gate from the training scores: a window
@@ -213,10 +223,24 @@ void Pipeline::process_batch_range_impl(const linalg::Matrix& x,
   std::size_t i = row_begin;
   while (i < row_end) {
     if (!model_frozen()) {
-      // A recovery is training the model; predictions depend on every
-      // intervening update, so fall back to the sequential path. When a
-      // coalesced drain hands us pre-projected hidden rows, those rows stay
-      // valid but unused here — recovery retrains beta, not the projection.
+      // A recovery is training the model. With chunked training enabled,
+      // try to absorb a whole chunk of recovery samples through the
+      // bucketed rank-k path first; the per-sample fallback below handles
+      // everything the chunk path declines (coordinate phases, finishing
+      // samples, 1-row tails) and the train_chunk == 1 default, keeping the
+      // exact sequential recovery bit-identical.
+      if (config_.train_chunk > 1) {
+        const std::size_t consumed =
+            recovery_chunk(x, hidden, i, row_end, out);
+        if (consumed > 0) {
+          i += consumed;
+          continue;
+        }
+      }
+      // Sequential path: predictions depend on every intervening update.
+      // When a coalesced drain hands us pre-projected hidden rows, those
+      // rows stay valid but unused here — recovery retrains beta, not the
+      // projection.
       out.push_back(recovery_step(x.row(i)));
       ++i;
       continue;
@@ -499,6 +523,172 @@ PipelineStep Pipeline::recovery_step_impl(std::span<const double> x) {
     step.reconstruction_finished = true;
   }
   return step;
+}
+
+std::size_t Pipeline::recovery_chunk(const linalg::Matrix& x,
+                                     const linalg::Matrix* hidden,
+                                     std::size_t row_begin,
+                                     std::size_t row_end,
+                                     std::vector<PipelineStep>& out) {
+  const std::size_t limit = std::min(
+      {config_.train_chunk, config_.max_batch_rows, row_end - row_begin});
+  if (limit < 2) return 0;
+  const auto& rc = config_.reconstruction;
+
+  // How many rows the current recovery sub-phase can absorb without
+  // straddling a phase boundary or performing a finishing sample — those
+  // flow through the per-sample path so completion semantics and the
+  // order-sensitive coordinate recursions are untouched.
+  std::size_t take = 0;
+  bool recal_bootstrap = false;
+  if (state_ == RecoveryState::kReconstructing) {
+    const std::size_t c0 = reconstructor_.count() + 1;
+    if (c0 < rc.n_update || c0 >= rc.n_total) return 0;
+    const std::size_t half = rc.n_total / 2;
+    const std::size_t cap = (c0 < half ? half : rc.n_total) - c0;
+    take = std::min(limit, cap);
+  } else {
+    const std::size_t bootstrap = rc.n_search + rc.n_update;
+    recal_bootstrap = recal_count_ < bootstrap;
+    const std::size_t cap =
+        (recal_bootstrap ? bootstrap : rc.n_total) - recal_count_;
+    take = std::min(limit, cap);
+  }
+  if (take < 2) return 0;
+
+  const bool obs_on = obs_enabled_;
+  const std::uint64_t obs_t0 = obs_on ? obs::now_ns() : 0;
+
+  // Hidden rows for the chunk: reuse the coalesced drain's mega-batch rows
+  // when supplied, else project per row through the scalar kernel — at
+  // chunk sizes in the single digits the batch GEMM's per-call packing
+  // costs more than the projection itself, and the batch entry is
+  // bit-identical to the scalar one row by row (the projection contract).
+  const linalg::ConstMatrixView xc{x, row_begin, row_begin + take};
+  if (hidden == nullptr) {
+    batch_ws_.hidden.resize_discard(take, config_.hidden_dim);
+    for (std::size_t r = 0; r < take; ++r) {
+      model_->projection()->hidden(xc.row(r), batch_ws_.hidden.row(r));
+    }
+  }
+  const linalg::ConstMatrixView hc =
+      hidden != nullptr
+          ? linalg::ConstMatrixView{*hidden, row_begin, row_begin + take}
+          : linalg::ConstMatrixView{batch_ws_.hidden, 0, take};
+
+  chunk_preds_.resize(take);
+  if (chunk_labels_.size() < take) chunk_labels_.resize(take);
+  const std::span<model::Prediction> preds{chunk_preds_.data(), take};
+  const std::span<std::size_t> labels{chunk_labels_.data(), take};
+  model::ChunkTrainStats tstats;
+  std::size_t consumed = 0;
+
+  if (state_ == RecoveryState::kReconstructing) {
+    const char* stage = reconstructor_.count() + 1 < rc.n_total / 2
+                            ? kStageRetrainNearest
+                            : kStageRetrainPredict;
+    if (stages_ != nullptr) {
+      util::StageTimer::Scope scope(*stages_, stage);
+      consumed = reconstructor_.train_chunk(xc, hc, *model_, batch_ws_, preds,
+                                            labels, &tstats);
+    } else {
+      consumed = reconstructor_.train_chunk(xc, hc, *model_, batch_ws_, preds,
+                                            labels, &tstats);
+    }
+    if (consumed == 0) return 0;
+    EDGEDRIFT_DASSERT(consumed == take, "chunk eligibility disagreement");
+    // Post-train predictions for reporting, mirroring the sequential loop's
+    // predict-after-step — per-row scatter scoring (bit-identical to the
+    // batch entry, cheaper at single-digit chunk sizes).
+    for (std::size_t r = 0; r < consumed; ++r) {
+      preds[r] = model_->predict_from_hidden(xc.row(r), hc.row(r), kernel_ws_);
+    }
+    for (std::size_t r = 0; r < consumed; ++r) {
+      PipelineStep step;
+      step.reconstructing = true;
+      step.prediction = preds[r];
+      if (tracker_enabled_) update_tracker(preds[r].label, xc.row(r));
+      out.push_back(step);
+    }
+  } else {
+    // kRecalibrating, chunked. Bootstrap: nearest-L1 labels against the
+    // chunk-start recovery centroids (sequentially the centroids move per
+    // sample — the chunked approximation labels the whole chunk against the
+    // start state), train the buckets, report post-train predictions.
+    // Self-label: the pre-train prediction is both the winner and the
+    // reported prediction (the train_closest contract).
+    if (recal_bootstrap) {
+      for (std::size_t r = 0; r < take; ++r) {
+        std::size_t nearest = 0;
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < recal_.centroids.rows(); ++c) {
+          const double d =
+              linalg::l1_distance(recal_.centroids.row(c), xc.row(r));
+          if (d < best) {
+            best = d;
+            nearest = c;
+          }
+        }
+        labels[r] = nearest;
+      }
+      if (stages_ != nullptr) {
+        util::StageTimer::Scope scope(*stages_, kStageRetrainNearest);
+        tstats = model_->train_buckets_from_hidden(xc, hc, labels, batch_ws_);
+      } else {
+        tstats = model_->train_buckets_from_hidden(xc, hc, labels, batch_ws_);
+      }
+      for (std::size_t r = 0; r < take; ++r) {
+        preds[r] =
+            model_->predict_from_hidden(xc.row(r), hc.row(r), kernel_ws_);
+      }
+    } else {
+      for (std::size_t r = 0; r < take; ++r) {
+        preds[r] =
+            model_->predict_from_hidden(xc.row(r), hc.row(r), kernel_ws_);
+      }
+      for (std::size_t r = 0; r < take; ++r) labels[r] = preds[r].label;
+      if (stages_ != nullptr) {
+        util::StageTimer::Scope scope(*stages_, kStageRetrainPredict);
+        tstats = model_->train_buckets_from_hidden(xc, hc, labels, batch_ws_);
+      } else {
+        tstats = model_->train_buckets_from_hidden(xc, hc, labels, batch_ws_);
+      }
+    }
+    consumed = take;
+    for (std::size_t r = 0; r < take; ++r) {
+      PipelineStep step;
+      step.reconstructing = true;
+      step.prediction = preds[r];
+      if (tracker_enabled_) update_tracker(preds[r].label, xc.row(r));
+      linalg::running_mean_update(recal_.centroids.row(preds[r].label),
+                                  xc.row(r), recal_.counts[preds[r].label]);
+      ++recal_.counts[preds[r].label];
+      ++recal_count_;
+      out.push_back(step);
+    }
+    // The chunk cap stops exactly at n_total, so completion can only land
+    // on the chunk's last row.
+    if (recal_count_ >= rc.n_total) {
+      finish_recalibration();
+      out.back().reconstruction_finished = true;
+    }
+  }
+
+  stats_.samples += consumed;
+  stats_.recovery_samples += consumed;
+  if (obs_on) {
+    obs_->counters.add_samples_in(consumed);
+    obs_->counters.add_samples_out(consumed);
+    obs_->reconstruct.record((obs::now_ns() - obs_t0) / consumed);
+    obs_->counters.add_chunk_trains(tstats.buckets);
+    obs_->counters.add_chunk_train_rows(tstats.rows);
+    if (tstats.replica_refreshes > 0) {
+      obs_->counters.add_requants_saved(tstats.rows -
+                                        tstats.replica_refreshes);
+    }
+    obs_tick_ += consumed;
+  }
+  return consumed;
 }
 
 void Pipeline::start_recovery() {

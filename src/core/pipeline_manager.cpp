@@ -44,6 +44,9 @@ PipelineManager::PipelineManager(const PipelineConfig& config,
                    "drain_batch_max must be > 0");
   if (options_.shards == 0) options_.shards = 1;
   if (options_.numerics) template_config_.numerics = *options_.numerics;
+  if (options_.drain_opts.train_chunk > 0) {
+    template_config_.train_chunk = options_.drain_opts.train_chunk;
+  }
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
     auto shard = std::make_unique<Shard>();

@@ -22,33 +22,44 @@ struct Trace {
 
 Trace run_trace(const core::PipelineConfig& base,
                 linalg::NumericsTier tier, const data::Dataset& train,
-                const data::Dataset& test, bool record_margins) {
+                const data::Dataset& test, bool record_margins,
+                std::size_t burst) {
   core::PipelineConfig config = base;
   config.numerics = tier;
   core::Pipeline pipeline(config);
   pipeline.fit(train.x, train.labels);
+  if (burst == 0) burst = 1;
 
   Trace t;
   t.theta_error = pipeline.theta_error();
   t.labels.reserve(test.size());
   std::vector<double> scores(config.num_labels);
   if (record_margins) t.margins.reserve(test.size());
-  for (std::size_t i = 0; i < test.size(); ++i) {
+  std::vector<core::PipelineStep> steps;
+  for (std::size_t at = 0; at < test.size(); at += burst) {
+    const std::size_t take = std::min(burst, test.size() - at);
     if (record_margins) {
-      pipeline.model().scores(test.x.row(i), scores);
-      const double best = *std::min_element(scores.begin(), scores.end());
-      double second = std::numeric_limits<double>::infinity();
-      for (const double s : scores) {
-        if (s > best && s < second) second = s;
+      // Margins are consumed only inside the shared-trajectory window,
+      // where the model is frozen — scoring the whole burst before
+      // processing it equals scoring each row just before its own step.
+      for (std::size_t i = at; i < at + take; ++i) {
+        pipeline.model().scores(test.x.row(i), scores);
+        const double best = *std::min_element(scores.begin(), scores.end());
+        double second = std::numeric_limits<double>::infinity();
+        for (const double s : scores) {
+          if (s > best && s < second) second = s;
+        }
+        if (!std::isfinite(second)) second = best;  // All scores tied.
+        t.margins.push_back((second - best) / std::max(best, 1e-12));
       }
-      if (!std::isfinite(second)) second = best;  // All scores tied.
-      t.margins.push_back((second - best) / std::max(best, 1e-12));
     }
-    const core::PipelineStep step =
-        pipeline.process(test.x.row(i), test.labels[i]);
-    t.labels.push_back(step.prediction.label);
-    if (step.drift_detected) t.drifts.push_back(i);
-    t.recoveries += step.reconstruction_finished;
+    steps.clear();
+    pipeline.process_batch_range(test.x, at, at + take, test.labels, steps);
+    for (std::size_t i = 0; i < take; ++i) {
+      t.labels.push_back(steps[i].prediction.label);
+      if (steps[i].drift_detected) t.drifts.push_back(at + i);
+      t.recoveries += steps[i].reconstruction_finished;
+    }
   }
   return t;
 }
@@ -60,9 +71,9 @@ TierEquivalenceReport check_tier_equivalence(
     const data::Dataset& test, const TierEquivalenceConfig& config) {
   const Trace reference =
       run_trace(config.pipeline, linalg::NumericsTier::kExactF64, train,
-                test, /*record_margins=*/true);
+                test, /*record_margins=*/true, config.burst);
   const Trace candidate = run_trace(config.pipeline, tier, train, test,
-                                    /*record_margins=*/false);
+                                    /*record_margins=*/false, config.burst);
 
   TierEquivalenceReport report;
   report.tier = tier;

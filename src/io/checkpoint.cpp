@@ -196,6 +196,7 @@ std::optional<core::Pipeline> load_pipeline(
     effective.reconstruction = runtime->reconstruction;
     effective.obs = runtime->obs;
     effective.max_batch_rows = runtime->max_batch_rows;
+    effective.train_chunk = runtime->train_chunk;
   }
   core::Pipeline pipeline(effective);
 

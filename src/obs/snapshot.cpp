@@ -73,20 +73,25 @@ std::string Snapshot::to_text() const {
   std::string out;
 
   util::Table counters({"Stream", "in", "out", "rejected", "windows",
-                        "drifts", "retrains", "ring-hw"});
+                        "drifts", "retrains", "chunk-upd", "chunk-rows",
+                        "requant-saved", "ring-hw"});
   for (const StreamSnapshot& s : streams) {
     const CounterSnapshot& c = s.counters;
     counters.add_row({std::to_string(s.stream_id), fmt_u64(c.samples_in),
                       fmt_u64(c.samples_out), fmt_u64(c.rejected),
                       fmt_u64(c.windows_opened), fmt_u64(c.drifts),
-                      fmt_u64(c.retrains), fmt_u64(c.ring_high_water)});
+                      fmt_u64(c.retrains), fmt_u64(c.chunk_trains),
+                      fmt_u64(c.chunk_train_rows), fmt_u64(c.requants_saved),
+                      fmt_u64(c.ring_high_water)});
   }
   if (streams.size() > 1) {
     const CounterSnapshot c = totals();
     counters.add_row({"total", fmt_u64(c.samples_in),
                       fmt_u64(c.samples_out), fmt_u64(c.rejected),
                       fmt_u64(c.windows_opened), fmt_u64(c.drifts),
-                      fmt_u64(c.retrains), fmt_u64(c.ring_high_water)});
+                      fmt_u64(c.retrains), fmt_u64(c.chunk_trains),
+                      fmt_u64(c.chunk_train_rows), fmt_u64(c.requants_saved),
+                      fmt_u64(c.ring_high_water)});
   }
   out += "counters:\n" + counters.str() + "\n";
 
@@ -179,10 +184,13 @@ std::string Snapshot::to_json(std::string_view source) const {
                   "      \"counters\": {\"samples_in\": %" PRIu64
                   ", \"samples_out\": %" PRIu64 ", \"rejected\": %" PRIu64
                   ", \"windows_opened\": %" PRIu64 ", \"drifts\": %" PRIu64
-                  ", \"retrains\": %" PRIu64
+                  ", \"retrains\": %" PRIu64 ", \"chunk_trains\": %" PRIu64
+                  ", \"chunk_train_rows\": %" PRIu64
+                  ", \"requants_saved\": %" PRIu64
                   ", \"ring_high_water\": %" PRIu64 "},\n",
                   s.stream_id, c.samples_in, c.samples_out, c.rejected,
-                  c.windows_opened, c.drifts, c.retrains,
+                  c.windows_opened, c.drifts, c.retrains, c.chunk_trains,
+                  c.chunk_train_rows, c.requants_saved,
                   c.ring_high_water);
     out += buf;
     out += "      \"latency\": {\n";

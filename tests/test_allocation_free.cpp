@@ -239,6 +239,91 @@ TEST(AllocationFree, SteadyStateFusedTrainClosestDoesNotAllocate) {
 #endif
 }
 
+TEST(AllocationFree, ChunkedRecoveryTrainingDoesNotAllocate) {
+#if defined(EDGEDRIFT_ALLOC_HOOKS_DISABLED)
+  GTEST_SKIP() << "allocation hooks disabled under sanitizers";
+#else
+  // The chunked rank-k training path: with train_chunk > 1, fit() pre-grows
+  // the Woodbury workspaces, per-instance block scratch and bucket gather
+  // buffers, so a batched drain consuming recovery training samples in
+  // chunks — winner bucketing, block P/beta updates, packed-block repack —
+  // performs zero heap allocations once warm.
+  constexpr std::size_t kDim = 48;
+  constexpr std::size_t kHidden = 22;
+  constexpr std::size_t kBurst = 8;
+
+  PipelineConfig config;
+  config.num_labels = 2;
+  config.input_dim = kDim;
+  config.hidden_dim = kHidden;
+  config.window_size = 40;
+  config.detector_initial_count = 0;
+  config.reconstruction.n_search = 20;
+  config.reconstruction.n_update = 100;
+  config.reconstruction.n_total = 400;
+  config.train_chunk = kBurst;
+
+  Rng rng(23);
+  Matrix train(200, kDim);
+  std::vector<int> labels(train.rows());
+  for (std::size_t i = 0; i < train.rows(); ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    const double mean = labels[i] == 0 ? 0.2 : 1.2;
+    for (std::size_t j = 0; j < kDim; ++j) {
+      train(i, j) = rng.gaussian(mean, 0.2);
+    }
+  }
+  Pipeline pipeline(config);
+  pipeline.fit(train, labels);
+
+  // A drifted stream: the same two classes shifted on the even dimensions,
+  // enough rows to detect, cross the coordinate phases and train chunked.
+  Matrix post(600, kDim);
+  for (std::size_t i = 0; i < post.rows(); ++i) {
+    const double mean = i % 2 == 0 ? 0.2 : 1.2;
+    for (std::size_t j = 0; j < kDim; ++j) {
+      post(i, j) = rng.gaussian(mean + (j % 2 == 0 ? 0.9 : 0.0), 0.2);
+    }
+  }
+
+  std::vector<edgedrift::core::PipelineStep> out;
+  out.reserve(2 * kBurst);
+  std::size_t at = 0;
+  const auto feed = [&] {
+    out.clear();
+    pipeline.process_batch_range(post, at, at + kBurst, {}, out);
+    at += kBurst;
+  };
+
+  // Detect, then warm through the per-sample coordinate phases and the
+  // first few chunked training calls (grow-only buffers reach their
+  // high-water marks; the pre-growth in fit() is what keeps this short).
+  while (!pipeline.recovering() && at + kBurst <= post.rows()) feed();
+  ASSERT_TRUE(pipeline.reconstructing()) << "drift must trigger a recovery";
+  const std::size_t n_update = config.reconstruction.n_update;
+  while (pipeline.reconstructor().count() < n_update + 3 * kBurst &&
+         at + kBurst <= post.rows()) {
+    feed();
+  }
+  ASSERT_GE(pipeline.reconstructor().count(), n_update + 3 * kBurst);
+
+  // Measure strictly inside the chunk-trained retraining window (well
+  // short of the n_total/2 phase boundary).
+  constexpr std::size_t kMeasuredBursts = 5;
+  ASSERT_LT(pipeline.reconstructor().count() + kMeasuredBursts * kBurst,
+            config.reconstruction.n_total / 2);
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (std::size_t b = 0; b < kMeasuredBursts; ++b) feed();
+  g_count_allocs.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
+      << "chunked recovery training must not touch the heap";
+  ASSERT_TRUE(pipeline.reconstructing())
+      << "the measured window must lie inside the recovery";
+#endif
+}
+
 TEST(AllocationFree, SteadyStateManagerSubmitDrainDoesNotAllocate) {
 #if defined(EDGEDRIFT_ALLOC_HOOKS_DISABLED)
   GTEST_SKIP() << "allocation hooks disabled under sanitizers";

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Gate the chunked rank-k training path's throughput advantage.
+
+Reads an edgedrift-bench-v1 JSON file produced by bench_manager_throughput
+and checks the training-side ablation rows
+
+    nsl-kdd/train/resident=<R>/burst=<B>/chunk=<K>
+
+— a resident population held in an endless kResetRecalibrate recovery, so
+every drained sample is a self-label training sample. The gated ratio
+
+    gain = sps[chunk=8, i8] / sps[chunk=1, i8]
+
+must be >= --threshold (default 1.4) on the i8 rows: in that tier the
+per-sample path requantizes the winner's replica block after every sample,
+while the chunked path buckets each chunk per winner, absorbs every bucket
+with one Woodbury block update and requantizes once per bucket — the
+amortization the gate pins. Both sides are interleaved medians from the
+same binary over identical submissions, so the ratio is a paired
+comparison, not two independent runs.
+
+The f64 rows and the chunk=4 points are reported for context but not
+gated: at f64 there is no replica to amortize, so the chunked win is the
+smaller block-update/batch-scoring term only.
+
+Exit code 0 when the gain holds, 1 when below threshold or records are
+missing.
+"""
+import argparse
+import json
+import re
+import sys
+
+ROW_RE = re.compile(r"^nsl-kdd/train/resident=(\d+)/burst=(\d+)/chunk=(\d+)$")
+GATED_PRECISION = "i8"
+GATED_CHUNKS = (1, 8)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="bench_manager_throughput --json output")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.4,
+        help="min chunk=8/chunk=1 training-throughput gain on the i8 rows "
+        "(default 1.4)",
+    )
+    args = parser.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    if data.get("schema") != "edgedrift-bench-v1":
+        print(f"unexpected schema: {data.get('schema')!r}", file=sys.stderr)
+        return 1
+
+    sweep = {}
+    for row in data.get("results", []):
+        m = ROW_RE.match(row.get("name", ""))
+        if m:
+            key = (int(m.group(1)), int(m.group(2)),
+                   row.get("precision", "f64"), int(m.group(3)))
+            sweep[key] = row["samples_per_second"]
+
+    geometries = sorted({k[:2] for k in sweep})
+    gated_keys = [
+        (r, b, GATED_PRECISION, chunk)
+        for (r, b) in geometries
+        for chunk in GATED_CHUNKS
+    ]
+    if not geometries:
+        print("no train-ablation records found", file=sys.stderr)
+        return 1
+    missing = [k for k in gated_keys if k not in sweep]
+    if missing:
+        print(f"missing train-ablation records: {missing}", file=sys.stderr)
+        return 1
+
+    ok = True
+    combos = sorted({k[:3] for k in sweep})
+    for r, b, prec in combos:
+        base = sweep.get((r, b, prec, 1))
+        if base is None or base <= 0.0:
+            continue
+        for chunk in sorted({k[3] for k in sweep if k[:3] == (r, b, prec)}):
+            if chunk == 1:
+                continue
+            sps = sweep[(r, b, prec, chunk)]
+            gain = sps / base
+            gated = prec == GATED_PRECISION and chunk == 8
+            verdict = ""
+            if gated:
+                if gain < args.threshold:
+                    ok = False
+                    verdict = f"  <-- FAIL (< {args.threshold:.2f}x)"
+                else:
+                    verdict = f"  (gate: >= {args.threshold:.2f}x, ok)"
+            print(
+                f"resident={r} burst={b} {prec}: chunk={chunk} "
+                f"{sps / 1e3:8.1f} ksamples/s vs chunk=1 "
+                f"{base / 1e3:8.1f} ksamples/s, gain {gain:.2f}x{verdict}"
+            )
+
+    if not ok:
+        print("chunked training gain below threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
