@@ -39,6 +39,21 @@
 //                   available for pipeline-backed methods (proposed,
 //                   quanttree, spll, multiwindow) and any --detector
 //   --stats-json P  write the snapshot as edgedrift-obs-v1 JSON to P
+//
+// Sweep subcommand — the scenario-grid detection matrix:
+//
+//   $ ./example_edgedrift_cli sweep --detectors all --json -
+//   $ ./example_edgedrift_cli sweep --scenarios scenarios/ --detectors
+//         [continued] centroid,ddm --filter abrupt,gradual --json out.json
+//
+//   sweep runs every requested drift detector over every scenario (the six
+//   built-in presets, or each *.json ScenarioSpec in --scenarios DIR) and
+//   scores the cells against the compiled ground truth: detection delay,
+//   false-alarm rate per 1k clean samples, recovery accuracy, throughput.
+//   --json PATH writes the versioned edgedrift-eval-v1 matrix ("-" =
+//   stdout); without it a summary table prints. --filter csv keeps only
+//   the named scenarios; --detectors is "all" or a csv of kind names.
+//
 //   --streams N     serve mode: register N streams with PipelineManager
 //                   (stream 0 fitted, the rest seeded cold from it) and
 //                   replay the test stream round-robin across them; reports
@@ -49,11 +64,14 @@
 //   --hot-streams N serve mode: resident streams each shard keeps; evicted
 //                   streams go to the cold store        (default 0 = all hot)
 //   --pin-cores     serve mode: pin each shard's drain worker to a core
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "edgedrift/core/pipeline.hpp"
 #include "edgedrift/core/pipeline_manager.hpp"
@@ -62,7 +80,9 @@
 #include "edgedrift/drift/detector_factory.hpp"
 #include "edgedrift/util/stopwatch.hpp"
 #include "edgedrift/data/nsl_kdd_like.hpp"
+#include "edgedrift/data/scenario.hpp"
 #include "edgedrift/eval/experiment.hpp"
+#include "edgedrift/eval/sweep.hpp"
 #include "edgedrift/eval/paper_configs.hpp"
 #include "edgedrift/io/checkpoint.hpp"
 #include "edgedrift/obs/snapshot.hpp"
@@ -330,9 +350,176 @@ std::optional<drift::DetectorKind> pipeline_kind_of(eval::Method method) {
   }
 }
 
+// ------------------------------------------------------- sweep subcommand
+
+/// Splits a comma-separated list ("a,b,c") into its items.
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> items;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    std::size_t comma = csv.find(',', begin);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > begin) items.push_back(csv.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return items;
+}
+
+[[noreturn]] void sweep_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s sweep [--scenarios DIR] [--detectors all|k1,k2,...]"
+               "\n"
+               "          [--filter name1,name2,...] [--json PATH|-]\n"
+               "          [--emit-presets DIR]\n",
+               argv0);
+  std::exit(2);
+}
+
+int run_sweep_command(int argc, char** argv) {
+  std::string scenarios_dir;
+  std::string detectors = "all";
+  std::string filter;
+  std::string json_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) sweep_usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenarios") {
+      scenarios_dir = next();
+    } else if (arg == "--detectors") {
+      detectors = next();
+    } else if (arg == "--filter") {
+      filter = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--emit-presets") {
+      // Write every built-in preset spec as DIR/<name>.json and exit —
+      // this is how the committed scenarios/ directory is produced.
+      const std::filesystem::path dir = next();
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      for (const std::string_view name : data::scenario_preset_names()) {
+        const std::string json =
+            data::scenario_to_json(*data::scenario_preset(name));
+        const std::filesystem::path path =
+            dir / (std::string(name) + ".json");
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot write %s\n", path.c_str());
+          return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown sweep option: %s\n", arg.c_str());
+      sweep_usage(argv[0]);
+    }
+  }
+
+  // Scenario grid: every *.json spec in --scenarios DIR (sorted by path),
+  // or the built-in presets.
+  std::vector<data::ScenarioSpec> specs;
+  if (scenarios_dir.empty()) {
+    for (const std::string_view name : data::scenario_preset_names()) {
+      specs.push_back(*data::scenario_preset(name));
+    }
+  } else {
+    std::error_code ec;
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(scenarios_dir, ec)) {
+      if (entry.path().extension() == ".json") paths.push_back(entry.path());
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot read scenario dir %s: %s\n",
+                   scenarios_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& path : paths) {
+      std::string error;
+      auto spec = data::load_scenario_file(path.string(), &error);
+      if (!spec) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      specs.push_back(std::move(*spec));
+    }
+  }
+  if (!filter.empty()) {
+    const std::vector<std::string> keep = split_csv(filter);
+    std::erase_if(specs, [&](const data::ScenarioSpec& s) {
+      return std::find(keep.begin(), keep.end(), s.name) == keep.end();
+    });
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "no scenarios selected\n");
+    return 1;
+  }
+
+  std::vector<drift::DetectorKind> kinds;
+  if (detectors == "all") {
+    kinds.assign(std::begin(drift::kAllDetectorKinds),
+                 std::end(drift::kAllDetectorKinds));
+  } else {
+    for (const std::string& name : split_csv(detectors)) {
+      const auto kind = drift::kind_from_name(name);
+      if (!kind) {
+        std::fprintf(stderr, "unknown detector: %s\n", name.c_str());
+        return 1;
+      }
+      kinds.push_back(*kind);
+    }
+  }
+
+  const eval::SweepResult result = eval::run_sweep(specs, kinds, {});
+
+  if (!json_path.empty()) {
+    const std::string json = eval::sweep_json(result);
+    if (json_path == "-") {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("sweep matrix written to %s (%zu cells)\n",
+                  json_path.c_str(), result.cells.size());
+    }
+    return 0;
+  }
+
+  util::Table table({"Scenario", "Detector", "Detected", "Mean delay",
+                     "FA/1k", "Recovery acc", "krows/s"});
+  for (const eval::SweepCell& c : result.cells) {
+    const eval::ScenarioMetrics& m = c.metrics;
+    table.add_row({c.scenario, std::string(drift::kind_name(c.kind)),
+                   std::to_string(m.detected) + "/" +
+                       std::to_string(m.drift_points),
+                   m.detected > 0 ? util::fmt(m.mean_delay, 1)
+                                  : std::string("-"),
+                   util::fmt(m.false_alarm_rate_per_1k, 2),
+                   util::fmt(m.recovery_accuracy * 100.0, 1) + " %",
+                   util::fmt(c.throughput_rows_per_s / 1e3, 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
+    return run_sweep_command(argc, argv);
+  }
   Options opts;
   if (!parse_options(argc, argv, opts)) usage(argv[0]);
   const auto method = method_of(opts.method);

@@ -1,0 +1,224 @@
+// Drift scenario compiler: a declarative ScenarioSpec (parsed from JSON or
+// built from a named preset) compiles into a deterministic, seeded labeled
+// stream with ground-truth drift annotations and a divergence-over-time
+// trace emitted alongside the samples.
+//
+// The spec describes *what* the drift should look like — prior (P(X)) vs.
+// conditional (P(Y|X)) drift, abrupt / gradual (sigmoid-mixed) / recurrent
+// shape, multiple drift points, label noise — and *how strong* it should
+// be: drift_magnitude_prior is a target Hellinger distance in [0, 1), and
+// the compiler inverts the closed-form Hellinger of diagonal Gaussians to
+// place the shifted concept exactly that far from its predecessor. The
+// compiled stream therefore carries its own measuring stick: evaluation
+// code never has to guess how hard a scenario is.
+//
+// Everything is reproducible bit-for-bit from (spec, spec.seed): the
+// compiler draws from a single util::Rng in a fixed order, so two
+// compilations of the same spec are identical down to the last bit —
+// the property the golden scenario transcript pins.
+//
+// The low-level rendering loop (render_drift_stream) is shared with the
+// legacy Figure-1 composers in drift_stream.hpp, which are now thin
+// wrappers over the same executor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "edgedrift/data/gaussian_concept.hpp"
+#include "edgedrift/data/stream.hpp"
+#include "edgedrift/data/traffic.hpp"
+#include "edgedrift/linalg/matrix.hpp"
+
+namespace edgedrift::data {
+
+/// How a drift edge transitions between concepts.
+enum class DriftShape {
+  kAbrupt,     ///< Instant switch at the drift point.
+  kGradual,    ///< Mixing probability ramps across drift_width samples.
+  kRecurrent,  ///< Abrupt alternation back and forth between two concepts.
+};
+
+/// Mixing-probability curve of a gradual transition.
+enum class MixCurve {
+  kLinear,   ///< p(t) = t — the legacy make_gradual_drift ramp.
+  kSigmoid,  ///< p(t) = 1 / (1 + e^{-12 (t - 1/2)}) — the literature's
+             ///< "sigmoid drift"; both concepts coexist near the midpoint.
+};
+
+/// Ground truth for one drift edge of a compiled scenario.
+struct DriftAnnotation {
+  std::size_t start = 0;  ///< First stream index affected by the edge.
+  std::size_t end = 0;    ///< First index of the pure post-edge concept
+                          ///< (== start for an abrupt edge).
+  DriftShape shape = DriftShape::kAbrupt;
+  std::size_t from_concept = 0;  ///< Concept index before the edge.
+  std::size_t to_concept = 0;    ///< Concept index after the edge.
+  bool prior = false;            ///< P(X) moved across this edge.
+  bool conditional = false;      ///< P(Y|X) moved across this edge.
+};
+
+/// Declarative description of one drift scenario. Field names mirror the
+/// JSON keys accepted by parse_scenario_json().
+struct ScenarioSpec {
+  std::string name = "scenario";
+
+  // Geometry of the base concept (concept 0): num_labels diagonal Gaussian
+  // clusters in num_features dimensions, class c centered at
+  // class_separation along dimension (c % num_features).
+  std::size_t num_features = 8;
+  std::size_t num_labels = 2;
+  double class_separation = 4.0;
+  double stddev = 0.5;
+
+  // Stream layout: train_size clean samples from concept 0 for the initial
+  // fit, then n_instances streamed samples with the first drift at burn_in.
+  std::size_t train_size = 600;
+  std::size_t n_instances = 4000;
+  std::size_t burn_in = 1000;
+
+  // Drift schedule. num_drift_points edges are spaced evenly across
+  // [burn_in, n_instances). kRecurrent alternates concept 0 <-> 1;
+  // kAbrupt/kGradual walk through a fresh concept per edge.
+  DriftShape shape = DriftShape::kAbrupt;
+  MixCurve curve = MixCurve::kSigmoid;
+  std::size_t drift_width = 0;  ///< Transition samples of a gradual edge.
+  std::size_t num_drift_points = 1;
+
+  // Drift content. Prior drift shifts every cluster mean by a vector whose
+  // length is calibrated so the per-class Hellinger distance between
+  // consecutive concepts equals drift_magnitude_prior. Conditional drift
+  // remaps a drift_magnitude_conditional fraction of post-drift samples'
+  // labels through the cyclic permutation (label + 1) % num_labels without
+  // touching P(X).
+  bool drift_priors = true;
+  bool drift_conditional = false;
+  double drift_magnitude_prior = 0.7;        ///< Target Hellinger in [0, 1).
+  double drift_magnitude_conditional = 0.0;  ///< Remapped label mass [0, 1].
+
+  /// Probability that a streamed sample's label is flipped to a uniformly
+  /// random other label (applied after any conditional remap; the training
+  /// set stays clean).
+  double noise_level = 0.0;
+
+  /// Tumbling-window width of the divergence-over-time trace; 0 disables
+  /// the trace. The first window of the stream is the reference.
+  std::size_t divergence_window = 200;
+
+  /// Traffic shape for serving-layer replays (eval/sweep.hpp): streams > 1
+  /// routes the scenario through PipelineManager::submit_batch under this
+  /// arrival pattern instead of the single-pipeline path.
+  TrafficSpec traffic;
+
+  std::uint64_t seed = 7;
+};
+
+/// Divergence-over-time ground truth: each tumbling window of the stream
+/// compared against the reference (first) window.
+struct DivergenceTrace {
+  std::size_t window = 0;          ///< Tumbling-window width.
+  std::vector<std::size_t> index;  ///< Stream index of each window's end.
+  /// Mean per-feature histogram Hellinger distance to the reference window.
+  std::vector<double> hellinger;
+  /// Per-feature 1-D Wasserstein-1 distance to the reference window
+  /// (rows align with `index`, columns with features).
+  linalg::Matrix wasserstein;
+  /// Row means of `wasserstein` — the scalar W1 trace.
+  std::vector<double> wasserstein_mean;
+};
+
+/// Everything the compiler produces for one spec.
+struct CompiledScenario {
+  ScenarioSpec spec;
+  Dataset train;   ///< Clean concept-0 samples for the initial fit.
+  Dataset stream;  ///< The drifting test stream.
+  std::vector<DriftAnnotation> annotations;  ///< Ground-truth drift edges.
+  DivergenceTrace divergence;
+  /// Closed-form per-class Hellinger distance between consecutive concepts
+  /// actually achieved by the calibration (== drift_magnitude_prior up to
+  /// floating-point inversion error when drift_priors is set).
+  double calibrated_hellinger = 0.0;
+};
+
+/// Compiles `spec` into a concrete stream. Deterministic: equal specs
+/// produce bit-identical outputs.
+CompiledScenario compile_scenario(const ScenarioSpec& spec);
+
+/// The concept the compiled scenario samples from in segment `index`
+/// (0 = the trained concept). Exposed so tests can verify the calibration
+/// against the closed form without re-deriving the geometry.
+GaussianConcept scenario_concept(const ScenarioSpec& spec, std::size_t index);
+
+/// Closed-form Hellinger distance between two aligned diagonal-Gaussian
+/// mixtures: per-class Bhattacharyya product over dimensions, combined as
+/// the weight-averaged per-class squared Hellinger (exact for well-
+/// separated components, which is how scenario concepts are laid out).
+double gaussian_hellinger(const GaussianConcept& a, const GaussianConcept& b);
+
+/// The named presets behind scenarios/<name>.json and the sweep harness's
+/// default grid: "abrupt", "gradual", "recurrent", "boundary",
+/// "label-noise", "bursty-traffic". Nullopt for unknown names.
+std::optional<ScenarioSpec> scenario_preset(std::string_view name);
+
+/// Names of all built-in presets, in the sweep harness's grid order.
+std::span<const std::string_view> scenario_preset_names();
+
+// ---------------------------------------------------------------- JSON I/O
+// Hand-rolled parser (no external deps) for the scenario JSON dialect
+// documented on ScenarioSpec. Unknown keys are rejected so a typo cannot
+// silently fall back to a default.
+
+/// Parses one scenario object from JSON text. On failure returns nullopt
+/// and, when `error` is non-null, stores a human-readable reason.
+std::optional<ScenarioSpec> parse_scenario_json(std::string_view text,
+                                                std::string* error = nullptr);
+
+/// Reads and parses a scenario JSON file.
+std::optional<ScenarioSpec> load_scenario_file(const std::string& path,
+                                               std::string* error = nullptr);
+
+/// Renders `spec` as the JSON dialect parse_scenario_json accepts
+/// (round-trips exactly: parse(render(s)) == s).
+std::string scenario_to_json(const ScenarioSpec& spec);
+
+// ------------------------------------------------------- shared executor
+// The rendering loop behind both the compiler and the legacy Figure-1
+// composers (drift_stream.hpp).
+
+/// One edge of a mixing program: before `start` samples come from the
+/// previous source; across [start, end) each sample is drawn from `to`
+/// with probability mix(t) (one rng.bernoulli per sample); at and after
+/// `end` the source is pure `to`. A width-0 edge (start == end) switches
+/// instantly and draws no mixing randomness — exactly the legacy sudden
+/// composer's RNG sequence.
+struct MixEdge {
+  std::size_t start = 0;
+  std::size_t end = 0;
+  const ConceptGenerator* to = nullptr;
+  MixCurve curve = MixCurve::kLinear;
+};
+
+/// Renders `n` samples walking `edges` (sorted, non-overlapping) from
+/// `initial`. One sample() call per row; gradual edges add one bernoulli
+/// per in-transition row. `bernoulli_every_row` reproduces the legacy
+/// make_gradual_drift RNG sequence, which drew one (p-clamped) bernoulli
+/// on every row of the stream, pure segments included.
+Dataset render_drift_stream(const ConceptGenerator& initial,
+                            std::span<const MixEdge> edges, std::size_t n,
+                            util::Rng& rng, bool bernoulli_every_row = false);
+
+/// Incremental rendering: the distribution itself interpolates from `a` to
+/// `b` across [start, end), quantized to 64 interpolation steps so the
+/// concept is not rebuilt per sample. The executor behind
+/// make_incremental_drift.
+Dataset render_incremental_stream(const GaussianConcept& a,
+                                  const GaussianConcept& b, std::size_t n,
+                                  std::size_t start, std::size_t end,
+                                  util::Rng& rng);
+
+}  // namespace edgedrift::data

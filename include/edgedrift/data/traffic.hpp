@@ -1,0 +1,90 @@
+// Traffic-shape generator: deterministic, seeded arrival processes for
+// replaying a compiled scenario through the serving layer.
+//
+// A scenario stream says *what* samples arrive; a TrafficSpec says *when*
+// and *where*: how many rows each submit_batch carries (uniform, Poisson,
+// or bursty on/off with heavy-tailed burst durations — the standard
+// self-similar traffic construction) and which managed stream receives
+// them (round-robin with optional churn, so cold streams keep waking up
+// under an eviction budget).
+//
+// The shaper is pure arithmetic over its own util::Rng: given the same
+// (spec, seed) it emits the same batch-size and stream-id sequences, so a
+// serving-layer replay is as reproducible as the scenario itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "edgedrift/util/rng.hpp"
+
+namespace edgedrift::data {
+
+/// Arrival-size process of one replay.
+enum class ArrivalPattern {
+  kUniform,  ///< Every tick carries round(mean_batch) rows.
+  kPoisson,  ///< Rows per tick ~ Poisson(mean_batch).
+  kBursty,   ///< On/off: Poisson(burst_batch) rows per tick while a burst
+             ///< lasts, Poisson(idle_batch) between bursts; burst and idle
+             ///< durations are Pareto(alpha)-distributed ticks, whose heavy
+             ///< tail makes the aggregate self-similar.
+};
+
+/// Name <-> enum helpers ("uniform", "poisson", "bursty").
+const char* arrival_pattern_name(ArrivalPattern pattern);
+bool arrival_pattern_from_name(std::string_view name, ArrivalPattern* out);
+
+/// How a scenario is pushed through the serving layer.
+struct TrafficSpec {
+  ArrivalPattern pattern = ArrivalPattern::kUniform;
+  /// Mean rows per arrival tick (uniform / Poisson; >= 1 effective).
+  double mean_batch = 1.0;
+  /// Managed streams the replay spreads arrivals over. 1 keeps the
+  /// single-pipeline path; > 1 routes through PipelineManager.
+  std::size_t streams = 1;
+  /// Per-tick probability that the round-robin cursor teleports to a
+  /// uniformly random stream (stream churn: idle/cold streams wake).
+  double churn = 0.0;
+  /// kBursty: mean rows per tick inside / outside a burst.
+  double burst_batch = 32.0;
+  double idle_batch = 1.0;
+  /// kBursty: Pareto shape of the on/off durations. 1 < alpha <= 2 gives
+  /// infinite-variance periods (self-similar aggregate); larger alpha
+  /// tames the tail.
+  double pareto_alpha = 1.5;
+  /// kBursty: mean ticks per on/off period.
+  double mean_period = 64.0;
+};
+
+/// Deterministic arrival generator. next_batch() yields the rows of the
+/// next submit_batch (always >= 1, so a replay terminates); next_stream()
+/// yields the receiving stream id.
+class TrafficShaper {
+ public:
+  TrafficShaper(const TrafficSpec& spec, std::uint64_t seed);
+
+  /// Rows the next arrival carries (>= 1).
+  std::size_t next_batch();
+
+  /// Stream receiving the next arrival: round-robin over [0, streams),
+  /// with a churn-probability jump to a random position.
+  std::size_t next_stream();
+
+  const TrafficSpec& spec() const { return spec_; }
+
+ private:
+  /// Poisson(mean) via inversion-by-multiplication (exact for the small
+  /// means traffic uses), clamped to >= 1.
+  std::size_t poisson_at_least_one(double mean);
+  /// Pareto(alpha) duration in ticks with mean spec_.mean_period, >= 1.
+  std::size_t pareto_period();
+
+  TrafficSpec spec_;
+  util::Rng rng_;
+  std::size_t cursor_ = 0;       ///< Round-robin position.
+  bool bursting_ = false;        ///< kBursty on/off state.
+  std::size_t period_left_ = 0;  ///< Ticks until the state flips.
+};
+
+}  // namespace edgedrift::data

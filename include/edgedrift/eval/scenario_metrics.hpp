@@ -1,0 +1,74 @@
+// Ground-truth scoring of one detector run over a compiled scenario: each
+// annotated drift edge opens a detection window, and every detection index
+// is classified as the edge's hit (delay = index - edge start), an extra
+// in-window detection, or a false alarm. The false-alarm rate is
+// normalized per 1000 samples *outside* all detection windows, so a
+// scenario with many edges does not dilute the rate.
+//
+// The scoring is pure event arithmetic over (detections, annotations,
+// stream length) — no pipeline state — which is what makes it exactly
+// unit-testable from hand-built sequences (tests/test_scenario_metrics.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "edgedrift/data/scenario.hpp"
+
+namespace edgedrift::eval {
+
+/// Knobs of the event-matching rule.
+struct ScenarioMetricsConfig {
+  /// Samples after an edge's *completion* (annotation end — equal to the
+  /// start for an abrupt edge) during which a detection credits the edge,
+  /// so a wide gradual transition does not eat the detection budget. The
+  /// window opens at the edge's start (delay is measured from onset) and
+  /// is clipped at the next edge's start and the stream end, so windows
+  /// never overlap.
+  std::size_t detection_horizon = 1000;
+  /// Trailing samples of each post-drift segment scored as "recovered"
+  /// accuracy (clipped to the segment; segments shorter than the window
+  /// contribute what they have).
+  std::size_t recovery_window = 200;
+};
+
+/// Per-run scorecard. delays[k] is edge k's detection delay in samples,
+/// or -1 when the edge was missed.
+struct ScenarioMetrics {
+  std::size_t stream_length = 0;
+  std::size_t drift_points = 0;
+
+  std::size_t detected = 0;  ///< Edges with an in-window detection.
+  std::size_t missed = 0;    ///< drift_points - detected.
+  std::vector<long> delays;  ///< Per-edge delay; -1 = missed.
+  double mean_delay = 0.0;   ///< Over detected edges; 0 when none.
+
+  /// In-window detections after an edge's first (re-detections of a drift
+  /// already caught — noisy, but not false).
+  std::size_t extra_detections = 0;
+  std::size_t false_alarms = 0;      ///< Detections outside every window.
+  std::size_t watched_samples = 0;   ///< Samples covered by some window.
+  /// false_alarms per 1000 outside-window samples.
+  double false_alarm_rate_per_1k = 0.0;
+
+  // Accuracy block — only filled when a per-sample correctness span is
+  // supplied (recovery_samples == 0 otherwise).
+  std::size_t recovery_samples = 0;  ///< Samples in the recovery regions.
+  double recovery_accuracy = 0.0;    ///< Correct fraction of those samples.
+  double overall_accuracy = 0.0;     ///< Correct fraction of the stream.
+};
+
+/// Scores one run. `detections` holds the stream indices where the
+/// detector fired (any order; scored sorted). `correct`, when non-empty,
+/// must hold one 0/1 entry per stream sample and enables the accuracy
+/// block. Annotations must be sorted by start (how compile_scenario
+/// emits them).
+ScenarioMetrics score_scenario(std::span<const std::size_t> detections,
+                               std::span<const data::DriftAnnotation> annotations,
+                               std::size_t stream_length,
+                               std::span<const std::uint8_t> correct = {},
+                               const ScenarioMetricsConfig& config = {});
+
+}  // namespace edgedrift::eval

@@ -1,5 +1,11 @@
+// The four Figure-1 composers are thin wrappers over the scenario
+// compiler's shared executor (scenario.hpp). Each wrapper preserves the
+// exact RNG draw sequence of its original loop — the NSL-KDD golden
+// transcript and the fan-gradual threshold tests replay these streams
+// bit-for-bit.
 #include "edgedrift/data/drift_stream.hpp"
 
+#include "edgedrift/data/scenario.hpp"
 #include "edgedrift/util/assert.hpp"
 #include "edgedrift/util/rng.hpp"
 
@@ -10,14 +16,9 @@ Dataset make_sudden_drift(const ConceptGenerator& a, const ConceptGenerator& b,
                           util::Rng& rng) {
   EDGEDRIFT_ASSERT(a.dim() == b.dim(), "concept dim mismatch");
   EDGEDRIFT_ASSERT(drift_at <= n, "drift point beyond stream length");
-  Dataset out;
-  out.x.resize_zero(n, a.dim());
-  out.labels.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const ConceptGenerator& src = i < drift_at ? a : b;
-    out.labels[i] = src.sample(rng, out.x.row(i));
-  }
-  return out;
+  // A width-0 edge switches instantly and draws no mixing randomness.
+  const MixEdge edges[] = {{drift_at, drift_at, &b, MixCurve::kLinear}};
+  return render_drift_stream(a, edges, n, rng);
 }
 
 Dataset make_gradual_drift(const ConceptGenerator& a,
@@ -26,49 +27,17 @@ Dataset make_gradual_drift(const ConceptGenerator& a,
                            util::Rng& rng) {
   EDGEDRIFT_ASSERT(a.dim() == b.dim(), "concept dim mismatch");
   EDGEDRIFT_ASSERT(start <= end && end <= n, "invalid transition range");
-  Dataset out;
-  out.x.resize_zero(n, a.dim());
-  out.labels.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double p_new = 0.0;
-    if (i >= end) {
-      p_new = 1.0;
-    } else if (i >= start) {
-      p_new = static_cast<double>(i - start) /
-              static_cast<double>(end - start);
-    }
-    const ConceptGenerator& src = rng.bernoulli(p_new) ? b : a;
-    out.labels[i] = src.sample(rng, out.x.row(i));
-  }
-  return out;
+  const MixEdge edges[] = {{start, end, &b, MixCurve::kLinear}};
+  // bernoulli_every_row reproduces the original loop, which drew one
+  // (p-clamped) bernoulli on every row, pure segments included.
+  return render_drift_stream(a, edges, n, rng, /*bernoulli_every_row=*/true);
 }
 
 Dataset make_incremental_drift(const GaussianConcept& a,
                                const GaussianConcept& b, std::size_t n,
                                std::size_t start, std::size_t end,
                                util::Rng& rng) {
-  EDGEDRIFT_ASSERT(start <= end && end <= n, "invalid transition range");
-  Dataset out;
-  out.x.resize_zero(n, a.dim());
-  out.labels.resize(n);
-  // Quantize the interpolation so we do not rebuild the concept per sample.
-  constexpr std::size_t kSteps = 64;
-  for (std::size_t step = 0; step <= kSteps; ++step) {
-    const double t = static_cast<double>(step) / kSteps;
-    // Samples whose position maps to this interpolation step.
-    const auto lo = static_cast<std::size_t>(
-        step == 0 ? 0
-                  : start + (end - start) * (step * 2 - 1) / (2 * kSteps));
-    const auto hi = static_cast<std::size_t>(
-        step == kSteps ? n
-                       : start + (end - start) * (step * 2 + 1) / (2 * kSteps));
-    if (lo >= hi) continue;
-    const GaussianConcept mixed = GaussianConcept::interpolate(a, b, t);
-    for (std::size_t i = lo; i < hi && i < n; ++i) {
-      out.labels[i] = mixed.sample(rng, out.x.row(i));
-    }
-  }
-  return out;
+  return render_incremental_stream(a, b, n, start, end, rng);
 }
 
 Dataset make_reoccurring_drift(const ConceptGenerator& a,
@@ -77,14 +46,9 @@ Dataset make_reoccurring_drift(const ConceptGenerator& a,
                                util::Rng& rng) {
   EDGEDRIFT_ASSERT(a.dim() == b.dim(), "concept dim mismatch");
   EDGEDRIFT_ASSERT(start <= end && end <= n, "invalid reoccurrence range");
-  Dataset out;
-  out.x.resize_zero(n, a.dim());
-  out.labels.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const ConceptGenerator& src = (i >= start && i < end) ? b : a;
-    out.labels[i] = src.sample(rng, out.x.row(i));
-  }
-  return out;
+  const MixEdge edges[] = {{start, start, &b, MixCurve::kLinear},
+                           {end, end, &a, MixCurve::kLinear}};
+  return render_drift_stream(a, edges, n, rng);
 }
 
 }  // namespace edgedrift::data

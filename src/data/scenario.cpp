@@ -1,0 +1,463 @@
+#include "edgedrift/data/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edgedrift/util/assert.hpp"
+#include "edgedrift/util/rng.hpp"
+
+namespace edgedrift::data {
+namespace {
+
+/// Mixing probability of a gradual edge at relative position t in [0, 1].
+double mix_probability(MixCurve curve, double t) {
+  switch (curve) {
+    case MixCurve::kLinear:
+      return t;
+    case MixCurve::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-12.0 * (t - 0.5)));
+  }
+  return t;
+}
+
+/// Per-dimension mean shift achieving a per-class Hellinger distance of
+/// `magnitude` between two equal-stddev diagonal Gaussians:
+///   H^2 = 1 - exp(-||dmu||^2 / (8 sigma^2))
+/// inverted for ||dmu|| and spread evenly across `dims` dimensions.
+double calibrated_shift_per_dim(double magnitude, double stddev,
+                                std::size_t dims) {
+  if (magnitude <= 0.0) return 0.0;
+  EDGEDRIFT_ASSERT(magnitude < 1.0,
+                   "drift_magnitude_prior must be < 1 (Hellinger target)");
+  const double norm_sq =
+      -8.0 * stddev * stddev * std::log(1.0 - magnitude * magnitude);
+  return std::sqrt(norm_sq / static_cast<double>(dims));
+}
+
+/// One segment of the compiled concept schedule: the sampling distribution
+/// plus the conditional-drift label remap applied to its draws.
+struct SegmentConcept {
+  GaussianConcept gauss;
+  double remap = 0.0;  ///< P(label -> (label+1) % L) on each draw.
+};
+
+/// Concept index sampled in segment `s` of the schedule.
+std::size_t concept_of_segment(const ScenarioSpec& spec, std::size_t s) {
+  return spec.shape == DriftShape::kRecurrent ? s % 2 : s;
+}
+
+/// Builds the Gaussian of concept `index`: concept 0 is the base layout,
+/// each successive concept shifts every class mean by the calibrated
+/// vector, alternating direction so a long multi-drift walk stays bounded.
+GaussianConcept build_concept(const ScenarioSpec& spec, std::size_t index) {
+  EDGEDRIFT_ASSERT(spec.num_features > 0 && spec.num_labels > 0,
+                   "scenario needs features and labels");
+  const double shift_per_dim =
+      spec.drift_priors
+          ? calibrated_shift_per_dim(spec.drift_magnitude_prior, spec.stddev,
+                                     spec.num_features)
+          : 0.0;
+  // Net displacement after `index` alternating-direction edges: +1, 0,
+  // +1, 0, ... times the calibrated shift.
+  double net = 0.0;
+  for (std::size_t k = 1; k <= index; ++k) net += (k % 2 == 1) ? 1.0 : -1.0;
+
+  std::vector<GaussianClass> classes(spec.num_labels);
+  for (std::size_t c = 0; c < spec.num_labels; ++c) {
+    classes[c].mean.assign(spec.num_features, 0.0);
+    // Class anchor: separation along dimension c % d, scaled up when
+    // several labels share a dimension so clusters stay disjoint.
+    const std::size_t anchor = c % spec.num_features;
+    classes[c].mean[anchor] =
+        spec.class_separation *
+        (1.0 + static_cast<double>(c / spec.num_features));
+    for (std::size_t j = 0; j < spec.num_features; ++j) {
+      classes[c].mean[j] += net * shift_per_dim;
+    }
+    classes[c].stddev.assign(spec.num_features, spec.stddev);
+    classes[c].weight = 1.0;
+  }
+  return GaussianConcept(std::move(classes));
+}
+
+/// Drift-edge schedule: num_drift_points edges spaced evenly across
+/// [burn_in, n_instances), each with the spec's transition width clamped
+/// to its segment.
+struct Edge {
+  std::size_t start;
+  std::size_t end;
+  std::size_t to_segment;
+};
+
+std::vector<Edge> build_edges(const ScenarioSpec& spec) {
+  EDGEDRIFT_ASSERT(spec.burn_in <= spec.n_instances,
+                   "burn_in beyond stream length");
+  std::vector<Edge> edges;
+  if (spec.num_drift_points == 0) return edges;
+  const std::size_t span = spec.n_instances - spec.burn_in;
+  EDGEDRIFT_ASSERT(span >= spec.num_drift_points,
+                   "not enough samples after burn_in for the drift points");
+  const std::size_t gap = span / spec.num_drift_points;
+  const std::size_t width =
+      spec.shape == DriftShape::kGradual ? spec.drift_width : 0;
+  for (std::size_t k = 0; k < spec.num_drift_points; ++k) {
+    Edge e;
+    e.start = spec.burn_in + k * gap;
+    e.end = std::min(e.start + width, spec.n_instances);
+    if (k + 1 < spec.num_drift_points) {
+      const std::size_t next = spec.burn_in + (k + 1) * gap;
+      e.end = std::min(e.end, next);
+    }
+    e.to_segment = k + 1;
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+/// Histogram Hellinger distance between two equal-length windows of one
+/// feature, binned over the reference window's range.
+double feature_hellinger(std::span<const double> ref,
+                         std::span<const double> cur) {
+  constexpr std::size_t kBins = 16;
+  double lo = ref[0], hi = ref[0];
+  for (const double v : ref) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  // One overflow bin on each side catches mass that drifted out of the
+  // reference range — without them a large shift would look identical to
+  // a moderate one.
+  double p[kBins + 2] = {0.0};
+  double q[kBins + 2] = {0.0};
+  const double scale = static_cast<double>(kBins) / (hi - lo);
+  auto bin_of = [&](double v) -> std::size_t {
+    if (v < lo) return 0;
+    if (v >= hi) return kBins + 1;
+    return 1 + static_cast<std::size_t>((v - lo) * scale);
+  };
+  for (const double v : ref) p[bin_of(v)] += 1.0;
+  for (const double v : cur) q[bin_of(v)] += 1.0;
+  double bc = 0.0;
+  for (std::size_t b = 0; b < kBins + 2; ++b) {
+    bc += std::sqrt(p[b] / static_cast<double>(ref.size()) * q[b] /
+                    static_cast<double>(cur.size()));
+  }
+  return std::sqrt(std::max(0.0, 1.0 - bc));
+}
+
+/// Empirical 1-D Wasserstein-1: mean absolute difference of the sorted
+/// samples (equal window sizes).
+double feature_wasserstein(std::vector<double>& ref_sorted,
+                           std::vector<double>& cur_scratch,
+                           std::span<const double> cur) {
+  cur_scratch.assign(cur.begin(), cur.end());
+  std::sort(cur_scratch.begin(), cur_scratch.end());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ref_sorted.size(); ++i) {
+    acc += std::abs(ref_sorted[i] - cur_scratch[i]);
+  }
+  return acc / static_cast<double>(ref_sorted.size());
+}
+
+DivergenceTrace build_divergence(const Dataset& stream, std::size_t window) {
+  DivergenceTrace trace;
+  trace.window = window;
+  if (window == 0 || stream.size() < 2 * window) return trace;
+  const std::size_t d = stream.dim();
+  const std::size_t windows = stream.size() / window;
+
+  // Per-feature sorted reference window (rows [0, window)).
+  std::vector<std::vector<double>> ref_sorted(d);
+  std::vector<std::vector<double>> ref_raw(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    ref_sorted[j].resize(window);
+    for (std::size_t i = 0; i < window; ++i) ref_sorted[j][i] = stream.x(i, j);
+    ref_raw[j] = ref_sorted[j];
+    std::sort(ref_sorted[j].begin(), ref_sorted[j].end());
+  }
+
+  trace.wasserstein.resize_zero(windows, d);
+  std::vector<double> cur(window);
+  std::vector<double> scratch;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::size_t begin = w * window;
+    double h_acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      for (std::size_t i = 0; i < window; ++i) {
+        cur[i] = stream.x(begin + i, j);
+      }
+      h_acc += feature_hellinger(ref_raw[j], cur);
+      trace.wasserstein(w, j) =
+          feature_wasserstein(ref_sorted[j], scratch, cur);
+    }
+    trace.index.push_back(begin + window);
+    trace.hellinger.push_back(h_acc / static_cast<double>(d));
+    double w_acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) w_acc += trace.wasserstein(w, j);
+    trace.wasserstein_mean.push_back(w_acc / static_cast<double>(d));
+  }
+  return trace;
+}
+
+}  // namespace
+
+GaussianConcept scenario_concept(const ScenarioSpec& spec, std::size_t index) {
+  return build_concept(spec, concept_of_segment(spec, index));
+}
+
+double gaussian_hellinger(const GaussianConcept& a, const GaussianConcept& b) {
+  EDGEDRIFT_ASSERT(a.num_labels() == b.num_labels() && a.dim() == b.dim(),
+                   "hellinger shape mismatch");
+  // Mixture Hellinger under the disjoint-components approximation (how
+  // scenario concepts are laid out): weight-averaged per-class squared
+  // Hellinger, with the per-class term exact for diagonal Gaussians.
+  double total_weight = 0.0;
+  double h_sq = 0.0;
+  for (std::size_t c = 0; c < a.num_labels(); ++c) {
+    const GaussianClass& ca = a.cls(c);
+    const GaussianClass& cb = b.cls(c);
+    double log_bc = 0.0;
+    for (std::size_t j = 0; j < a.dim(); ++j) {
+      const double va = ca.stddev[j] * ca.stddev[j];
+      const double vb = cb.stddev[j] * cb.stddev[j];
+      const double dm = ca.mean[j] - cb.mean[j];
+      log_bc += 0.5 * std::log(2.0 * ca.stddev[j] * cb.stddev[j] / (va + vb));
+      log_bc -= dm * dm / (4.0 * (va + vb));
+    }
+    h_sq += ca.weight * (1.0 - std::exp(log_bc));
+    total_weight += ca.weight;
+  }
+  return std::sqrt(std::max(0.0, h_sq / total_weight));
+}
+
+Dataset render_drift_stream(const ConceptGenerator& initial,
+                            std::span<const MixEdge> edges, std::size_t n,
+                            util::Rng& rng, bool bernoulli_every_row) {
+  Dataset out;
+  if (n == 0) return out;
+  out.x.resize_zero(n, initial.dim());
+  out.labels.resize(n);
+  const ConceptGenerator* current = &initial;
+  std::size_t edge = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (edge < edges.size() && i >= edges[edge].end) {
+      EDGEDRIFT_ASSERT(edges[edge].to->dim() == initial.dim(),
+                       "concept dim mismatch");
+      current = edges[edge].to;
+      ++edge;
+    }
+    const ConceptGenerator* src = current;
+    if (edge < edges.size() && i >= edges[edge].start) {
+      // Inside a transition: draw from the target with probability mix(t).
+      const MixEdge& e = edges[edge];
+      const double t = static_cast<double>(i - e.start) /
+                       static_cast<double>(e.end - e.start);
+      src = rng.bernoulli(mix_probability(e.curve, t)) ? e.to : current;
+    } else if (bernoulli_every_row) {
+      // Legacy make_gradual_drift drew one bernoulli on every row, pure
+      // segments included (p clamped to 0 before the transition, 1 after).
+      // Kept behind this flag so the folded composer reproduces its
+      // streams bit-for-bit.
+      const double p = edge < edges.size() ? 0.0 : 1.0;
+      if (rng.bernoulli(p) && !edges.empty()) src = edges.back().to;
+    }
+    out.labels[i] = src->sample(rng, out.x.row(i));
+  }
+  return out;
+}
+
+Dataset render_incremental_stream(const GaussianConcept& a,
+                                  const GaussianConcept& b, std::size_t n,
+                                  std::size_t start, std::size_t end,
+                                  util::Rng& rng) {
+  EDGEDRIFT_ASSERT(start <= end && end <= n, "invalid transition range");
+  Dataset out;
+  out.x.resize_zero(n, a.dim());
+  out.labels.resize(n);
+  // Quantize the interpolation so we do not rebuild the concept per sample.
+  constexpr std::size_t kSteps = 64;
+  for (std::size_t step = 0; step <= kSteps; ++step) {
+    const double t = static_cast<double>(step) / kSteps;
+    // Samples whose position maps to this interpolation step.
+    const auto lo = static_cast<std::size_t>(
+        step == 0 ? 0
+                  : start + (end - start) * (step * 2 - 1) / (2 * kSteps));
+    const auto hi = static_cast<std::size_t>(
+        step == kSteps ? n
+                       : start + (end - start) * (step * 2 + 1) / (2 * kSteps));
+    if (lo >= hi) continue;
+    const GaussianConcept mixed = GaussianConcept::interpolate(a, b, t);
+    for (std::size_t i = lo; i < hi && i < n; ++i) {
+      out.labels[i] = mixed.sample(rng, out.x.row(i));
+    }
+  }
+  return out;
+}
+
+CompiledScenario compile_scenario(const ScenarioSpec& spec) {
+  EDGEDRIFT_ASSERT(spec.num_labels >= 2, "scenario needs >= 2 labels");
+  EDGEDRIFT_ASSERT(spec.noise_level >= 0.0 && spec.noise_level < 1.0,
+                   "noise_level must be in [0, 1)");
+  EDGEDRIFT_ASSERT(spec.drift_magnitude_conditional >= 0.0 &&
+                       spec.drift_magnitude_conditional <= 1.0,
+                   "conditional magnitude must be in [0, 1]");
+
+  CompiledScenario out;
+  out.spec = spec;
+
+  const std::vector<Edge> edges = build_edges(spec);
+  const std::size_t num_segments = edges.size() + 1;
+
+  // Segment concepts. Conditional drift applies its label remap to every
+  // post-drift segment; a recurrent return to segment-concept 0 restores
+  // the original conditional as well.
+  std::vector<SegmentConcept> segments;
+  segments.reserve(num_segments);
+  for (std::size_t s = 0; s < num_segments; ++s) {
+    const std::size_t cidx = concept_of_segment(spec, s);
+    SegmentConcept seg{build_concept(spec, cidx), 0.0};
+    if (spec.drift_conditional && cidx > 0) {
+      seg.remap = spec.drift_magnitude_conditional;
+    }
+    segments.push_back(std::move(seg));
+  }
+
+  // One Rng, fixed draw order: train first, then the stream row by row
+  // (per row: optional mix bernoulli, one sample, optional remap
+  // bernoulli, optional noise bernoulli + index). This ordering is the
+  // bit-identical-regeneration contract the golden transcript pins.
+  util::Rng rng(spec.seed);
+  out.train = draw(segments.front().gauss, spec.train_size, rng);
+
+  out.stream.x.resize_zero(spec.n_instances, spec.num_features);
+  out.stream.labels.resize(spec.n_instances);
+  std::size_t edge = 0;
+  std::size_t current = 0;  // Active segment.
+  for (std::size_t i = 0; i < spec.n_instances; ++i) {
+    while (edge < edges.size() && i >= edges[edge].end) {
+      current = edges[edge].to_segment;
+      ++edge;
+    }
+    std::size_t src = current;
+    if (edge < edges.size() && i >= edges[edge].start) {
+      // Inside a gradual transition (an abrupt edge has start == end and
+      // is consumed by the while loop above before this test can hold).
+      const Edge& e = edges[edge];
+      const double t = static_cast<double>(i - e.start) /
+                       static_cast<double>(e.end - e.start);
+      src = rng.bernoulli(mix_probability(spec.curve, t)) ? e.to_segment
+                                                          : current;
+    }
+    const SegmentConcept& seg = segments[src];
+    int label = seg.gauss.sample(rng, out.stream.x.row(i));
+    if (seg.remap > 0.0 && rng.bernoulli(seg.remap)) {
+      label = static_cast<int>((static_cast<std::size_t>(label) + 1) %
+                               spec.num_labels);
+    }
+    if (spec.noise_level > 0.0 && rng.bernoulli(spec.noise_level)) {
+      // Uniform over the other labels.
+      const std::size_t shift = 1 + rng.uniform_index(spec.num_labels - 1);
+      label = static_cast<int>((static_cast<std::size_t>(label) + shift) %
+                               spec.num_labels);
+    }
+    out.stream.labels[i] = label;
+  }
+
+  // Ground truth. An abrupt edge lands exactly at `start`; a gradual
+  // edge's pure post-concept begins at `end`.
+  for (const Edge& e : edges) {
+    DriftAnnotation a;
+    a.start = e.start;
+    a.end = e.end;
+    a.shape = spec.shape;
+    a.from_concept = concept_of_segment(spec, e.to_segment - 1);
+    a.to_concept = concept_of_segment(spec, e.to_segment);
+    a.prior = spec.drift_priors && spec.drift_magnitude_prior > 0.0;
+    a.conditional =
+        spec.drift_conditional && spec.drift_magnitude_conditional > 0.0;
+    out.annotations.push_back(a);
+  }
+
+  if (!edges.empty() && spec.drift_priors) {
+    out.calibrated_hellinger = gaussian_hellinger(
+        segments[0].gauss, build_concept(spec, 1));
+  }
+
+  out.divergence = build_divergence(out.stream, spec.divergence_window);
+  return out;
+}
+
+namespace {
+
+constexpr std::string_view kPresetNames[] = {
+    "abrupt",      "gradual",     "recurrent",
+    "boundary",    "label-noise", "bursty-traffic",
+};
+
+}  // namespace
+
+std::span<const std::string_view> scenario_preset_names() {
+  return kPresetNames;
+}
+
+std::optional<ScenarioSpec> scenario_preset(std::string_view name) {
+  ScenarioSpec s;
+  s.name = std::string(name);
+  if (name == "abrupt") {
+    // One clean calibrated jump — the baseline every detector must catch.
+    s.shape = DriftShape::kAbrupt;
+    s.drift_magnitude_prior = 0.9;
+    s.seed = 101;
+  } else if (name == "gradual") {
+    // Sigmoid-mixed transition: both concepts coexist for 600 samples.
+    s.shape = DriftShape::kGradual;
+    s.curve = MixCurve::kSigmoid;
+    s.drift_width = 600;
+    s.n_instances = 5000;
+    s.drift_magnitude_prior = 0.92;
+    s.seed = 102;
+  } else if (name == "recurrent") {
+    // Four alternations back to the trained concept — the scenario where
+    // a reconstruction that forgets concept 0 pays repeatedly.
+    s.shape = DriftShape::kRecurrent;
+    s.num_drift_points = 4;
+    s.n_instances = 6000;
+    s.seed = 103;
+  } else if (name == "boundary") {
+    // Pure conditional (P(Y|X)) drift: the feature distribution never
+    // moves, 80% of post-drift labels are remapped. Invisible to purely
+    // unsupervised detectors; the supervised error-rate family must catch
+    // it — exactly the contrast the matrix is meant to expose.
+    s.drift_priors = false;
+    s.drift_conditional = true;
+    s.drift_magnitude_prior = 0.0;
+    s.drift_magnitude_conditional = 0.8;
+    s.seed = 104;
+  } else if (name == "label-noise") {
+    // The abrupt jump with 10% label noise on the stream: detectors that
+    // lean on the supervised mistake signal must hold their false-alarm
+    // rate while the noise floor is up.
+    s.drift_magnitude_prior = 0.8;
+    s.noise_level = 0.1;
+    s.seed = 105;
+  } else if (name == "bursty-traffic") {
+    // The abrupt jump replayed through the serving layer under
+    // heavy-tailed on/off arrivals across 8 managed streams with churn —
+    // the preset that exercises PipelineManager::submit_batch instead of
+    // the single-pipeline path.
+    s.n_instances = 6000;
+    s.traffic.pattern = ArrivalPattern::kBursty;
+    s.traffic.streams = 8;
+    s.traffic.churn = 0.02;
+    s.traffic.burst_batch = 32.0;
+    s.traffic.idle_batch = 1.0;
+    s.traffic.mean_period = 64.0;
+    s.seed = 106;
+  } else {
+    return std::nullopt;
+  }
+  return s;
+}
+
+}  // namespace edgedrift::data

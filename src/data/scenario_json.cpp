@@ -1,0 +1,383 @@
+// Hand-rolled JSON reader/writer for ScenarioSpec — the library takes no
+// external dependencies, and the dialect is small: one object of scalar
+// fields plus the nested "traffic" object. The parser accepts general
+// JSON scalars/objects, rejects unknown keys (a typo must not silently
+// become a default), and reports positions in its error strings.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "edgedrift/data/scenario.hpp"
+
+namespace edgedrift::data {
+namespace {
+
+/// Cursor over the JSON text with one-token-lookahead helpers.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("unterminated escape");
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default:
+            return fail("unsupported escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos >= text.size()) return fail("unterminated string");
+    ++pos;  // Closing quote.
+    return true;
+  }
+
+  bool parse_number(double* out) {
+    skip_ws();
+    const char* begin = text.data() + pos;
+    char* end = nullptr;
+    *out = std::strtod(begin, &end);
+    if (end == begin) return fail("expected a number");
+    pos += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  bool parse_bool(bool* out) {
+    skip_ws();
+    if (text.substr(pos, 4) == "true") {
+      *out = true;
+      pos += 4;
+      return true;
+    }
+    if (text.substr(pos, 5) == "false") {
+      *out = false;
+      pos += 5;
+      return true;
+    }
+    return fail("expected true or false");
+  }
+};
+
+/// Field dispatcher shared by the top-level and traffic objects: each
+/// returns false for an unknown key so the caller can report it.
+bool apply_traffic_field(Cursor& c, TrafficSpec& t, const std::string& key,
+                         bool* ok) {
+  *ok = false;
+  double num = 0.0;
+  std::string str;
+  if (key == "pattern") {
+    if (!c.parse_string(&str)) return true;
+    ArrivalPattern p;
+    if (!arrival_pattern_from_name(str, &p)) {
+      c.fail("unknown traffic pattern \"" + str + "\"");
+      return true;
+    }
+    t.pattern = p;
+  } else if (key == "mean_batch") {
+    if (!c.parse_number(&num)) return true;
+    t.mean_batch = num;
+  } else if (key == "streams") {
+    if (!c.parse_number(&num)) return true;
+    t.streams = static_cast<std::size_t>(num);
+  } else if (key == "churn") {
+    if (!c.parse_number(&num)) return true;
+    t.churn = num;
+  } else if (key == "burst_batch") {
+    if (!c.parse_number(&num)) return true;
+    t.burst_batch = num;
+  } else if (key == "idle_batch") {
+    if (!c.parse_number(&num)) return true;
+    t.idle_batch = num;
+  } else if (key == "pareto_alpha") {
+    if (!c.parse_number(&num)) return true;
+    t.pareto_alpha = num;
+  } else if (key == "mean_period") {
+    if (!c.parse_number(&num)) return true;
+    t.mean_period = num;
+  } else {
+    c.fail("unknown traffic key \"" + key + "\"");
+    return true;
+  }
+  *ok = true;
+  return true;
+}
+
+bool parse_traffic_object(Cursor& c, TrafficSpec& t) {
+  if (!c.expect('{')) return false;
+  if (c.peek_is('}')) {
+    ++c.pos;
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!c.parse_string(&key)) return false;
+    if (!c.expect(':')) return false;
+    bool ok = false;
+    apply_traffic_field(c, t, key, &ok);
+    if (!ok) return false;
+    if (c.peek_is(',')) {
+      ++c.pos;
+      continue;
+    }
+    return c.expect('}');
+  }
+}
+
+bool apply_spec_field(Cursor& c, ScenarioSpec& s, const std::string& key,
+                      bool* ok) {
+  *ok = false;
+  double num = 0.0;
+  std::string str;
+  bool flag = false;
+  if (key == "name") {
+    if (!c.parse_string(&s.name)) return true;
+  } else if (key == "num_features") {
+    if (!c.parse_number(&num)) return true;
+    s.num_features = static_cast<std::size_t>(num);
+  } else if (key == "num_labels") {
+    if (!c.parse_number(&num)) return true;
+    s.num_labels = static_cast<std::size_t>(num);
+  } else if (key == "class_separation") {
+    if (!c.parse_number(&s.class_separation)) return true;
+  } else if (key == "stddev") {
+    if (!c.parse_number(&s.stddev)) return true;
+  } else if (key == "train_size") {
+    if (!c.parse_number(&num)) return true;
+    s.train_size = static_cast<std::size_t>(num);
+  } else if (key == "n_instances") {
+    if (!c.parse_number(&num)) return true;
+    s.n_instances = static_cast<std::size_t>(num);
+  } else if (key == "burn_in") {
+    if (!c.parse_number(&num)) return true;
+    s.burn_in = static_cast<std::size_t>(num);
+  } else if (key == "type") {
+    if (!c.parse_string(&str)) return true;
+    if (str == "abrupt") {
+      s.shape = DriftShape::kAbrupt;
+    } else if (str == "gradual") {
+      s.shape = DriftShape::kGradual;
+    } else if (str == "recurrent") {
+      s.shape = DriftShape::kRecurrent;
+    } else {
+      c.fail("unknown drift type \"" + str + "\"");
+      return true;
+    }
+  } else if (key == "transition") {
+    if (!c.parse_string(&str)) return true;
+    if (str == "linear") {
+      s.curve = MixCurve::kLinear;
+    } else if (str == "sigmoid") {
+      s.curve = MixCurve::kSigmoid;
+    } else {
+      c.fail("unknown transition \"" + str + "\"");
+      return true;
+    }
+  } else if (key == "drift_width") {
+    if (!c.parse_number(&num)) return true;
+    s.drift_width = static_cast<std::size_t>(num);
+  } else if (key == "num_drift_points") {
+    if (!c.parse_number(&num)) return true;
+    s.num_drift_points = static_cast<std::size_t>(num);
+  } else if (key == "drift_priors") {
+    if (!c.parse_bool(&flag)) return true;
+    s.drift_priors = flag;
+  } else if (key == "drift_conditional") {
+    if (!c.parse_bool(&flag)) return true;
+    s.drift_conditional = flag;
+  } else if (key == "drift_magnitude_prior") {
+    if (!c.parse_number(&s.drift_magnitude_prior)) return true;
+  } else if (key == "drift_magnitude_conditional") {
+    if (!c.parse_number(&s.drift_magnitude_conditional)) return true;
+  } else if (key == "noise_level") {
+    if (!c.parse_number(&s.noise_level)) return true;
+  } else if (key == "divergence_window") {
+    if (!c.parse_number(&num)) return true;
+    s.divergence_window = static_cast<std::size_t>(num);
+  } else if (key == "seed") {
+    if (!c.parse_number(&num)) return true;
+    s.seed = static_cast<std::uint64_t>(num);
+  } else if (key == "traffic") {
+    if (!parse_traffic_object(c, s.traffic)) return true;
+  } else {
+    c.fail("unknown key \"" + key + "\"");
+    return true;
+  }
+  *ok = true;
+  return true;
+}
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* shape_name(DriftShape s) {
+  switch (s) {
+    case DriftShape::kAbrupt:
+      return "abrupt";
+    case DriftShape::kGradual:
+      return "gradual";
+    case DriftShape::kRecurrent:
+      return "recurrent";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::optional<ScenarioSpec> parse_scenario_json(std::string_view text,
+                                                std::string* error) {
+  Cursor c{text, 0, {}};
+  ScenarioSpec spec;
+  bool parsed = false;
+  if (c.expect('{')) {
+    if (c.peek_is('}')) {
+      ++c.pos;
+      parsed = true;
+    } else {
+      for (;;) {
+        std::string key;
+        if (!c.parse_string(&key)) break;
+        if (!c.expect(':')) break;
+        bool ok = false;
+        apply_spec_field(c, spec, key, &ok);
+        if (!ok) break;
+        if (c.peek_is(',')) {
+          ++c.pos;
+          continue;
+        }
+        parsed = c.expect('}');
+        break;
+      }
+    }
+  }
+  if (parsed) {
+    c.skip_ws();
+    if (c.pos != c.text.size()) {
+      parsed = false;
+      c.fail("trailing characters after the scenario object");
+    }
+  }
+  if (!parsed) {
+    if (error != nullptr) *error = c.error;
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<ScenarioSpec> load_scenario_file(const std::string& path,
+                                               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    if (n == 0) break;
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  auto spec = parse_scenario_json(text, error);
+  if (!spec && error != nullptr) *error = path + ": " + *error;
+  return spec;
+}
+
+std::string scenario_to_json(const ScenarioSpec& s) {
+  std::string out = "{\n";
+  out += "  \"name\": \"" + escaped(s.name) + "\",\n";
+  out += "  \"num_features\": " + std::to_string(s.num_features) + ",\n";
+  out += "  \"num_labels\": " + std::to_string(s.num_labels) + ",\n";
+  out += "  \"class_separation\": " + fmt_double(s.class_separation) + ",\n";
+  out += "  \"stddev\": " + fmt_double(s.stddev) + ",\n";
+  out += "  \"train_size\": " + std::to_string(s.train_size) + ",\n";
+  out += "  \"n_instances\": " + std::to_string(s.n_instances) + ",\n";
+  out += "  \"burn_in\": " + std::to_string(s.burn_in) + ",\n";
+  out += std::string("  \"type\": \"") + shape_name(s.shape) + "\",\n";
+  out += std::string("  \"transition\": \"") +
+         (s.curve == MixCurve::kLinear ? "linear" : "sigmoid") + "\",\n";
+  out += "  \"drift_width\": " + std::to_string(s.drift_width) + ",\n";
+  out += "  \"num_drift_points\": " + std::to_string(s.num_drift_points) +
+         ",\n";
+  out += std::string("  \"drift_priors\": ") +
+         (s.drift_priors ? "true" : "false") + ",\n";
+  out += std::string("  \"drift_conditional\": ") +
+         (s.drift_conditional ? "true" : "false") + ",\n";
+  out += "  \"drift_magnitude_prior\": " +
+         fmt_double(s.drift_magnitude_prior) + ",\n";
+  out += "  \"drift_magnitude_conditional\": " +
+         fmt_double(s.drift_magnitude_conditional) + ",\n";
+  out += "  \"noise_level\": " + fmt_double(s.noise_level) + ",\n";
+  out += "  \"divergence_window\": " + std::to_string(s.divergence_window) +
+         ",\n";
+  out += "  \"seed\": " + std::to_string(s.seed) + ",\n";
+  out += "  \"traffic\": {\n";
+  out += std::string("    \"pattern\": \"") +
+         arrival_pattern_name(s.traffic.pattern) + "\",\n";
+  out += "    \"mean_batch\": " + fmt_double(s.traffic.mean_batch) + ",\n";
+  out += "    \"streams\": " + std::to_string(s.traffic.streams) + ",\n";
+  out += "    \"churn\": " + fmt_double(s.traffic.churn) + ",\n";
+  out += "    \"burst_batch\": " + fmt_double(s.traffic.burst_batch) + ",\n";
+  out += "    \"idle_batch\": " + fmt_double(s.traffic.idle_batch) + ",\n";
+  out += "    \"pareto_alpha\": " + fmt_double(s.traffic.pareto_alpha) +
+         ",\n";
+  out += "    \"mean_period\": " + fmt_double(s.traffic.mean_period) + "\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace edgedrift::data

@@ -1,0 +1,98 @@
+#include "edgedrift/data/traffic.hpp"
+
+#include <cmath>
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::data {
+
+const char* arrival_pattern_name(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kUniform:
+      return "uniform";
+    case ArrivalPattern::kPoisson:
+      return "poisson";
+    case ArrivalPattern::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+bool arrival_pattern_from_name(std::string_view name, ArrivalPattern* out) {
+  if (name == "uniform") {
+    *out = ArrivalPattern::kUniform;
+  } else if (name == "poisson") {
+    *out = ArrivalPattern::kPoisson;
+  } else if (name == "bursty") {
+    *out = ArrivalPattern::kBursty;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+TrafficShaper::TrafficShaper(const TrafficSpec& spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  EDGEDRIFT_ASSERT(spec_.streams > 0, "traffic needs at least one stream");
+  EDGEDRIFT_ASSERT(spec_.pareto_alpha > 1.0,
+                   "pareto_alpha must exceed 1 (finite mean)");
+}
+
+std::size_t TrafficShaper::poisson_at_least_one(double mean) {
+  if (mean <= 1.0) return 1;
+  // Knuth's product method: exact, and cheap for the small means traffic
+  // shaping uses (tens of rows per tick).
+  const double limit = std::exp(-mean);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng_.uniform();
+  } while (p > limit);
+  return k > 1 ? k - 1 : 1;
+}
+
+std::size_t TrafficShaper::pareto_period() {
+  // Pareto with shape alpha and scale xm chosen so the mean is
+  // mean_period: E = xm * alpha / (alpha - 1).
+  const double alpha = spec_.pareto_alpha;
+  const double xm = spec_.mean_period * (alpha - 1.0) / alpha;
+  double u = rng_.uniform();
+  if (u < 1e-12) u = 1e-12;  // Bounds the tail draw.
+  const double period = xm / std::pow(u, 1.0 / alpha);
+  const double clamped = std::fmin(period, 1e6);
+  return clamped < 1.0 ? 1 : static_cast<std::size_t>(clamped);
+}
+
+std::size_t TrafficShaper::next_batch() {
+  switch (spec_.pattern) {
+    case ArrivalPattern::kUniform: {
+      const double r = std::round(spec_.mean_batch);
+      return r < 1.0 ? 1 : static_cast<std::size_t>(r);
+    }
+    case ArrivalPattern::kPoisson:
+      return poisson_at_least_one(spec_.mean_batch);
+    case ArrivalPattern::kBursty: {
+      if (period_left_ == 0) {
+        bursting_ = !bursting_;
+        period_left_ = pareto_period();
+      }
+      --period_left_;
+      return poisson_at_least_one(bursting_ ? spec_.burst_batch
+                                            : spec_.idle_batch);
+    }
+  }
+  return 1;
+}
+
+std::size_t TrafficShaper::next_stream() {
+  if (spec_.streams == 1) return 0;
+  if (spec_.churn > 0.0 && rng_.bernoulli(spec_.churn)) {
+    cursor_ = rng_.uniform_index(spec_.streams);
+  }
+  const std::size_t id = cursor_;
+  cursor_ = (cursor_ + 1) % spec_.streams;
+  return id;
+}
+
+}  // namespace edgedrift::data

@@ -1,0 +1,108 @@
+#include "edgedrift/eval/scenario_metrics.hpp"
+
+#include <algorithm>
+
+#include "edgedrift/util/assert.hpp"
+
+namespace edgedrift::eval {
+
+ScenarioMetrics score_scenario(
+    std::span<const std::size_t> detections,
+    std::span<const data::DriftAnnotation> annotations,
+    std::size_t stream_length, std::span<const std::uint8_t> correct,
+    const ScenarioMetricsConfig& config) {
+  EDGEDRIFT_ASSERT(correct.empty() || correct.size() == stream_length,
+                   "correctness span must cover the stream");
+
+  ScenarioMetrics m;
+  m.stream_length = stream_length;
+  m.drift_points = annotations.size();
+  m.delays.assign(annotations.size(), -1);
+
+  // Detection windows: [start, min(edge end + horizon, next start, n)).
+  // Clipping at the next edge keeps windows disjoint, so every detection
+  // has exactly one classification.
+  struct Window {
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Window> windows(annotations.size());
+  for (std::size_t k = 0; k < annotations.size(); ++k) {
+    const std::size_t begin = annotations[k].start;
+    std::size_t end =
+        std::max(begin, annotations[k].end) + config.detection_horizon;
+    if (k + 1 < annotations.size()) {
+      end = std::min(end, annotations[k + 1].start);
+    }
+    end = std::min(end, stream_length);
+    EDGEDRIFT_ASSERT(k == 0 || begin >= windows[k - 1].end,
+                     "annotations must be sorted by start");
+    windows[k] = {begin, std::max(begin, end)};
+    m.watched_samples += windows[k].end - windows[k].begin;
+  }
+
+  std::vector<std::size_t> sorted(detections.begin(), detections.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  std::size_t w = 0;
+  double delay_acc = 0.0;
+  for (const std::size_t d : sorted) {
+    EDGEDRIFT_ASSERT(d < stream_length, "detection beyond the stream");
+    while (w < windows.size() && d >= windows[w].end) ++w;
+    if (w < windows.size() && d >= windows[w].begin) {
+      if (m.delays[w] < 0) {
+        m.delays[w] = static_cast<long>(d - windows[w].begin);
+        delay_acc += static_cast<double>(m.delays[w]);
+        ++m.detected;
+      } else {
+        ++m.extra_detections;
+      }
+    } else {
+      ++m.false_alarms;
+    }
+  }
+  m.missed = m.drift_points - m.detected;
+  if (m.detected > 0) {
+    m.mean_delay = delay_acc / static_cast<double>(m.detected);
+  }
+  const std::size_t outside = stream_length - m.watched_samples;
+  if (outside > 0) {
+    m.false_alarm_rate_per_1k =
+        1000.0 * static_cast<double>(m.false_alarms) /
+        static_cast<double>(outside);
+  }
+
+  if (!correct.empty()) {
+    std::size_t total_correct = 0;
+    for (const std::uint8_t c : correct) total_correct += c != 0 ? 1 : 0;
+    m.overall_accuracy = stream_length == 0
+                             ? 0.0
+                             : static_cast<double>(total_correct) /
+                                   static_cast<double>(stream_length);
+
+    // Recovery accuracy: the trailing recovery_window samples of each
+    // post-drift segment — after the pure post-edge concept began (edge
+    // end) and before the next edge starts.
+    std::size_t rec_correct = 0;
+    for (std::size_t k = 0; k < annotations.size(); ++k) {
+      const std::size_t seg_end = k + 1 < annotations.size()
+                                      ? annotations[k + 1].start
+                                      : stream_length;
+      const std::size_t seg_begin = std::min(annotations[k].end, seg_end);
+      const std::size_t tail = seg_end - seg_begin;
+      const std::size_t begin =
+          seg_end - std::min(tail, config.recovery_window);
+      for (std::size_t i = begin; i < seg_end; ++i) {
+        ++m.recovery_samples;
+        rec_correct += correct[i] != 0 ? 1 : 0;
+      }
+    }
+    if (m.recovery_samples > 0) {
+      m.recovery_accuracy = static_cast<double>(rec_correct) /
+                            static_cast<double>(m.recovery_samples);
+    }
+  }
+  return m;
+}
+
+}  // namespace edgedrift::eval

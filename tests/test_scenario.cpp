@@ -1,0 +1,441 @@
+// Scenario compiler properties: Hellinger calibration against the closed
+// form, recurrent return to the trained concept, bit-identical seeded
+// regeneration, conditional-drift/label-noise semantics, JSON round-trips,
+// and the TrafficShaper's arrival processes.
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgedrift/data/scenario.hpp"
+#include "edgedrift/data/traffic.hpp"
+
+namespace {
+
+using namespace edgedrift;
+using data::ScenarioSpec;
+
+/// A small, fast spec the compiler tests share.
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.name = "unit";
+  spec.num_features = 6;
+  spec.num_labels = 2;
+  spec.train_size = 200;
+  spec.n_instances = 2000;
+  spec.burn_in = 1000;
+  spec.divergence_window = 200;
+  spec.seed = 31;
+  return spec;
+}
+
+/// The scenario geometry puts class c's anchor along dimension c; with the
+/// default separation/stddev the nearest anchor recovers the sampled class
+/// essentially always, which lets tests observe label remaps and noise.
+int nearest_anchor_label(const data::Dataset& d, std::size_t i) {
+  return d.x(i, 1) > d.x(i, 0) ? 1 : 0;
+}
+
+// ---------------------------------------------------------- calibration
+
+TEST(ScenarioCompiler, HellingerCalibrationMatchesSpecMagnitude) {
+  for (const double magnitude : {0.3, 0.5, 0.7, 0.9, 0.97}) {
+    ScenarioSpec spec = small_spec();
+    spec.drift_magnitude_prior = magnitude;
+    const double h = data::gaussian_hellinger(
+        data::scenario_concept(spec, 0), data::scenario_concept(spec, 1));
+    // The calibration inverts the closed form exactly; only floating-point
+    // round-off separates the achieved distance from the target.
+    EXPECT_NEAR(h, magnitude, 1e-9) << "magnitude " << magnitude;
+  }
+}
+
+TEST(ScenarioCompiler, CompiledScenarioReportsCalibratedHellinger) {
+  ScenarioSpec spec = small_spec();
+  spec.drift_magnitude_prior = 0.8;
+  const data::CompiledScenario c = data::compile_scenario(spec);
+  EXPECT_NEAR(c.calibrated_hellinger, 0.8, 1e-9);
+}
+
+TEST(ScenarioCompiler, NoPriorDriftMeansZeroCalibration) {
+  ScenarioSpec spec = small_spec();
+  spec.drift_priors = false;
+  spec.drift_conditional = true;
+  spec.drift_magnitude_conditional = 0.5;
+  const data::CompiledScenario c = data::compile_scenario(spec);
+  EXPECT_EQ(c.calibrated_hellinger, 0.0);
+  // P(X) must not move: concepts 0 and 1 coincide.
+  EXPECT_NEAR(data::gaussian_hellinger(data::scenario_concept(spec, 0),
+                                       data::scenario_concept(spec, 1)),
+              0.0, 1e-12);
+}
+
+TEST(ScenarioCompiler, EmpiricalDivergenceRisesAfterDrift) {
+  ScenarioSpec spec = small_spec();
+  spec.drift_magnitude_prior = 0.8;
+  const data::CompiledScenario c = data::compile_scenario(spec);
+  const data::DivergenceTrace& trace = c.divergence;
+  ASSERT_EQ(trace.window, spec.divergence_window);
+  ASSERT_EQ(trace.index.size(), spec.n_instances / spec.divergence_window);
+
+  double pre_h = 0.0, post_h = 0.0, pre_w = 0.0, post_w = 0.0;
+  std::size_t pre_n = 0, post_n = 0;
+  for (std::size_t w = 0; w < trace.index.size(); ++w) {
+    if (trace.index[w] <= spec.burn_in) {
+      pre_h += trace.hellinger[w];
+      pre_w += trace.wasserstein_mean[w];
+      ++pre_n;
+    } else if (trace.index[w] > spec.burn_in + trace.window) {
+      post_h += trace.hellinger[w];
+      post_w += trace.wasserstein_mean[w];
+      ++post_n;
+    }
+  }
+  ASSERT_GT(pre_n, 0u);
+  ASSERT_GT(post_n, 0u);
+  EXPECT_GT(post_h / static_cast<double>(post_n),
+            2.0 * pre_h / static_cast<double>(pre_n));
+  EXPECT_GT(post_w / static_cast<double>(post_n),
+            2.0 * pre_w / static_cast<double>(pre_n));
+}
+
+// ------------------------------------------------------------ recurrence
+
+TEST(ScenarioCompiler, RecurrentConceptScheduleAlternates) {
+  ScenarioSpec spec = small_spec();
+  spec.shape = data::DriftShape::kRecurrent;
+  spec.num_drift_points = 2;
+  const data::GaussianConcept c0 = data::scenario_concept(spec, 0);
+  const data::GaussianConcept c2 = data::scenario_concept(spec, 2);
+  for (std::size_t c = 0; c < spec.num_labels; ++c) {
+    for (std::size_t j = 0; j < spec.num_features; ++j) {
+      EXPECT_EQ(c0.cls(c).mean[j], c2.cls(c).mean[j]);
+    }
+  }
+}
+
+TEST(ScenarioCompiler, RecurrentStreamReturnsToConceptZeroStatistics) {
+  ScenarioSpec spec = small_spec();
+  spec.shape = data::DriftShape::kRecurrent;
+  spec.num_drift_points = 2;
+  spec.n_instances = 3000;
+  spec.burn_in = 1000;  // Edges at 1000 and 2000: concepts 0 / 1 / 0.
+  const data::CompiledScenario c = data::compile_scenario(spec);
+
+  auto mean_over = [&](std::size_t begin, std::size_t end, std::size_t j) {
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += c.stream.x(i, j);
+    return acc / static_cast<double>(end - begin);
+  };
+  for (std::size_t j = 0; j < spec.num_features; ++j) {
+    const double first = mean_over(0, 1000, j);
+    const double middle = mean_over(1000, 2000, j);
+    const double last = mean_over(2000, 3000, j);
+    EXPECT_NEAR(first, last, 0.12) << "dim " << j;
+    // And the middle segment genuinely moved away.
+    EXPECT_GT(std::abs(middle - first), 0.2) << "dim " << j;
+  }
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(ScenarioCompiler, SeededRegenerationIsBitIdentical) {
+  ScenarioSpec spec = small_spec();
+  spec.noise_level = 0.05;
+  spec.drift_conditional = true;
+  spec.drift_magnitude_conditional = 0.3;
+  const data::CompiledScenario a = data::compile_scenario(spec);
+  const data::CompiledScenario b = data::compile_scenario(spec);
+
+  ASSERT_EQ(a.train.size(), b.train.size());
+  ASSERT_EQ(a.stream.size(), b.stream.size());
+  EXPECT_EQ(a.train.labels, b.train.labels);
+  EXPECT_EQ(a.stream.labels, b.stream.labels);
+  for (std::size_t i = 0; i < a.stream.size(); ++i) {
+    for (std::size_t j = 0; j < a.stream.dim(); ++j) {
+      ASSERT_EQ(a.stream.x(i, j), b.stream.x(i, j)) << i << "," << j;
+    }
+  }
+  ASSERT_EQ(a.divergence.hellinger.size(), b.divergence.hellinger.size());
+  for (std::size_t w = 0; w < a.divergence.hellinger.size(); ++w) {
+    ASSERT_EQ(a.divergence.hellinger[w], b.divergence.hellinger[w]);
+    ASSERT_EQ(a.divergence.wasserstein_mean[w],
+              b.divergence.wasserstein_mean[w]);
+  }
+}
+
+TEST(ScenarioCompiler, DifferentSeedsProduceDifferentStreams) {
+  ScenarioSpec spec = small_spec();
+  const data::CompiledScenario a = data::compile_scenario(spec);
+  spec.seed += 1;
+  const data::CompiledScenario b = data::compile_scenario(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.stream.size() && !any_diff; ++i) {
+    any_diff = a.stream.x(i, 0) != b.stream.x(i, 0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ------------------------------------------------------------ annotations
+
+TEST(ScenarioCompiler, AnnotationsFollowTheSchedule) {
+  ScenarioSpec spec = small_spec();
+  spec.n_instances = 4000;
+  spec.burn_in = 1000;
+  spec.num_drift_points = 3;
+  const data::CompiledScenario c = data::compile_scenario(spec);
+  ASSERT_EQ(c.annotations.size(), 3u);
+  EXPECT_EQ(c.annotations[0].start, 1000u);
+  EXPECT_EQ(c.annotations[1].start, 2000u);
+  EXPECT_EQ(c.annotations[2].start, 3000u);
+  for (const data::DriftAnnotation& a : c.annotations) {
+    EXPECT_EQ(a.end, a.start);  // Abrupt edges have no width.
+    EXPECT_TRUE(a.prior);
+    EXPECT_FALSE(a.conditional);
+  }
+  EXPECT_EQ(c.annotations[0].from_concept, 0u);
+  EXPECT_EQ(c.annotations[0].to_concept, 1u);
+  EXPECT_EQ(c.annotations[2].to_concept, 3u);
+}
+
+TEST(ScenarioCompiler, GradualAnnotationCarriesTheWidth) {
+  ScenarioSpec spec = small_spec();
+  spec.shape = data::DriftShape::kGradual;
+  spec.drift_width = 300;
+  const data::CompiledScenario c = data::compile_scenario(spec);
+  ASSERT_EQ(c.annotations.size(), 1u);
+  EXPECT_EQ(c.annotations[0].start, spec.burn_in);
+  EXPECT_EQ(c.annotations[0].end, spec.burn_in + 300);
+  EXPECT_EQ(c.annotations[0].shape, data::DriftShape::kGradual);
+}
+
+// ------------------------------------- conditional drift and label noise
+
+TEST(ScenarioCompiler, ConditionalDriftRemapsLabelsNotFeatures) {
+  ScenarioSpec spec = small_spec();
+  spec.drift_priors = false;
+  spec.drift_conditional = true;
+  spec.drift_magnitude_prior = 0.0;
+  spec.drift_magnitude_conditional = 0.8;
+  const data::CompiledScenario c = data::compile_scenario(spec);
+
+  auto remap_rate = [&](std::size_t begin, std::size_t end) {
+    std::size_t remapped = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      remapped += c.stream.labels[i] != nearest_anchor_label(c.stream, i);
+    }
+    return static_cast<double>(remapped) / static_cast<double>(end - begin);
+  };
+  EXPECT_LT(remap_rate(0, spec.burn_in), 0.02);
+  EXPECT_NEAR(remap_rate(spec.burn_in, spec.n_instances), 0.8, 0.05);
+
+  // P(X) unchanged: per-feature means match across the drift point.
+  for (std::size_t j = 0; j < spec.num_features; ++j) {
+    double pre = 0.0, post = 0.0;
+    for (std::size_t i = 0; i < spec.burn_in; ++i) pre += c.stream.x(i, j);
+    for (std::size_t i = spec.burn_in; i < spec.n_instances; ++i) {
+      post += c.stream.x(i, j);
+    }
+    pre /= static_cast<double>(spec.burn_in);
+    post /= static_cast<double>(spec.n_instances - spec.burn_in);
+    EXPECT_NEAR(pre, post, 0.15) << "dim " << j;
+  }
+}
+
+TEST(ScenarioCompiler, LabelNoiseFlipsTheExpectedFraction) {
+  ScenarioSpec spec = small_spec();
+  spec.num_drift_points = 0;  // Pure concept 0 + noise.
+  spec.noise_level = 0.1;
+  const data::CompiledScenario c = data::compile_scenario(spec);
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < spec.n_instances; ++i) {
+    flipped += c.stream.labels[i] != nearest_anchor_label(c.stream, i);
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) /
+                  static_cast<double>(spec.n_instances),
+              0.1, 0.03);
+  // The training set stays clean.
+  std::size_t train_flipped = 0;
+  for (std::size_t i = 0; i < c.train.size(); ++i) {
+    train_flipped += c.train.labels[i] != nearest_anchor_label(c.train, i);
+  }
+  EXPECT_LE(train_flipped, c.train.size() / 50);
+}
+
+// -------------------------------------------------------------- JSON I/O
+
+void expect_specs_equal(const ScenarioSpec& a, const ScenarioSpec& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.num_features, b.num_features);
+  EXPECT_EQ(a.num_labels, b.num_labels);
+  EXPECT_EQ(a.class_separation, b.class_separation);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.train_size, b.train_size);
+  EXPECT_EQ(a.n_instances, b.n_instances);
+  EXPECT_EQ(a.burn_in, b.burn_in);
+  EXPECT_EQ(a.shape, b.shape);
+  EXPECT_EQ(a.curve, b.curve);
+  EXPECT_EQ(a.drift_width, b.drift_width);
+  EXPECT_EQ(a.num_drift_points, b.num_drift_points);
+  EXPECT_EQ(a.drift_priors, b.drift_priors);
+  EXPECT_EQ(a.drift_conditional, b.drift_conditional);
+  EXPECT_EQ(a.drift_magnitude_prior, b.drift_magnitude_prior);
+  EXPECT_EQ(a.drift_magnitude_conditional, b.drift_magnitude_conditional);
+  EXPECT_EQ(a.noise_level, b.noise_level);
+  EXPECT_EQ(a.divergence_window, b.divergence_window);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.traffic.pattern, b.traffic.pattern);
+  EXPECT_EQ(a.traffic.mean_batch, b.traffic.mean_batch);
+  EXPECT_EQ(a.traffic.streams, b.traffic.streams);
+  EXPECT_EQ(a.traffic.churn, b.traffic.churn);
+  EXPECT_EQ(a.traffic.burst_batch, b.traffic.burst_batch);
+  EXPECT_EQ(a.traffic.idle_batch, b.traffic.idle_batch);
+  EXPECT_EQ(a.traffic.pareto_alpha, b.traffic.pareto_alpha);
+  EXPECT_EQ(a.traffic.mean_period, b.traffic.mean_period);
+}
+
+TEST(ScenarioCompiler, JsonRoundTripsEveryPreset) {
+  for (const std::string_view name : data::scenario_preset_names()) {
+    const auto preset = data::scenario_preset(name);
+    ASSERT_TRUE(preset.has_value()) << name;
+    std::string error;
+    const auto parsed =
+        data::parse_scenario_json(data::scenario_to_json(*preset), &error);
+    ASSERT_TRUE(parsed.has_value()) << name << ": " << error;
+    expect_specs_equal(*preset, *parsed);
+  }
+}
+
+TEST(ScenarioCompiler, JsonRejectsUnknownKeys) {
+  std::string error;
+  EXPECT_FALSE(data::parse_scenario_json(R"({"n_instnaces": 100})", &error));
+  EXPECT_NE(error.find("unknown key"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(data::parse_scenario_json(
+      R"({"traffic": {"patern": "bursty"}})", &error));
+  EXPECT_NE(error.find("unknown traffic key"), std::string::npos) << error;
+}
+
+TEST(ScenarioCompiler, JsonRejectsBadEnumsAndTrailingJunk) {
+  std::string error;
+  EXPECT_FALSE(data::parse_scenario_json(R"({"type": "sideways"})", &error));
+  EXPECT_NE(error.find("unknown drift type"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(
+      data::parse_scenario_json(R"({"seed": 1} trailing)", &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(data::parse_scenario_json("not json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ScenarioCompiler, JsonPartialObjectKeepsDefaults) {
+  std::string error;
+  const auto spec = data::parse_scenario_json(
+      R"({"name": "mini", "n_instances": 1234, "type": "gradual"})", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->name, "mini");
+  EXPECT_EQ(spec->n_instances, 1234u);
+  EXPECT_EQ(spec->shape, data::DriftShape::kGradual);
+  EXPECT_EQ(spec->num_features, ScenarioSpec{}.num_features);
+  EXPECT_EQ(spec->seed, ScenarioSpec{}.seed);
+}
+
+TEST(ScenarioCompiler, PresetNamesAllResolve) {
+  EXPECT_GE(data::scenario_preset_names().size(), 6u);
+  for (const std::string_view name : data::scenario_preset_names()) {
+    const auto spec = data::scenario_preset(name);
+    ASSERT_TRUE(spec.has_value()) << name;
+    EXPECT_EQ(spec->name, name);
+  }
+  EXPECT_FALSE(data::scenario_preset("no-such-preset").has_value());
+  // The serving-layer preset routes through the manager.
+  EXPECT_GT(data::scenario_preset("bursty-traffic")->traffic.streams, 1u);
+}
+
+// --------------------------------------------------------------- traffic
+
+TEST(Traffic, ShaperIsDeterministic) {
+  data::TrafficSpec spec;
+  spec.pattern = data::ArrivalPattern::kBursty;
+  spec.streams = 4;
+  spec.churn = 0.1;
+  data::TrafficShaper a(spec, 9);
+  data::TrafficShaper b(spec, 9);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(a.next_batch(), b.next_batch());
+    ASSERT_EQ(a.next_stream(), b.next_stream());
+  }
+}
+
+TEST(Traffic, UniformPatternIsConstant) {
+  data::TrafficSpec spec;
+  spec.mean_batch = 4.0;
+  data::TrafficShaper shaper(spec, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(shaper.next_batch(), 4u);
+}
+
+TEST(Traffic, PoissonBatchesMatchTheMean) {
+  data::TrafficSpec spec;
+  spec.pattern = data::ArrivalPattern::kPoisson;
+  spec.mean_batch = 8.0;
+  data::TrafficShaper shaper(spec, 2);
+  double acc = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::size_t b = shaper.next_batch();
+    ASSERT_GE(b, 1u);
+    acc += static_cast<double>(b);
+  }
+  EXPECT_NEAR(acc / kDraws, 8.0, 0.4);
+}
+
+TEST(Traffic, BurstyAlternatesLoadLevels) {
+  data::TrafficSpec spec;
+  spec.pattern = data::ArrivalPattern::kBursty;
+  spec.burst_batch = 32.0;
+  spec.idle_batch = 1.0;
+  spec.mean_period = 32.0;
+  data::TrafficShaper shaper(spec, 3);
+  std::size_t heavy = 0, light = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t b = shaper.next_batch();
+    ASSERT_GE(b, 1u);
+    if (b >= 16) {
+      ++heavy;
+    } else if (b <= 4) {
+      ++light;
+    }
+  }
+  // Both regimes must be well represented — the on/off switching works.
+  EXPECT_GT(heavy, 2000u);
+  EXPECT_GT(light, 2000u);
+}
+
+TEST(Traffic, RoundRobinWithoutChurn) {
+  data::TrafficSpec spec;
+  spec.streams = 3;
+  data::TrafficShaper shaper(spec, 4);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(shaper.next_stream(), static_cast<std::size_t>(i % 3));
+  }
+}
+
+TEST(Traffic, ChurnStillCoversAllStreams) {
+  data::TrafficSpec spec;
+  spec.streams = 8;
+  spec.churn = 0.3;
+  data::TrafficShaper shaper(spec, 5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t id = shaper.next_stream();
+    ASSERT_LT(id, 8u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Golden compiled-scenario transcript: a small abrupt ScenarioSpec compiled
+// against a committed hexfloat transcript (tests/golden/scenario_abrupt.golden).
+//
+// The transcript pins the compiler's bit-identical-regeneration contract:
+// the calibrated Hellinger, every stream label, a stride of raw feature
+// values, the full divergence trace and the ground-truth annotations. The
+// scenario compiler is scalar arithmetic (RNG + libm), so the portable
+// SIMD build must match bit for bit; native builds hold the values to
+// tight tolerances in case a vectorized libm sneaks in.
+//
+// Regenerate after an intentional generator change with
+//   EDGEDRIFT_REGEN_GOLDEN=1 ./edgedrift_tests --gtest_filter='ScenarioGolden.*'
+// from a portable-SIMD build, and commit the diff.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgedrift/data/scenario.hpp"
+#include "edgedrift/linalg/simd.hpp"
+
+namespace {
+
+using namespace edgedrift;
+
+constexpr std::size_t kFeatureStride = 7;  // Every 7th row's feature 0.
+
+std::string golden_path() {
+  return std::string(EDGEDRIFT_TEST_DIR) + "/golden/scenario_abrupt.golden";
+}
+
+/// The pinned spec: small enough to keep the transcript a few kilobytes,
+/// with every generator feature exercised (calibrated prior drift, label
+/// noise, divergence trace).
+data::ScenarioSpec golden_spec() {
+  data::ScenarioSpec spec;
+  spec.name = "golden-abrupt";
+  spec.num_features = 4;
+  spec.num_labels = 2;
+  spec.train_size = 150;
+  spec.n_instances = 700;
+  spec.burn_in = 300;
+  spec.drift_magnitude_prior = 0.8;
+  spec.noise_level = 0.05;
+  spec.divergence_window = 100;
+  spec.seed = 77;
+  return spec;
+}
+
+struct Transcript {
+  double calibrated = 0.0;
+  std::string labels;                    // One digit per stream sample.
+  std::vector<double> features;          // Every kFeatureStride-th x(i, 0).
+  std::vector<double> hellinger;         // Divergence trace.
+  std::vector<double> wasserstein;       // Divergence trace (row means).
+  std::vector<std::size_t> ann_start;    // Annotation starts.
+};
+
+Transcript run_compile() {
+  const data::CompiledScenario c = data::compile_scenario(golden_spec());
+  Transcript t;
+  t.calibrated = c.calibrated_hellinger;
+  t.labels.reserve(c.stream.size());
+  for (std::size_t i = 0; i < c.stream.size(); ++i) {
+    t.labels.push_back(static_cast<char>('0' + (c.stream.labels[i] % 10)));
+    if (i % kFeatureStride == 0) t.features.push_back(c.stream.x(i, 0));
+  }
+  t.hellinger = c.divergence.hellinger;
+  t.wasserstein = c.divergence.wasserstein_mean;
+  for (const data::DriftAnnotation& a : c.annotations) {
+    t.ann_start.push_back(a.start);
+  }
+  return t;
+}
+
+std::string hex(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string render(const Transcript& t) {
+  std::string out;
+  out += "edgedrift-scenario-golden-v1\n";
+  out += "calibrated " + hex(t.calibrated) + "\n";
+  out += "labels " + t.labels + "\n";
+  out += "annotations";
+  for (const std::size_t s : t.ann_start) out += " " + std::to_string(s);
+  out += "\n";
+  for (std::size_t i = 0; i < t.features.size(); ++i) {
+    out += "x " + std::to_string(i * kFeatureStride) + " " +
+           hex(t.features[i]) + "\n";
+  }
+  for (std::size_t w = 0; w < t.hellinger.size(); ++w) {
+    out += "div " + std::to_string(w) + " " + hex(t.hellinger[w]) + " " +
+           hex(t.wasserstein[w]) + "\n";
+  }
+  return out;
+}
+
+bool parse(const std::string& text, Transcript& t, std::string& error) {
+  std::size_t pos = 0;
+  bool saw_magic = false;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    if (!saw_magic) {
+      if (line != "edgedrift-scenario-golden-v1") {
+        error = "bad magic line: " + line;
+        return false;
+      }
+      saw_magic = true;
+    } else if (line.rfind("calibrated ", 0) == 0) {
+      t.calibrated = std::strtod(line.c_str() + 11, nullptr);
+    } else if (line.rfind("labels ", 0) == 0) {
+      t.labels = line.substr(7);
+    } else if (line.rfind("annotations", 0) == 0) {
+      const char* p = line.c_str() + 11;
+      char* next = nullptr;
+      for (;;) {
+        const unsigned long long v = std::strtoull(p, &next, 10);
+        if (next == p) break;
+        t.ann_start.push_back(static_cast<std::size_t>(v));
+        p = next;
+      }
+    } else if (line.rfind("x ", 0) == 0) {
+      char* next = nullptr;
+      std::strtoull(line.c_str() + 2, &next, 10);
+      t.features.push_back(std::strtod(next, nullptr));
+    } else if (line.rfind("div ", 0) == 0) {
+      char* next = nullptr;
+      std::strtoull(line.c_str() + 4, &next, 10);
+      t.hellinger.push_back(std::strtod(next, &next));
+      t.wasserstein.push_back(std::strtod(next, nullptr));
+    } else {
+      error = "unrecognized line: " + line;
+      return false;
+    }
+  }
+  if (!saw_magic) {
+    error = "empty golden file";
+    return false;
+  }
+  return true;
+}
+
+bool is_portable_build() {
+  return std::strcmp(linalg::simd::kLevelName, "portable") == 0;
+}
+
+TEST(ScenarioGolden, MatchesCommittedTranscript) {
+  const std::string path = golden_path();
+  const Transcript actual = run_compile();
+
+  if (std::getenv("EDGEDRIFT_REGEN_GOLDEN") != nullptr) {
+    ASSERT_TRUE(is_portable_build())
+        << "regenerate the golden file from a portable-SIMD build";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    const std::string text = render(actual);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr)
+      << "missing golden file " << path
+      << " — regenerate with EDGEDRIFT_REGEN_GOLDEN=1 and commit it";
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    if (n == 0) break;
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  Transcript golden;
+  std::string error;
+  ASSERT_TRUE(parse(text, golden, error)) << error;
+
+  if (is_portable_build()) {
+    // Hexfloat round-trips exactly: compilation must be bit-identical.
+    EXPECT_EQ(render(actual), text)
+        << "portable-build scenario compilation diverged from the committed "
+           "transcript; if the generator change is intentional, regenerate "
+           "with EDGEDRIFT_REGEN_GOLDEN=1";
+    return;
+  }
+
+  // The compiler is scalar code, so even native builds should agree; hold
+  // to tight tolerances rather than bits in case libm differs.
+  EXPECT_EQ(actual.labels, golden.labels);
+  EXPECT_EQ(actual.ann_start, golden.ann_start);
+  EXPECT_NEAR(actual.calibrated, golden.calibrated, 1e-12);
+  ASSERT_EQ(actual.features.size(), golden.features.size());
+  for (std::size_t i = 0; i < actual.features.size(); ++i) {
+    EXPECT_NEAR(actual.features[i], golden.features[i],
+                1e-9 * std::abs(golden.features[i]) + 1e-12);
+  }
+  ASSERT_EQ(actual.hellinger.size(), golden.hellinger.size());
+  for (std::size_t w = 0; w < actual.hellinger.size(); ++w) {
+    EXPECT_NEAR(actual.hellinger[w], golden.hellinger[w], 1e-9);
+    EXPECT_NEAR(actual.wasserstein[w], golden.wasserstein[w], 1e-9);
+  }
+}
+
+}  // namespace

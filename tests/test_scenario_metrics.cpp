@@ -1,0 +1,166 @@
+// eval::score_scenario against hand-constructed detector event sequences:
+// every delay, false-alarm and miss count here is computed by hand from
+// the matching rule, so a change to the rule fails loudly with exact
+// numbers.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgedrift/eval/scenario_metrics.hpp"
+
+namespace {
+
+using namespace edgedrift;
+
+data::DriftAnnotation abrupt_at(std::size_t start) {
+  data::DriftAnnotation a;
+  a.start = start;
+  a.end = start;
+  return a;
+}
+
+data::DriftAnnotation gradual_at(std::size_t start, std::size_t end) {
+  data::DriftAnnotation a;
+  a.start = start;
+  a.end = end;
+  a.shape = data::DriftShape::kGradual;
+  return a;
+}
+
+TEST(ScenarioMetrics, SingleEdgeDelayExtrasAndFalseAlarms) {
+  const std::vector<data::DriftAnnotation> ann = {abrupt_at(100)};
+  // Window: [100, 1100). 40 -> FA, 150 -> hit (delay 50), 700 -> extra,
+  // 1200 -> FA.
+  const std::vector<std::size_t> det = {40, 150, 700, 1200};
+  const eval::ScenarioMetrics m = eval::score_scenario(det, ann, 2000);
+
+  EXPECT_EQ(m.drift_points, 1u);
+  EXPECT_EQ(m.detected, 1u);
+  EXPECT_EQ(m.missed, 0u);
+  ASSERT_EQ(m.delays.size(), 1u);
+  EXPECT_EQ(m.delays[0], 50);
+  EXPECT_DOUBLE_EQ(m.mean_delay, 50.0);
+  EXPECT_EQ(m.extra_detections, 1u);
+  EXPECT_EQ(m.false_alarms, 2u);
+  EXPECT_EQ(m.watched_samples, 1000u);
+  // 2 false alarms over 1000 outside-window samples = 2 per 1k.
+  EXPECT_DOUBLE_EQ(m.false_alarm_rate_per_1k, 2.0);
+}
+
+TEST(ScenarioMetrics, MissedEdge) {
+  const std::vector<data::DriftAnnotation> ann = {abrupt_at(500)};
+  const std::vector<std::size_t> det = {100};  // Before the window: FA.
+  const eval::ScenarioMetrics m = eval::score_scenario(det, ann, 2000);
+  EXPECT_EQ(m.detected, 0u);
+  EXPECT_EQ(m.missed, 1u);
+  ASSERT_EQ(m.delays.size(), 1u);
+  EXPECT_EQ(m.delays[0], -1);
+  EXPECT_DOUBLE_EQ(m.mean_delay, 0.0);
+  EXPECT_EQ(m.false_alarms, 1u);
+}
+
+TEST(ScenarioMetrics, WindowsClipAtTheNextEdge) {
+  const std::vector<data::DriftAnnotation> ann = {abrupt_at(100),
+                                                  abrupt_at(600)};
+  // Windows: [100, 600) and [600, 1600). 550 credits edge 0 (delay 450),
+  // 610 credits edge 1 (delay 10), 50 is a false alarm.
+  const std::vector<std::size_t> det = {50, 550, 610};
+  const eval::ScenarioMetrics m = eval::score_scenario(det, ann, 2000);
+  EXPECT_EQ(m.detected, 2u);
+  ASSERT_EQ(m.delays.size(), 2u);
+  EXPECT_EQ(m.delays[0], 450);
+  EXPECT_EQ(m.delays[1], 10);
+  EXPECT_DOUBLE_EQ(m.mean_delay, 230.0);
+  EXPECT_EQ(m.false_alarms, 1u);
+  EXPECT_EQ(m.watched_samples, 1500u);
+  // 1 FA over 500 outside samples = 2 per 1k.
+  EXPECT_DOUBLE_EQ(m.false_alarm_rate_per_1k, 2.0);
+}
+
+TEST(ScenarioMetrics, GradualHorizonCountsFromTheEdgeEnd) {
+  const std::vector<data::DriftAnnotation> ann = {gradual_at(100, 400)};
+  eval::ScenarioMetricsConfig cfg;
+  cfg.detection_horizon = 200;
+  // Window: [100, 400 + 200) = [100, 600).
+  const std::vector<std::size_t> det = {590, 610};
+  const eval::ScenarioMetrics m =
+      eval::score_scenario(det, ann, 1000, {}, cfg);
+  EXPECT_EQ(m.detected, 1u);
+  EXPECT_EQ(m.delays[0], 490);  // Delay is still measured from the onset.
+  EXPECT_EQ(m.false_alarms, 1u);
+  EXPECT_EQ(m.watched_samples, 500u);
+}
+
+TEST(ScenarioMetrics, WindowClipsAtTheStreamEnd) {
+  const std::vector<data::DriftAnnotation> ann = {abrupt_at(1800)};
+  const eval::ScenarioMetrics m = eval::score_scenario({}, ann, 2000);
+  EXPECT_EQ(m.watched_samples, 200u);
+  EXPECT_EQ(m.missed, 1u);
+}
+
+TEST(ScenarioMetrics, UnsortedDetectionsAreSortedBeforeScoring) {
+  const std::vector<data::DriftAnnotation> ann = {abrupt_at(100)};
+  const std::vector<std::size_t> sorted = {40, 150, 700};
+  const std::vector<std::size_t> shuffled = {700, 40, 150};
+  const eval::ScenarioMetrics a = eval::score_scenario(sorted, ann, 2000);
+  const eval::ScenarioMetrics b = eval::score_scenario(shuffled, ann, 2000);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.delays, b.delays);
+  EXPECT_EQ(a.extra_detections, b.extra_detections);
+  EXPECT_EQ(a.false_alarms, b.false_alarms);
+}
+
+TEST(ScenarioMetrics, NoAnnotationsMeansEverythingIsAFalseAlarm) {
+  const std::vector<std::size_t> det = {10, 20, 30, 40};
+  const eval::ScenarioMetrics m = eval::score_scenario(det, {}, 1000);
+  EXPECT_EQ(m.drift_points, 0u);
+  EXPECT_EQ(m.false_alarms, 4u);
+  EXPECT_EQ(m.watched_samples, 0u);
+  EXPECT_DOUBLE_EQ(m.false_alarm_rate_per_1k, 4.0);
+}
+
+TEST(ScenarioMetrics, AccuracyBlockIsExact) {
+  const std::vector<data::DriftAnnotation> ann = {abrupt_at(4)};
+  eval::ScenarioMetricsConfig cfg;
+  cfg.recovery_window = 3;
+  // Stream of 10; recovery region = last 3 samples of [4, 10) = {7, 8, 9}.
+  const std::vector<std::uint8_t> correct = {1, 1, 1, 1, 0, 0, 0, 1, 0, 1};
+  const eval::ScenarioMetrics m =
+      eval::score_scenario({}, ann, 10, correct, cfg);
+  EXPECT_EQ(m.recovery_samples, 3u);
+  EXPECT_DOUBLE_EQ(m.recovery_accuracy, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.overall_accuracy, 0.6);
+}
+
+TEST(ScenarioMetrics, RecoveryRegionsStopAtTheNextEdge) {
+  const std::vector<data::DriftAnnotation> ann = {abrupt_at(2), abrupt_at(6)};
+  eval::ScenarioMetricsConfig cfg;
+  cfg.recovery_window = 2;
+  // Segments: [2, 6) tail {4, 5}; [6, 10) tail {8, 9}.
+  const std::vector<std::uint8_t> correct = {0, 0, 0, 0, 1, 1, 0, 0, 1, 0};
+  const eval::ScenarioMetrics m =
+      eval::score_scenario({}, ann, 10, correct, cfg);
+  EXPECT_EQ(m.recovery_samples, 4u);
+  EXPECT_DOUBLE_EQ(m.recovery_accuracy, 3.0 / 4.0);
+}
+
+TEST(ScenarioMetrics, ShortSegmentContributesWhatItHas) {
+  const std::vector<data::DriftAnnotation> ann = {abrupt_at(8)};
+  eval::ScenarioMetricsConfig cfg;
+  cfg.recovery_window = 5;  // Segment [8, 10) has only 2 samples.
+  const std::vector<std::uint8_t> correct(10, 1);
+  const eval::ScenarioMetrics m =
+      eval::score_scenario({}, ann, 10, correct, cfg);
+  EXPECT_EQ(m.recovery_samples, 2u);
+  EXPECT_DOUBLE_EQ(m.recovery_accuracy, 1.0);
+}
+
+TEST(ScenarioMetrics, NoCorrectnessSkipsTheAccuracyBlock) {
+  const std::vector<data::DriftAnnotation> ann = {abrupt_at(100)};
+  const eval::ScenarioMetrics m = eval::score_scenario({}, ann, 1000);
+  EXPECT_EQ(m.recovery_samples, 0u);
+  EXPECT_DOUBLE_EQ(m.recovery_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.overall_accuracy, 0.0);
+}
+
+}  // namespace

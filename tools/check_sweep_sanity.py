@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate the scenario-sweep matrix on the paper's headline detector.
+
+Reads an edgedrift-eval-v1 JSON file produced by
+
+    example_edgedrift_cli sweep ... --json <file>
+
+and checks the (abrupt, centroid) cell — the paper's own detector on the
+cleanest drift preset — for sane detection behaviour:
+
+  * the cell exists and its schema version matches,
+  * every annotated drift point was detected (detected == drift_points),
+  * the mean detection delay is under --max-delay samples (default 600;
+    the committed EVAL_scenarios.json baseline sits at 399),
+  * the false-alarm rate stays under --max-fa-per-1k (default 1.0).
+
+The bound is deliberately loose — it catches a detector or generator
+regression that makes the centroid miss or limp after an unmistakable
+calibrated Hellinger-0.9 shift, without flaking on ordinary noise: the
+scenario compiler is seeded, so the cell is deterministic.
+
+Exit code 0 when sane, 1 on a violated bound or a missing cell.
+"""
+import argparse
+import json
+import sys
+
+SCHEMA = "edgedrift-eval-v1"
+SCENARIO = "abrupt"
+DETECTOR = "centroid"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("eval_json", help="sweep --json output")
+    parser.add_argument("--max-delay", type=float, default=600.0,
+                        help="mean-delay bound in samples (default 600)")
+    parser.add_argument("--max-fa-per-1k", type=float, default=1.0,
+                        help="false-alarm-rate bound (default 1.0)")
+    args = parser.parse_args()
+
+    with open(args.eval_json) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != SCHEMA:
+        print(f"FAIL: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+        return 1
+
+    cell = None
+    for c in doc.get("cells", []):
+        if c.get("scenario") == SCENARIO and c.get("detector") == DETECTOR:
+            cell = c
+            break
+    if cell is None:
+        print(f"FAIL: no ({SCENARIO}, {DETECTOR}) cell in {args.eval_json}")
+        return 1
+
+    failures = []
+    if cell["detected"] != cell["drift_points"]:
+        failures.append(
+            f"detected {cell['detected']}/{cell['drift_points']} drift points"
+        )
+    if cell["detected"] > 0 and cell["mean_delay"] > args.max_delay:
+        failures.append(
+            f"mean delay {cell['mean_delay']:.0f} > bound {args.max_delay:.0f}"
+        )
+    if cell["false_alarm_rate_per_1k"] > args.max_fa_per_1k:
+        failures.append(
+            f"FA rate {cell['false_alarm_rate_per_1k']:.2f}/1k > bound "
+            f"{args.max_fa_per_1k:.2f}"
+        )
+
+    tag = f"({SCENARIO}, {DETECTOR})"
+    if failures:
+        for msg in failures:
+            print(f"FAIL {tag}: {msg}")
+        return 1
+    print(
+        f"OK {tag}: detected {cell['detected']}/{cell['drift_points']}, "
+        f"mean delay {cell['mean_delay']:.0f} <= {args.max_delay:.0f}, "
+        f"FA/1k {cell['false_alarm_rate_per_1k']:.2f} <= "
+        f"{args.max_fa_per_1k:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
